@@ -1,0 +1,29 @@
+//! Ablation: filter capacity vs hit ratio and overhead (design-choice sweep
+//! beyond the paper's figures).
+
+use bench::{bench_config, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use system::experiments::ablations;
+use workloads::nas::NasBenchmark;
+
+fn bench_ablation(c: &mut Criterion) {
+    let config = bench_config();
+    let points = ablations::filter_size_sweep(&config, NasBenchmark::Is, &[8, 48], BENCH_SCALE);
+    println!("{}", ablations::filter_size_table(&points));
+    let mut group = c.benchmark_group("ablation_filter_size");
+    group.sample_size(10);
+    group.bench_function("is_8_vs_48_entries", |b| {
+        b.iter(|| {
+            std::hint::black_box(ablations::filter_size_sweep(
+                &config,
+                NasBenchmark::Is,
+                &[8, 48],
+                BENCH_SCALE * 0.5,
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

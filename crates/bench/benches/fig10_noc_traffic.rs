@@ -1,0 +1,38 @@
+//! Figure 10: NoC traffic breakdown per message class, cache-based vs hybrid,
+//! on a reduced machine.
+
+use bench::{bench_config, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc::MessageClass;
+use system::{Machine, MachineKind};
+use workloads::nas::NasBenchmark;
+
+fn bench_fig10(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig10_noc_traffic");
+    group.sample_size(10);
+    for benchmark in [NasBenchmark::Cg, NasBenchmark::Ft] {
+        let spec = benchmark.spec_scaled(benchmark.recommended_scale() * BENCH_SCALE);
+        let cache = Machine::new(MachineKind::CacheOnly, config.clone()).run(&spec);
+        let hybrid = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+        println!("{}: packets per class (cache vs hybrid)", benchmark.name());
+        for class in MessageClass::ALL {
+            println!(
+                "  {:<8} {:>9} -> {:>9}",
+                class.label(),
+                cache.traffic.packets(class),
+                hybrid.traffic.packets(class)
+            );
+        }
+        group.bench_function(format!("{}/traffic_accounting", benchmark.name()), |b| {
+            b.iter(|| {
+                let run = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+                std::hint::black_box(run.traffic.total_packets())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig10);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Figure 11: energy breakdown per component, cache-based vs hybrid, on a
+//! reduced machine.
+
+use bench::{bench_config, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use energy::Component;
+use system::{Machine, MachineKind};
+use workloads::nas::NasBenchmark;
+
+fn bench_fig11(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig11_energy");
+    group.sample_size(10);
+    for benchmark in [NasBenchmark::Cg, NasBenchmark::Is] {
+        let spec = benchmark.spec_scaled(benchmark.recommended_scale() * BENCH_SCALE);
+        let cache = Machine::new(MachineKind::CacheOnly, config.clone()).run(&spec);
+        let hybrid = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+        let bars = hybrid.energy.normalized_to(&cache.energy);
+        println!(
+            "{}: hybrid energy = {:.3} of cache-based; per component {:?}",
+            benchmark.name(),
+            hybrid.total_energy() / cache.total_energy(),
+            Component::ALL
+                .iter()
+                .map(|c| format!("{}={:.3}", c.label(), bars[c.index()]))
+                .collect::<Vec<_>>()
+        );
+        group.bench_function(format!("{}/energy_accounting", benchmark.name()), |b| {
+            b.iter(|| {
+                let run = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+                std::hint::black_box(run.total_energy())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig11);
+criterion_main!(benches);

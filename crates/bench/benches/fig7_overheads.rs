@@ -1,0 +1,39 @@
+//! Figure 7: overhead of the proposed coherence protocol over ideal
+//! coherence (execution time, energy, NoC traffic), on a reduced machine.
+
+use bench::{bench_config, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use system::{Machine, MachineKind};
+use workloads::nas::NasBenchmark;
+
+fn bench_fig7(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig7_protocol_overhead");
+    group.sample_size(10);
+    for benchmark in [NasBenchmark::Cg, NasBenchmark::Is] {
+        let spec = benchmark.spec_scaled(benchmark.recommended_scale() * BENCH_SCALE);
+        // Report the measured overheads once, outside the timed loop.
+        let ideal = Machine::new(MachineKind::HybridIdeal, config.clone()).run(&spec);
+        let proposed = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+        println!(
+            "{}: time overhead {:+.2} %, traffic overhead {:+.2} %",
+            benchmark.name(),
+            100.0 * (proposed.execution_time.as_f64() / ideal.execution_time.as_f64() - 1.0),
+            100.0 * (proposed.total_packets() as f64 / ideal.total_packets() as f64 - 1.0),
+        );
+        group.bench_function(format!("{}/hybrid_proposed", benchmark.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec))
+            })
+        });
+        group.bench_function(format!("{}/hybrid_ideal", benchmark.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(Machine::new(MachineKind::HybridIdeal, config.clone()).run(&spec))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

@@ -1,0 +1,31 @@
+//! Figure 8: filter hit ratio per benchmark, on a reduced machine.
+
+use bench::{bench_config, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use system::{Machine, MachineKind};
+use workloads::nas::NasBenchmark;
+
+fn bench_fig8(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig8_filter_hit_ratio");
+    group.sample_size(10);
+    for benchmark in [NasBenchmark::Cg, NasBenchmark::Is, NasBenchmark::Mg] {
+        let spec = benchmark.spec_scaled(benchmark.recommended_scale() * BENCH_SCALE);
+        let run = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+        println!(
+            "{}: filter hit ratio {:?}",
+            benchmark.name(),
+            run.filter_hit_ratio.map(|r| format!("{:.1} %", r * 100.0))
+        );
+        group.bench_function(benchmark.name(), |b| {
+            b.iter(|| {
+                let run = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+                std::hint::black_box(run.filter_hit_ratio)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

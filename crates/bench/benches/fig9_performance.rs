@@ -1,0 +1,33 @@
+//! Figure 9: execution time of the cache-based vs hybrid systems, split into
+//! control / sync / work phases, on a reduced machine.
+
+use bench::{bench_benchmarks, bench_config, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use system::{Machine, MachineKind};
+
+fn bench_fig9(c: &mut Criterion) {
+    let config = bench_config();
+    let mut group = c.benchmark_group("fig9_performance");
+    group.sample_size(10);
+    for benchmark in bench_benchmarks() {
+        let spec = benchmark.spec_scaled(benchmark.recommended_scale() * BENCH_SCALE);
+        let cache = Machine::new(MachineKind::CacheOnly, config.clone()).run(&spec);
+        let hybrid = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+        println!(
+            "{}: speedup {:.3}x (cache {} cycles, hybrid {} cycles)",
+            benchmark.name(),
+            cache.execution_time.as_f64() / hybrid.execution_time.as_f64(),
+            cache.execution_time.as_u64(),
+            hybrid.execution_time.as_u64(),
+        );
+        for kind in [MachineKind::CacheOnly, MachineKind::HybridProposed] {
+            group.bench_function(format!("{}/{:?}", benchmark.name(), kind), |b| {
+                b.iter(|| std::hint::black_box(Machine::new(kind, config.clone()).run(&spec)))
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig9);
+criterion_main!(benches);

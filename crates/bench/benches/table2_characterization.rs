@@ -1,0 +1,22 @@
+//! Table 2: benchmark and memory-access characterisation.
+//!
+//! Benchmarks the workload characterisation itself (it is cheap) and, more
+//! importantly, prints the regenerated table so `cargo bench` output contains
+//! the same rows the paper reports.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use workloads::characterize::{characterize, to_table};
+
+fn bench_table2(c: &mut Criterion) {
+    println!("\n{}", to_table(&characterize()));
+    c.bench_function("table2/characterize_all_benchmarks", |b| {
+        b.iter(|| {
+            let rows = characterize();
+            assert_eq!(rows.len(), 6);
+            std::hint::black_box(rows)
+        })
+    });
+}
+
+criterion_group!(benches, bench_table2);
+criterion_main!(benches);

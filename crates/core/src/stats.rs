@@ -1,0 +1,194 @@
+//! Protocol-level statistics.
+
+use serde::{Deserialize, Serialize};
+use simkernel::StatRegistry;
+
+/// Counters describing the behaviour of the coherence protocol during a run.
+///
+/// Per-structure counters (filter hits, SPMDir lookups, filterDir occupancy)
+/// live in the structures themselves; this struct aggregates the protocol
+/// events that span structures, which is what the paper reports in §5.3.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ProtocolStats {
+    /// Guarded loads executed.
+    pub guarded_loads: u64,
+    /// Guarded stores executed.
+    pub guarded_stores: u64,
+    /// Guarded accesses served by the cache hierarchy (cases a and c).
+    pub served_by_gm: u64,
+    /// Guarded accesses diverted to the local SPM (case b).
+    pub local_spm_hits: u64,
+    /// Guarded accesses diverted to a remote SPM (case d).
+    pub remote_spm_accesses: u64,
+    /// Aggregate filter lookups over all cores.
+    pub filter_lookups: u64,
+    /// Aggregate filter hits over all cores.
+    pub filter_hits: u64,
+    /// Requests sent to the filterDir because of filter misses.
+    pub filterdir_requests: u64,
+    /// filterDir requests answered without a broadcast.
+    pub filterdir_hits: u64,
+    /// Broadcast SPMDir probes triggered by filterDir misses.
+    pub broadcasts: u64,
+    /// SPMDir CAM probes performed by broadcasts (energy proxy).
+    pub spmdir_probe_lookups: u64,
+    /// DMA mappings registered in SPMDirs (one per `dma-get`d chunk).
+    pub dma_mappings: u64,
+    /// Filter-invalidation rounds triggered by DMA mappings (Figure 6a).
+    pub filter_invalidation_rounds: u64,
+    /// Individual filter entries invalidated by those rounds.
+    pub filter_entries_invalidated: u64,
+    /// Filter evictions notified to the filterDir.
+    pub filter_eviction_notifies: u64,
+    /// filterDir capacity evictions (which invalidate sharer filters).
+    pub filterdir_evictions: u64,
+    /// L1/TLB lookups performed in parallel with the protocol structures
+    /// (every guarded access performs one; energy proxy).
+    pub parallel_l1_lookups: u64,
+    /// Times a diverted access had to be re-checked in the LSQ (§3.4).
+    pub lsq_recheck_notifications: u64,
+}
+
+impl ProtocolStats {
+    /// Creates zeroed statistics.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Total guarded accesses.
+    pub fn guarded_accesses(&self) -> u64 {
+        self.guarded_loads + self.guarded_stores
+    }
+
+    /// Filter hit ratio over all cores, or `None` if no lookup happened
+    /// (e.g. SP, which issues no guarded accesses).
+    pub fn filter_hit_ratio(&self) -> Option<f64> {
+        if self.filter_lookups == 0 {
+            None
+        } else {
+            Some(self.filter_hits as f64 / self.filter_lookups as f64)
+        }
+    }
+
+    /// Fraction of guarded accesses diverted to some SPM.
+    pub fn diversion_ratio(&self) -> f64 {
+        let total = self.guarded_accesses();
+        if total == 0 {
+            0.0
+        } else {
+            (self.local_spm_hits + self.remote_spm_accesses) as f64 / total as f64
+        }
+    }
+
+    /// Merges another set of statistics into this one.
+    pub fn merge(&mut self, other: &ProtocolStats) {
+        self.guarded_loads += other.guarded_loads;
+        self.guarded_stores += other.guarded_stores;
+        self.served_by_gm += other.served_by_gm;
+        self.local_spm_hits += other.local_spm_hits;
+        self.remote_spm_accesses += other.remote_spm_accesses;
+        self.filter_lookups += other.filter_lookups;
+        self.filter_hits += other.filter_hits;
+        self.filterdir_requests += other.filterdir_requests;
+        self.filterdir_hits += other.filterdir_hits;
+        self.broadcasts += other.broadcasts;
+        self.spmdir_probe_lookups += other.spmdir_probe_lookups;
+        self.dma_mappings += other.dma_mappings;
+        self.filter_invalidation_rounds += other.filter_invalidation_rounds;
+        self.filter_entries_invalidated += other.filter_entries_invalidated;
+        self.filter_eviction_notifies += other.filter_eviction_notifies;
+        self.filterdir_evictions += other.filterdir_evictions;
+        self.parallel_l1_lookups += other.parallel_l1_lookups;
+        self.lsq_recheck_notifications += other.lsq_recheck_notifications;
+    }
+
+    /// Exports the counters under `cohprot.*` names.
+    pub fn export(&self, stats: &mut StatRegistry) {
+        stats.add_count("cohprot.guarded_loads", self.guarded_loads);
+        stats.add_count("cohprot.guarded_stores", self.guarded_stores);
+        stats.add_count("cohprot.served_by_gm", self.served_by_gm);
+        stats.add_count("cohprot.local_spm_hits", self.local_spm_hits);
+        stats.add_count("cohprot.remote_spm_accesses", self.remote_spm_accesses);
+        stats.add_count("cohprot.filter.lookups", self.filter_lookups);
+        stats.add_count("cohprot.filter.hits", self.filter_hits);
+        stats.add_count("cohprot.filterdir.requests", self.filterdir_requests);
+        stats.add_count("cohprot.filterdir.hits", self.filterdir_hits);
+        stats.add_count("cohprot.broadcasts", self.broadcasts);
+        stats.add_count("cohprot.spmdir.probe_lookups", self.spmdir_probe_lookups);
+        stats.add_count("cohprot.dma_mappings", self.dma_mappings);
+        stats.add_count("cohprot.filter_invalidation_rounds", self.filter_invalidation_rounds);
+        stats.add_count("cohprot.filter_entries_invalidated", self.filter_entries_invalidated);
+        stats.add_count("cohprot.filter_eviction_notifies", self.filter_eviction_notifies);
+        stats.add_count("cohprot.filterdir.evictions", self.filterdir_evictions);
+        stats.add_count("cohprot.parallel_l1_lookups", self.parallel_l1_lookups);
+        stats.add_count("cohprot.lsq_recheck_notifications", self.lsq_recheck_notifications);
+        if let Some(ratio) = self.filter_hit_ratio() {
+            stats.set_value("cohprot.filter.hit_ratio", ratio);
+        }
+        stats.set_value("cohprot.diversion_ratio", self.diversion_ratio());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_handle_empty_runs() {
+        let s = ProtocolStats::new();
+        assert_eq!(s.guarded_accesses(), 0);
+        assert_eq!(s.filter_hit_ratio(), None);
+        assert_eq!(s.diversion_ratio(), 0.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let s = ProtocolStats {
+            guarded_loads: 80,
+            guarded_stores: 20,
+            filter_lookups: 100,
+            filter_hits: 92,
+            local_spm_hits: 5,
+            remote_spm_accesses: 5,
+            ..Default::default()
+        };
+        assert_eq!(s.guarded_accesses(), 100);
+        assert!((s.filter_hit_ratio().unwrap() - 0.92).abs() < 1e-12);
+        assert!((s.diversion_ratio() - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_adds_fields() {
+        let mut a = ProtocolStats {
+            guarded_loads: 1,
+            broadcasts: 2,
+            ..Default::default()
+        };
+        let b = ProtocolStats {
+            guarded_loads: 3,
+            broadcasts: 4,
+            filter_lookups: 10,
+            filter_hits: 9,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.guarded_loads, 4);
+        assert_eq!(a.broadcasts, 6);
+        assert_eq!(a.filter_lookups, 10);
+    }
+
+    #[test]
+    fn export_writes_registry_names() {
+        let s = ProtocolStats {
+            guarded_loads: 10,
+            filter_lookups: 10,
+            filter_hits: 9,
+            ..Default::default()
+        };
+        let mut reg = StatRegistry::new();
+        s.export(&mut reg);
+        assert_eq!(reg.count("cohprot.guarded_loads"), 10);
+        assert!((reg.value("cohprot.filter.hit_ratio") - 0.9).abs() < 1e-12);
+        assert!(reg.contains("cohprot.diversion_ratio"));
+    }
+}

@@ -1,0 +1,492 @@
+//! The per-core timing model.
+
+use std::collections::VecDeque;
+
+use serde::{Deserialize, Serialize};
+use simkernel::{Cycle, StatRegistry};
+
+use mem::Addr;
+use workloads::Phase;
+
+use crate::config::CoreConfig;
+use crate::lsq::LoadStoreQueue;
+
+/// Cycles spent in each execution phase (Figure 9's bar segments).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PhaseBreakdown {
+    cycles: [Cycle; 3],
+}
+
+impl PhaseBreakdown {
+    /// Cycles spent in `phase`.
+    pub fn phase(&self, phase: Phase) -> Cycle {
+        self.cycles[phase.index()]
+    }
+
+    /// Total cycles over all phases.
+    pub fn total(&self) -> Cycle {
+        self.cycles.iter().copied().sum()
+    }
+
+    /// Adds `cycles` to `phase`.
+    pub fn add(&mut self, phase: Phase, cycles: Cycle) {
+        self.cycles[phase.index()] += cycles;
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &PhaseBreakdown) {
+        for p in Phase::ALL {
+            self.cycles[p.index()] += other.cycles[p.index()];
+        }
+    }
+
+    /// Element-wise maximum (used to combine the parallel cores of a
+    /// fork-join region: the region ends when the slowest core ends).
+    pub fn max(&self, other: &PhaseBreakdown) -> PhaseBreakdown {
+        let mut out = PhaseBreakdown::default();
+        for p in Phase::ALL {
+            out.cycles[p.index()] = self.cycles[p.index()].max(other.cycles[p.index()]);
+        }
+        out
+    }
+}
+
+/// The timing model of one core executing its trace.
+///
+/// The system driver interprets the workload's [`workloads::TraceOp`]s,
+/// issues the memory operations to the hierarchy / SPMs / coherence protocol,
+/// and feeds the resulting latencies into this model, which decides how much
+/// of each latency the core actually stalls for.
+///
+/// # Example
+///
+/// ```
+/// use cpu::{CoreConfig, CoreTimingModel};
+/// use simkernel::Cycle;
+/// use workloads::Phase;
+///
+/// let mut core = CoreTimingModel::new(CoreConfig::isca2015());
+/// core.set_phase(Phase::Work);
+/// core.execute_compute(600);
+/// core.issue_memory_access(Cycle::new(2), false);   // an L1/SPM hit
+/// core.issue_memory_access(Cycle::new(200), false); // an overlapped miss
+/// core.drain_memory();
+/// assert!(core.now() > Cycle::new(100));
+/// assert_eq!(core.instructions(), 602);
+/// ```
+#[derive(Debug, Clone)]
+pub struct CoreTimingModel {
+    config: CoreConfig,
+    now: Cycle,
+    phase: Phase,
+    breakdown: PhaseBreakdown,
+    instructions: u64,
+    stall_cycles: u64,
+    memory_accesses: u64,
+    flushes: u64,
+    ifetches_due: u64,
+    /// Fractional issue-slot accumulator for memory operations.
+    mem_issue_accum: f64,
+    /// Bytes of code fetched since the last instruction-cache line fetch.
+    fetch_bytes_accum: u64,
+    /// Cursor into the kernel's code footprint for sequential fetches.
+    code_cursor: u64,
+    /// Completion times of in-flight long-latency misses (MLP window).
+    outstanding: VecDeque<Cycle>,
+    lsq: LoadStoreQueue,
+}
+
+impl CoreTimingModel {
+    /// Creates a core at cycle zero.
+    pub fn new(config: CoreConfig) -> Self {
+        CoreTimingModel {
+            lsq: LoadStoreQueue::new(config.lq_entries, config.sq_entries),
+            config,
+            now: Cycle::ZERO,
+            phase: Phase::Work,
+            breakdown: PhaseBreakdown::default(),
+            instructions: 0,
+            stall_cycles: 0,
+            memory_accesses: 0,
+            flushes: 0,
+            ifetches_due: 0,
+            mem_issue_accum: 0.0,
+            fetch_bytes_accum: 0,
+            code_cursor: 0,
+            outstanding: VecDeque::new(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Current cycle of this core.
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Instructions executed so far.
+    pub fn instructions(&self) -> u64 {
+        self.instructions
+    }
+
+    /// Cycles spent stalled on memory.
+    pub fn stall_cycles(&self) -> u64 {
+        self.stall_cycles
+    }
+
+    /// Demand memory accesses issued.
+    pub fn memory_accesses(&self) -> u64 {
+        self.memory_accesses
+    }
+
+    /// Pipeline flushes caused by ordering violations (§3.4).
+    pub fn flushes(&self) -> u64 {
+        self.flushes
+    }
+
+    /// Per-phase cycle breakdown.
+    pub fn breakdown(&self) -> &PhaseBreakdown {
+        &self.breakdown
+    }
+
+    /// Read access to the LSQ model.
+    pub fn lsq(&self) -> &LoadStoreQueue {
+        &self.lsq
+    }
+
+    /// Switches the phase subsequent cycles are accounted to.
+    pub fn set_phase(&mut self, phase: Phase) {
+        self.phase = phase;
+    }
+
+    /// The phase currently being accounted.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    fn advance(&mut self, cycles: Cycle, is_stall: bool) {
+        if cycles.is_zero() {
+            return;
+        }
+        self.now += cycles;
+        self.breakdown.add(self.phase, cycles);
+        if is_stall {
+            self.stall_cycles += cycles.as_u64();
+        }
+    }
+
+    /// Executes `insts` non-memory instructions.
+    pub fn execute_compute(&mut self, insts: u64) {
+        if insts == 0 {
+            return;
+        }
+        self.instructions += insts;
+        self.fetch_bytes_accum += insts * self.config.instruction_bytes;
+        let cycles = self.config.compute_cycles(insts);
+        self.advance(cycles, false);
+    }
+
+    /// Issues one memory access whose hierarchy latency is `latency`.
+    ///
+    /// `dependent` marks accesses whose result feeds the immediately
+    /// following work (pointer-chasing guarded accesses): they cannot be
+    /// hidden behind other misses, so the visible part of their latency
+    /// stalls the core.  Independent accesses (strided loads/stores) overlap
+    /// up to the configured memory-level parallelism.
+    pub fn issue_memory_access(&mut self, latency: Cycle, dependent: bool) {
+        self.memory_accesses += 1;
+        self.instructions += 1;
+        self.fetch_bytes_accum += self.config.instruction_bytes;
+
+        // Issue bandwidth: roughly three load/store units on a 6-wide core.
+        self.mem_issue_accum += 1.0 / 3.0;
+        if self.mem_issue_accum >= 1.0 {
+            self.mem_issue_accum -= 1.0;
+            self.advance(Cycle::new(1), false);
+        }
+
+        let hide = self.config.hide_window;
+        if latency <= hide && !dependent {
+            return;
+        }
+
+        if dependent {
+            // The consumer is waiting: only the ROB lookahead hides latency.
+            let visible = latency.saturating_sub(hide);
+            self.advance(visible, true);
+            return;
+        }
+
+        // Independent long-latency miss: overlap it with the other misses in
+        // flight, stalling only when the MLP window is exhausted.
+        let completion = self.now + latency;
+        if self.outstanding.len() >= self.config.mlp_width {
+            if let Some(earliest) = self.outstanding.pop_front() {
+                if earliest > self.now {
+                    let wait = earliest - self.now;
+                    self.advance(wait, true);
+                }
+            }
+        }
+        self.outstanding.push_back(completion);
+    }
+
+    /// Waits for every in-flight miss to complete (barriers, phase ends).
+    pub fn drain_memory(&mut self) {
+        let latest = self.outstanding.iter().copied().max().unwrap_or(Cycle::ZERO);
+        self.outstanding.clear();
+        if latest > self.now {
+            let wait = latest - self.now;
+            self.advance(wait, true);
+        }
+    }
+
+    /// Stalls the core until `cycle` (e.g. a `dma-synch` completion time).
+    pub fn stall_until(&mut self, cycle: Cycle) {
+        if cycle > self.now {
+            let wait = cycle - self.now;
+            self.advance(wait, true);
+        }
+    }
+
+    /// Advances the core's clock to `cycle` without accounting the wait to
+    /// any phase or to the stall counters.
+    ///
+    /// Used for fork-join barriers: the idle time of the early-finishing
+    /// cores is load imbalance of the parallel region, not a phase of the
+    /// transformed loop, and the paper's Figure 9 does not attribute it.
+    pub fn idle_until(&mut self, cycle: Cycle) {
+        if cycle > self.now {
+            self.now = cycle;
+        }
+    }
+
+    /// Records a retired memory operation in the LSQ window.
+    pub fn record_in_lsq(&mut self, addr: Addr, is_store: bool) {
+        self.lsq.record(addr, is_store);
+    }
+
+    /// Re-checks ordering after a guarded access was diverted to `spm_addr`
+    /// (§3.4).  Charges a pipeline flush if a violation is found and returns
+    /// `true` in that case.
+    pub fn recheck_ordering(&mut self, spm_addr: Addr, is_store: bool) -> bool {
+        if self.lsq.recheck(spm_addr, is_store) {
+            self.flushes += 1;
+            self.lsq.flush();
+            let penalty = self.config.flush_penalty();
+            self.advance(penalty, true);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Returns the instruction-cache line addresses that must be fetched to
+    /// cover the instructions executed since the last call.
+    ///
+    /// The fetch stream walks the kernel's code footprint sequentially and
+    /// wraps around, which is how loops behave.
+    pub fn take_due_ifetches(&mut self, code_base: Addr, code_size: u64) -> Vec<Addr> {
+        let line = 64;
+        let mut fetches = Vec::new();
+        while self.fetch_bytes_accum >= line {
+            self.fetch_bytes_accum -= line;
+            let addr = code_base + (self.code_cursor % code_size.max(line));
+            self.code_cursor += line;
+            fetches.push(addr);
+            self.ifetches_due += 1;
+        }
+        fetches
+    }
+
+    /// Applies the latency of one instruction fetch.
+    ///
+    /// Hits are fully pipelined; misses stall the front end for a fraction of
+    /// their latency.
+    pub fn apply_ifetch(&mut self, latency: Cycle, l1_hit: bool) {
+        if l1_hit {
+            return;
+        }
+        let stall = (latency.as_f64() * self.config.ifetch_stall_fraction).round() as u64;
+        self.advance(Cycle::new(stall), true);
+    }
+
+    /// Exports the core's counters under `cpu.*` names.
+    pub fn export_stats(&self, stats: &mut StatRegistry) {
+        stats.add_count("cpu.instructions", self.instructions);
+        stats.add_count("cpu.stall_cycles", self.stall_cycles);
+        stats.add_count("cpu.memory_accesses", self.memory_accesses);
+        stats.add_count("cpu.flushes", self.flushes);
+        stats.add_count("cpu.ifetch_lines", self.ifetches_due);
+        stats.add_count("cpu.cycles", self.now.as_u64());
+        for p in Phase::ALL {
+            stats.add_count(
+                &format!("cpu.phase.{}", p.label().to_lowercase()),
+                self.breakdown.phase(p).as_u64(),
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn core() -> CoreTimingModel {
+        CoreTimingModel::new(CoreConfig::isca2015())
+    }
+
+    #[test]
+    fn compute_advances_time_and_counts_instructions() {
+        let mut c = core();
+        c.execute_compute(60);
+        assert_eq!(c.instructions(), 60);
+        assert!(c.now() >= Cycle::new(10));
+        assert_eq!(c.stall_cycles(), 0);
+    }
+
+    #[test]
+    fn short_accesses_are_absorbed() {
+        let mut c = core();
+        for _ in 0..30 {
+            c.issue_memory_access(Cycle::new(2), false);
+        }
+        // Only issue-bandwidth cycles, no stalls.
+        assert_eq!(c.stall_cycles(), 0);
+        assert_eq!(c.memory_accesses(), 30);
+        assert!(c.now() <= Cycle::new(30));
+    }
+
+    #[test]
+    fn dependent_misses_pay_visible_latency() {
+        let mut c = core();
+        c.issue_memory_access(Cycle::new(200), true);
+        assert!(c.stall_cycles() >= 170, "got {}", c.stall_cycles());
+    }
+
+    #[test]
+    fn independent_misses_overlap_up_to_mlp() {
+        let mut a = core();
+        for _ in 0..8 {
+            a.issue_memory_access(Cycle::new(200), false);
+        }
+        a.drain_memory();
+        let overlapped = a.now();
+
+        let mut b = core();
+        for _ in 0..8 {
+            b.issue_memory_access(Cycle::new(200), true);
+        }
+        let serialized = b.now();
+        assert!(
+            overlapped < serialized / 2,
+            "8 independent misses ({overlapped}) should be much faster than serialized ({serialized})"
+        );
+    }
+
+    #[test]
+    fn mlp_window_limits_overlap() {
+        let mut c = core();
+        // Far more misses than the MLP width: the core must eventually stall.
+        for _ in 0..100 {
+            c.issue_memory_access(Cycle::new(200), false);
+        }
+        c.drain_memory();
+        assert!(c.stall_cycles() > 0);
+        assert!(c.now() > Cycle::new(200 * 100 / 8 / 2), "throughput bounded by MLP");
+    }
+
+    #[test]
+    fn phase_accounting_follows_set_phase() {
+        let mut c = core();
+        c.set_phase(Phase::Control);
+        c.execute_compute(120);
+        c.set_phase(Phase::Sync);
+        c.stall_until(c.now() + Cycle::new(50));
+        c.set_phase(Phase::Work);
+        c.execute_compute(600);
+        let b = c.breakdown();
+        assert!(b.phase(Phase::Control) > Cycle::ZERO);
+        assert_eq!(b.phase(Phase::Sync), Cycle::new(50));
+        assert!(b.phase(Phase::Work) > b.phase(Phase::Control));
+        assert_eq!(b.total(), c.now());
+    }
+
+    #[test]
+    fn stall_until_is_monotonic() {
+        let mut c = core();
+        c.execute_compute(600);
+        let t = c.now();
+        c.stall_until(Cycle::new(1)); // already past: no-op
+        assert_eq!(c.now(), t);
+        c.stall_until(t + Cycle::new(40));
+        assert_eq!(c.now(), t + Cycle::new(40));
+    }
+
+    #[test]
+    fn ordering_violation_costs_a_flush() {
+        let mut c = core();
+        c.record_in_lsq(Addr::new(0x9000), true);
+        let before = c.now();
+        assert!(c.recheck_ordering(Addr::new(0x9000), false));
+        assert_eq!(c.flushes(), 1);
+        assert!(c.now() > before);
+        // After the flush the window is clean.
+        assert!(!c.recheck_ordering(Addr::new(0x9000), false));
+    }
+
+    #[test]
+    fn ifetches_cover_executed_code() {
+        let mut c = core();
+        c.execute_compute(64); // 64 insts * 4 B = 4 lines of code
+        let fetches = c.take_due_ifetches(Addr::new(0x40_0000), 8 * 1024);
+        assert_eq!(fetches.len(), 4);
+        // Sequential lines.
+        assert_eq!(fetches[1] - fetches[0], 64);
+        // Nothing more until new instructions execute.
+        assert!(c.take_due_ifetches(Addr::new(0x40_0000), 8 * 1024).is_empty());
+        // Wrap-around inside the code footprint.
+        c.execute_compute(16 * 1024);
+        let many = c.take_due_ifetches(Addr::new(0x40_0000), 1024);
+        assert!(many.iter().all(|a| a.raw() < 0x40_0000 + 1024));
+    }
+
+    #[test]
+    fn ifetch_misses_stall_the_frontend() {
+        let mut c = core();
+        let t = c.now();
+        c.apply_ifetch(Cycle::new(40), true);
+        assert_eq!(c.now(), t);
+        c.apply_ifetch(Cycle::new(40), false);
+        assert_eq!(c.now(), t + Cycle::new(20));
+    }
+
+    #[test]
+    fn phase_breakdown_merge_and_max() {
+        let mut a = PhaseBreakdown::default();
+        a.add(Phase::Work, Cycle::new(10));
+        let mut b = PhaseBreakdown::default();
+        b.add(Phase::Work, Cycle::new(30));
+        b.add(Phase::Sync, Cycle::new(5));
+        let m = a.max(&b);
+        assert_eq!(m.phase(Phase::Work), Cycle::new(30));
+        assert_eq!(m.phase(Phase::Sync), Cycle::new(5));
+        a.merge(&b);
+        assert_eq!(a.phase(Phase::Work), Cycle::new(40));
+    }
+
+    #[test]
+    fn export_stats_includes_phases() {
+        let mut c = core();
+        c.set_phase(Phase::Work);
+        c.execute_compute(100);
+        let mut reg = StatRegistry::new();
+        c.export_stats(&mut reg);
+        assert_eq!(reg.count("cpu.instructions"), 100);
+        assert!(reg.contains("cpu.phase.work"));
+        assert!(reg.count("cpu.cycles") > 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Load/store-queue model for the consistency mechanism of §3.4.
+//!
+//! When a guarded access hits the SPMDir, its effective address changes from
+//! a GM virtual address to an SPM virtual address.  An out-of-order core may
+//! already have re-ordered it with respect to a strided access to the *same*
+//! SPM address, and the LSQ would not have flagged the violation because the
+//! original addresses differed.  The paper's fix is to notify the new SPM
+//! address to the LSQ, re-check the ordering and flush the pipeline on a
+//! violation.  [`LoadStoreQueue`] models the in-flight window and that
+//! re-check.
+
+use std::collections::VecDeque;
+
+use mem::Addr;
+
+/// One in-flight memory operation tracked by the LSQ window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct LsqEntry {
+    addr: Addr,
+    is_store: bool,
+}
+
+/// A simplified load/store queue: the window of memory operations that may
+/// still be in flight (and hence re-ordered) around the instruction being
+/// executed.
+///
+/// # Example
+///
+/// ```
+/// use cpu::LoadStoreQueue;
+/// use mem::Addr;
+///
+/// let mut lsq = LoadStoreQueue::new(48, 32);
+/// lsq.record(Addr::new(0x1000), true);
+/// // A diverted guarded load to the same address conflicts with the store.
+/// assert!(lsq.recheck(Addr::new(0x1000), false));
+/// // A different address does not.
+/// assert!(!lsq.recheck(Addr::new(0x2000), false));
+/// ```
+#[derive(Debug, Clone)]
+pub struct LoadStoreQueue {
+    lq_capacity: usize,
+    sq_capacity: usize,
+    loads: VecDeque<LsqEntry>,
+    stores: VecDeque<LsqEntry>,
+    rechecks: u64,
+    violations: u64,
+}
+
+impl LoadStoreQueue {
+    /// Creates a queue with the given load/store capacities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either capacity is zero.
+    pub fn new(lq_capacity: usize, sq_capacity: usize) -> Self {
+        assert!(lq_capacity > 0 && sq_capacity > 0, "LSQ capacities must be non-zero");
+        LoadStoreQueue {
+            lq_capacity,
+            sq_capacity,
+            loads: VecDeque::with_capacity(lq_capacity),
+            stores: VecDeque::with_capacity(sq_capacity),
+            rechecks: 0,
+            violations: 0,
+        }
+    }
+
+    /// Records a memory operation entering the window, retiring the oldest
+    /// one if the corresponding queue is full.
+    pub fn record(&mut self, addr: Addr, is_store: bool) {
+        let (queue, cap) = if is_store {
+            (&mut self.stores, self.sq_capacity)
+        } else {
+            (&mut self.loads, self.lq_capacity)
+        };
+        if queue.len() == cap {
+            queue.pop_front();
+        }
+        queue.push_back(LsqEntry { addr, is_store });
+    }
+
+    /// Re-checks ordering for an access whose effective address just changed
+    /// to `new_addr` (a diverted guarded access).
+    ///
+    /// Returns `true` if a violation is detected: some in-flight operation
+    /// targets the same address and at least one of the two is a store, so
+    /// the pipeline must be flushed.
+    pub fn recheck(&mut self, new_addr: Addr, is_store: bool) -> bool {
+        self.rechecks += 1;
+        let conflict = |e: &LsqEntry| e.addr == new_addr && (e.is_store || is_store);
+        let violation = self.loads.iter().any(conflict) || self.stores.iter().any(conflict);
+        if violation {
+            self.violations += 1;
+        }
+        violation
+    }
+
+    /// Empties the window (pipeline flush or barrier).
+    pub fn flush(&mut self) {
+        self.loads.clear();
+        self.stores.clear();
+    }
+
+    /// Number of in-flight operations currently tracked.
+    pub fn occupancy(&self) -> usize {
+        self.loads.len() + self.stores.len()
+    }
+
+    /// Number of ordering re-checks performed.
+    pub fn rechecks(&self) -> u64 {
+        self.rechecks
+    }
+
+    /// Number of ordering violations detected (each costs a pipeline flush).
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn detects_conflicts_only_with_a_store_involved() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.record(Addr::new(0x100), false);
+        // load vs load: no violation.
+        assert!(!lsq.recheck(Addr::new(0x100), false));
+        // load vs store: violation.
+        assert!(lsq.recheck(Addr::new(0x100), true));
+        lsq.record(Addr::new(0x200), true);
+        // store in window vs diverted load: violation.
+        assert!(lsq.recheck(Addr::new(0x200), false));
+        assert_eq!(lsq.rechecks(), 3);
+        assert_eq!(lsq.violations(), 2);
+    }
+
+    #[test]
+    fn window_is_bounded_and_fifo() {
+        let mut lsq = LoadStoreQueue::new(2, 2);
+        lsq.record(Addr::new(0x1), true);
+        lsq.record(Addr::new(0x2), true);
+        lsq.record(Addr::new(0x3), true);
+        // 0x1 fell out of the window.
+        assert!(!lsq.recheck(Addr::new(0x1), false));
+        assert!(lsq.recheck(Addr::new(0x3), false));
+        assert_eq!(lsq.occupancy(), 2);
+    }
+
+    #[test]
+    fn flush_empties_the_window() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.record(Addr::new(0x10), true);
+        lsq.flush();
+        assert_eq!(lsq.occupancy(), 0);
+        assert!(!lsq.recheck(Addr::new(0x10), false));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_panics() {
+        let _ = LoadStoreQueue::new(0, 4);
+    }
+}

@@ -1,0 +1,410 @@
+//! Generic set-associative cache tag array.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+use simkernel::{ByteSize, Cycle};
+
+use crate::addr::{LineAddr, LINE_BYTES};
+use crate::plru::TreePlru;
+
+/// Geometry and latency of one cache.
+///
+/// # Example
+///
+/// ```
+/// use mem::CacheConfig;
+/// use simkernel::{ByteSize, Cycle};
+///
+/// let l1d = CacheConfig::new("l1d", ByteSize::kib(32), 4, Cycle::new(2));
+/// assert_eq!(l1d.sets(), 128);
+/// assert_eq!(l1d.lines(), 512);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Human readable name used in statistics (`l1d`, `l2`, ...).
+    pub name: String,
+    /// Total capacity.
+    pub size: ByteSize,
+    /// Associativity (must be a power of two).
+    pub ways: usize,
+    /// Access latency.
+    pub latency: Cycle,
+}
+
+impl CacheConfig {
+    /// Creates a cache configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is degenerate (zero size, zero ways, ways not a
+    /// power of two, or fewer lines than ways).
+    pub fn new(name: &str, size: ByteSize, ways: usize, latency: Cycle) -> Self {
+        let cfg = CacheConfig {
+            name: name.to_owned(),
+            size,
+            ways,
+            latency,
+        };
+        assert!(ways > 0 && ways.is_power_of_two(), "ways must be a power of two");
+        assert!(cfg.lines() >= ways as u64, "cache must have at least one set");
+        cfg
+    }
+
+    /// Total number of cache lines.
+    pub fn lines(&self) -> u64 {
+        self.size.bytes() / LINE_BYTES
+    }
+
+    /// Number of sets.
+    pub fn sets(&self) -> u64 {
+        self.lines() / self.ways as u64
+    }
+}
+
+/// A line evicted by an insertion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EvictedLine<S> {
+    /// The address of the evicted line.
+    pub line: LineAddr,
+    /// The per-line state the cache was holding for it.
+    pub state: S,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Way<S> {
+    tag: u64,
+    valid: bool,
+    state: S,
+}
+
+/// A set-associative tag array with tree-pseudoLRU replacement.
+///
+/// The array stores a caller-defined state value `S` for every resident line
+/// (a MOESI state for coherent caches, a dirty bit for simpler ones).  Data
+/// values are not stored: the simulator is a timing model, the workload
+/// generators never depend on loaded values.
+///
+/// # Example
+///
+/// ```
+/// use mem::{CacheArray, CacheConfig, LineAddr};
+/// use simkernel::{ByteSize, Cycle};
+///
+/// let mut cache: CacheArray<bool> =
+///     CacheArray::new(CacheConfig::new("l1d", ByteSize::kib(1), 2, Cycle::new(2)));
+/// let line = LineAddr::new(7);
+/// assert!(cache.lookup(line).is_none());
+/// cache.insert(line, false);
+/// assert_eq!(cache.lookup(line), Some(&false));
+/// ```
+#[derive(Debug, Clone)]
+pub struct CacheArray<S> {
+    config: CacheConfig,
+    sets: Vec<Vec<Way<S>>>,
+    plru: Vec<TreePlru>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl<S: Clone> CacheArray<S> {
+    /// Creates an empty cache with the given geometry.
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets() as usize;
+        let ways = config.ways;
+        CacheArray {
+            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            plru: (0..sets).map(|_| TreePlru::new(ways)).collect(),
+            config,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    /// Access latency of the array.
+    pub fn latency(&self) -> Cycle {
+        self.config.latency
+    }
+
+    #[inline]
+    fn set_index(&self, line: LineAddr) -> usize {
+        (line.number() % self.config.sets()) as usize
+    }
+
+    #[inline]
+    fn tag(line: LineAddr) -> u64 {
+        line.number()
+    }
+
+    /// Looks up a line, updating hit/miss statistics and recency on a hit.
+    pub fn access(&mut self, line: LineAddr) -> Option<&mut S> {
+        let set_idx = self.set_index(line);
+        let tag = Self::tag(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.valid && w.tag == tag) {
+            self.hits += 1;
+            self.plru[set_idx].touch(pos);
+            return Some(&mut set[pos].state);
+        }
+        self.misses += 1;
+        None
+    }
+
+    /// Looks up a line without updating statistics or recency.
+    pub fn lookup(&self, line: LineAddr) -> Option<&S> {
+        let set_idx = self.set_index(line);
+        let tag = Self::tag(line);
+        self.sets[set_idx]
+            .iter()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| &w.state)
+    }
+
+    /// Mutable lookup without statistics or recency updates.
+    pub fn lookup_mut(&mut self, line: LineAddr) -> Option<&mut S> {
+        let set_idx = self.set_index(line);
+        let tag = Self::tag(line);
+        self.sets[set_idx]
+            .iter_mut()
+            .find(|w| w.valid && w.tag == tag)
+            .map(|w| &mut w.state)
+    }
+
+    /// Returns `true` if the line is resident.
+    pub fn contains(&self, line: LineAddr) -> bool {
+        self.lookup(line).is_some()
+    }
+
+    /// Inserts (or updates) a line and returns any line evicted to make room.
+    ///
+    /// If the line is already resident its state is replaced and no eviction
+    /// happens.
+    pub fn insert(&mut self, line: LineAddr, state: S) -> Option<EvictedLine<S>> {
+        let set_idx = self.set_index(line);
+        let tag = Self::tag(line);
+        let ways = self.config.ways;
+
+        if let Some(pos) = self.sets[set_idx].iter().position(|w| w.valid && w.tag == tag) {
+            self.sets[set_idx][pos].state = state;
+            self.plru[set_idx].touch(pos);
+            return None;
+        }
+
+        // Reuse an invalid way if one exists.
+        if let Some(pos) = self.sets[set_idx].iter().position(|w| !w.valid) {
+            self.sets[set_idx][pos] = Way { tag, valid: true, state };
+            self.plru[set_idx].touch(pos);
+            return None;
+        }
+
+        // Grow the set until the associativity limit is reached.
+        if self.sets[set_idx].len() < ways {
+            self.sets[set_idx].push(Way { tag, valid: true, state });
+            let pos = self.sets[set_idx].len() - 1;
+            self.plru[set_idx].touch(pos);
+            return None;
+        }
+
+        // Evict the pseudo-LRU victim.
+        let victim = self.plru[set_idx].victim();
+        let old = std::mem::replace(&mut self.sets[set_idx][victim], Way { tag, valid: true, state });
+        self.plru[set_idx].touch(victim);
+        self.evictions += 1;
+        Some(EvictedLine {
+            line: LineAddr::new(old.tag),
+            state: old.state,
+        })
+    }
+
+    /// Removes a line from the cache, returning its state if it was resident.
+    pub fn invalidate(&mut self, line: LineAddr) -> Option<S> {
+        let set_idx = self.set_index(line);
+        let tag = Self::tag(line);
+        let set = &mut self.sets[set_idx];
+        if let Some(pos) = set.iter().position(|w| w.valid && w.tag == tag) {
+            set[pos].valid = false;
+            return Some(set[pos].state.clone());
+        }
+        None
+    }
+
+    /// Removes every line, leaving statistics untouched.
+    pub fn invalidate_all(&mut self) {
+        for set in &mut self.sets {
+            for way in set.iter_mut() {
+                way.valid = false;
+            }
+        }
+    }
+
+    /// Iterates over all resident lines and their states.
+    pub fn resident_lines(&self) -> impl Iterator<Item = (LineAddr, &S)> {
+        self.sets
+            .iter()
+            .flat_map(|set| set.iter())
+            .filter(|w| w.valid)
+            .map(|w| (LineAddr::new(w.tag), &w.state))
+    }
+
+    /// Number of resident lines.
+    pub fn occupancy(&self) -> usize {
+        self.sets
+            .iter()
+            .map(|set| set.iter().filter(|w| w.valid).count())
+            .sum()
+    }
+
+    /// Number of recorded hits.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Number of recorded misses.
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Number of evictions caused by insertions.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Hit ratio over all recorded accesses, or zero if none.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+impl<S: Clone> fmt::Display for CacheArray<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: {} ways={} hits={} misses={} evictions={}",
+            self.config.name, self.config.size, self.config.ways, self.hits, self.misses, self.evictions
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_cache() -> CacheArray<u32> {
+        // 1 KiB, 2-way, 64 B lines -> 16 lines, 8 sets.
+        CacheArray::new(CacheConfig::new("test", ByteSize::kib(1), 2, Cycle::new(2)))
+    }
+
+    #[test]
+    fn config_geometry() {
+        let cfg = CacheConfig::new("l2", ByteSize::kib(256), 16, Cycle::new(15));
+        assert_eq!(cfg.lines(), 4096);
+        assert_eq!(cfg.sets(), 256);
+    }
+
+    #[test]
+    fn miss_then_hit() {
+        let mut c = tiny_cache();
+        let line = LineAddr::new(100);
+        assert!(c.access(line).is_none());
+        c.insert(line, 7);
+        assert_eq!(c.access(line).copied(), Some(7));
+        assert_eq!(c.hits(), 1);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_ratio() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn insert_same_line_updates_state_without_eviction() {
+        let mut c = tiny_cache();
+        let line = LineAddr::new(3);
+        assert!(c.insert(line, 1).is_none());
+        assert!(c.insert(line, 2).is_none());
+        assert_eq!(c.lookup(line), Some(&2));
+        assert_eq!(c.occupancy(), 1);
+    }
+
+    #[test]
+    fn conflict_eviction_in_one_set() {
+        let mut c = tiny_cache();
+        // Lines 0, 8, 16 all map to set 0 of an 8-set cache.
+        assert!(c.insert(LineAddr::new(0), 0).is_none());
+        assert!(c.insert(LineAddr::new(8), 1).is_none());
+        let evicted = c.insert(LineAddr::new(16), 2).expect("third line must evict");
+        assert!(evicted.line == LineAddr::new(0) || evicted.line == LineAddr::new(8));
+        assert_eq!(c.occupancy(), 2);
+        assert_eq!(c.evictions(), 1);
+    }
+
+    #[test]
+    fn invalidate_frees_way_for_reuse() {
+        let mut c = tiny_cache();
+        c.insert(LineAddr::new(0), 0);
+        c.insert(LineAddr::new(8), 1);
+        assert_eq!(c.invalidate(LineAddr::new(0)), Some(0));
+        assert!(!c.contains(LineAddr::new(0)));
+        // The freed way is reused without evicting line 8.
+        assert!(c.insert(LineAddr::new(16), 2).is_none());
+        assert!(c.contains(LineAddr::new(8)));
+        assert_eq!(c.invalidate(LineAddr::new(999)), None);
+    }
+
+    #[test]
+    fn invalidate_all_empties_cache() {
+        let mut c = tiny_cache();
+        for i in 0..10 {
+            c.insert(LineAddr::new(i), i as u32);
+        }
+        assert!(c.occupancy() > 0);
+        c.invalidate_all();
+        assert_eq!(c.occupancy(), 0);
+        assert_eq!(c.resident_lines().count(), 0);
+    }
+
+    #[test]
+    fn lookup_does_not_touch_stats() {
+        let mut c = tiny_cache();
+        c.insert(LineAddr::new(1), 1);
+        let _ = c.lookup(LineAddr::new(1));
+        let _ = c.lookup(LineAddr::new(2));
+        assert_eq!(c.hits(), 0);
+        assert_eq!(c.misses(), 0);
+        assert!(c.lookup_mut(LineAddr::new(1)).is_some());
+    }
+
+    #[test]
+    fn plru_keeps_hot_line_resident() {
+        let mut c = tiny_cache();
+        let hot = LineAddr::new(0);
+        c.insert(hot, 99);
+        // Stream conflicting lines through set 0 while re-touching the hot line.
+        for i in 1..50u64 {
+            let _ = c.access(hot);
+            c.insert(LineAddr::new(i * 8), i as u32);
+            assert!(c.contains(hot), "hot line evicted at iteration {i}");
+        }
+    }
+
+    #[test]
+    fn display_mentions_name() {
+        let c = tiny_cache();
+        assert!(c.to_string().contains("test"));
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_geometry_panics() {
+        let _ = CacheConfig::new("bad", ByteSize::bytes_exact(64), 4, Cycle::new(1));
+    }
+}

@@ -1,0 +1,919 @@
+//! The full global-memory hierarchy: private L1s, shared NUCA L2 with a MOESI
+//! directory, memory controllers, and the DMA bus requests of the hybrid
+//! memory system.
+//!
+//! This is a combined functional/timing model.  Tag state (which lines are
+//! where, in which MOESI state, and which cores the directory believes hold
+//! copies) is tracked exactly; every demand access returns a latency and
+//! injects into the [`Noc`] the packets the corresponding directory-protocol
+//! transaction would send, labelled with the message classes of the paper's
+//! Figure 10.
+
+use serde::{Deserialize, Serialize};
+use simkernel::{ByteSize, CoreId, Cycle, StatRegistry};
+
+use noc::{MessageClass, Noc, NocConfig};
+
+use crate::addr::{Addr, LineAddr, LINE_BYTES};
+use crate::cache::{CacheArray, CacheConfig};
+use crate::dram::{DramConfig, DramModel};
+use crate::moesi::{DirectoryEntry, MoesiState};
+use crate::mshr::MshrFile;
+use crate::prefetcher::{PrefetcherConfig, StridePrefetcher};
+
+/// The kind of demand access performed by a core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// A data load.
+    Load,
+    /// A data store.
+    Store,
+    /// An instruction fetch.
+    Ifetch,
+}
+
+impl AccessKind {
+    /// Returns `true` for stores.
+    pub fn is_write(self) -> bool {
+        matches!(self, AccessKind::Store)
+    }
+}
+
+/// Which level of the hierarchy ended up providing the data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ServedBy {
+    /// The core's own L1 cache.
+    L1,
+    /// The home slice of the shared NUCA L2.
+    L2,
+    /// A dirty copy forwarded from another core's L1.
+    RemoteL1,
+    /// Main memory.
+    Dram,
+}
+
+/// The outcome of a demand access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemAccessResult {
+    /// Total latency of the access, including all NoC legs.
+    pub latency: Cycle,
+    /// The level that provided the data.
+    pub served_by: ServedBy,
+    /// `true` if the access hit in the L1.
+    pub l1_hit: bool,
+}
+
+/// Configuration of the whole cache hierarchy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemorySystemConfig {
+    /// Number of cores / tiles.
+    pub cores: usize,
+    /// Private instruction cache configuration.
+    pub l1i: CacheConfig,
+    /// Private data cache configuration.
+    pub l1d: CacheConfig,
+    /// Per-tile slice of the shared NUCA L2.
+    pub l2_slice: CacheConfig,
+    /// Stride prefetcher attached to the L1 data cache.
+    pub prefetcher: PrefetcherConfig,
+    /// Main memory configuration.
+    pub dram: DramConfig,
+    /// MSHR entries per L1 data cache.
+    pub mshr_entries: usize,
+    /// Network configuration.
+    pub noc: NocConfig,
+}
+
+impl MemorySystemConfig {
+    /// The hybrid-memory-system configuration of Table 1: 32 KB L1 I/D,
+    /// 256 KB L2 slice per core, MOESI, mesh NoC.
+    pub fn isca2015(cores: usize) -> Self {
+        MemorySystemConfig {
+            cores,
+            l1i: CacheConfig::new("l1i", ByteSize::kib(32), 4, Cycle::new(2)),
+            l1d: CacheConfig::new("l1d", ByteSize::kib(32), 4, Cycle::new(2)),
+            l2_slice: CacheConfig::new("l2", ByteSize::kib(256), 16, Cycle::new(15)),
+            prefetcher: PrefetcherConfig::isca2015(),
+            dram: DramConfig::isca2015(),
+            mshr_entries: 16,
+            noc: NocConfig::isca2015(cores),
+        }
+    }
+
+    /// The cache-based baseline of §5.4: identical, but the L1 data cache is
+    /// enlarged to 64 KB to match the 32 KB L1 + 32 KB SPM capacity of the
+    /// hybrid system (same latency, as in the paper).
+    pub fn cache_baseline(cores: usize) -> Self {
+        let mut cfg = Self::isca2015(cores);
+        cfg.l1d = CacheConfig::new("l1d", ByteSize::kib(64), 4, Cycle::new(2));
+        cfg
+    }
+
+    /// A scaled-down configuration for fast tests and benches: the cache and
+    /// L2 sizes shrink with the core count so that scaled workloads keep the
+    /// same capacity relationships as the full machine.
+    pub fn small(cores: usize) -> Self {
+        MemorySystemConfig {
+            cores,
+            l1i: CacheConfig::new("l1i", ByteSize::kib(8), 4, Cycle::new(2)),
+            l1d: CacheConfig::new("l1d", ByteSize::kib(8), 4, Cycle::new(2)),
+            l2_slice: CacheConfig::new("l2", ByteSize::kib(64), 16, Cycle::new(15)),
+            prefetcher: PrefetcherConfig::isca2015(),
+            dram: DramConfig::isca2015(),
+            mshr_entries: 16,
+            noc: NocConfig::isca2015(cores),
+        }
+    }
+}
+
+impl Default for MemorySystemConfig {
+    fn default() -> Self {
+        Self::isca2015(64)
+    }
+}
+
+/// Aggregate hierarchy counters used for reports and the energy model.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HierarchyCounters {
+    /// L1 data cache accesses (loads + stores reaching the tag array).
+    pub l1d_accesses: u64,
+    /// L1 data cache hits.
+    pub l1d_hits: u64,
+    /// L1 instruction cache accesses.
+    pub l1i_accesses: u64,
+    /// L1 instruction cache hits.
+    pub l1i_hits: u64,
+    /// L2 slice accesses (demand + prefetch + DMA probes).
+    pub l2_accesses: u64,
+    /// L2 hits.
+    pub l2_hits: u64,
+    /// Lines read from or written to DRAM.
+    pub dram_accesses: u64,
+    /// Dirty lines written back from L1 to L2.
+    pub l1_writebacks: u64,
+    /// Lines evicted from L2 (with back-invalidation of L1 copies).
+    pub l2_evictions: u64,
+    /// Invalidation messages sent to L1 caches.
+    pub invalidations: u64,
+    /// Prefetch requests issued by the L1 prefetchers.
+    pub prefetches: u64,
+    /// Cache-to-cache forwards of dirty data.
+    pub forwards: u64,
+    /// DMA line reads (dma-get).
+    pub dma_line_reads: u64,
+    /// DMA line writes (dma-put).
+    pub dma_line_writes: u64,
+}
+
+/// The full memory hierarchy shared by all cores.
+///
+/// # Example
+///
+/// ```
+/// use mem::{AccessKind, Addr, MemorySystem, MemorySystemConfig};
+/// use noc::MessageClass;
+/// use simkernel::CoreId;
+///
+/// let mut memsys = MemorySystem::new(MemorySystemConfig::small(4));
+/// let first = memsys.access(CoreId::new(0), Addr::new(0x10_0000), AccessKind::Load,
+///                           MessageClass::Read, 1);
+/// let second = memsys.access(CoreId::new(0), Addr::new(0x10_0000), AccessKind::Load,
+///                            MessageClass::Read, 1);
+/// assert!(!first.l1_hit);
+/// assert!(second.l1_hit);
+/// assert!(second.latency < first.latency);
+/// ```
+#[derive(Debug)]
+pub struct MemorySystem {
+    config: MemorySystemConfig,
+    noc: Noc,
+    l1i: Vec<CacheArray<()>>,
+    l1d: Vec<CacheArray<MoesiState>>,
+    l2: Vec<CacheArray<DirectoryEntry>>,
+    prefetchers: Vec<StridePrefetcher>,
+    mshrs: Vec<MshrFile>,
+    dram: DramModel,
+    counters: HierarchyCounters,
+}
+
+impl MemorySystem {
+    /// Builds the hierarchy for the given configuration.
+    pub fn new(config: MemorySystemConfig) -> Self {
+        let cores = config.cores;
+        MemorySystem {
+            noc: Noc::new(config.noc),
+            l1i: (0..cores).map(|_| CacheArray::new(config.l1i.clone())).collect(),
+            l1d: (0..cores).map(|_| CacheArray::new(config.l1d.clone())).collect(),
+            l2: (0..cores).map(|_| CacheArray::new(config.l2_slice.clone())).collect(),
+            prefetchers: (0..cores).map(|_| StridePrefetcher::new(config.prefetcher)).collect(),
+            mshrs: (0..cores).map(|_| MshrFile::new(config.mshr_entries)).collect(),
+            dram: DramModel::new(config.dram.clone(), cores),
+            config,
+            counters: HierarchyCounters::default(),
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &MemorySystemConfig {
+        &self.config
+    }
+
+    /// Immutable access to the on-chip network (traffic counters).
+    pub fn noc(&self) -> &Noc {
+        &self.noc
+    }
+
+    /// Mutable access to the on-chip network.
+    ///
+    /// The SPM coherence protocol shares the NoC with the cache hierarchy; it
+    /// injects its own packets through this handle.
+    pub fn noc_mut(&mut self) -> &mut Noc {
+        &mut self.noc
+    }
+
+    /// Aggregate counters for reports and the energy model.
+    pub fn counters(&self) -> &HierarchyCounters {
+        &self.counters
+    }
+
+    /// Which L2 slice (core/tile index) is home for a line.
+    pub fn home_slice(&self, line: LineAddr) -> CoreId {
+        CoreId::new((line.number() % self.config.cores as u64) as usize)
+    }
+
+    /// Returns `true` if any L1 or L2 slice currently holds the line.
+    pub fn is_cached(&self, line: LineAddr) -> bool {
+        let home = self.home_slice(line);
+        if self.l2[home.index()].contains(line) {
+            return true;
+        }
+        self.l1d.iter().any(|l1| l1.contains(line))
+    }
+
+    /// MOESI state of the line in a particular core's L1 data cache.
+    pub fn l1_state(&self, core: CoreId, line: LineAddr) -> MoesiState {
+        self.l1d[core.index()]
+            .lookup(line)
+            .copied()
+            .unwrap_or(MoesiState::Invalid)
+    }
+
+    // ----------------------------------------------------------------- demand
+
+    /// Performs one demand access from `core` to `addr`.
+    ///
+    /// `class` selects the traffic group the generated packets are accounted
+    /// under (the paper separates instruction fetches, reads and writes).
+    /// `reference_id` identifies the memory instruction for the stride
+    /// prefetcher (the role the PC plays in hardware).
+    pub fn access(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+        class: MessageClass,
+        reference_id: u64,
+    ) -> MemAccessResult {
+        match kind {
+            AccessKind::Ifetch => self.ifetch(core, addr),
+            AccessKind::Load | AccessKind::Store => self.data_access(core, addr, kind, class, reference_id),
+        }
+    }
+
+    fn ifetch(&mut self, core: CoreId, addr: Addr) -> MemAccessResult {
+        let line = addr.line();
+        self.counters.l1i_accesses += 1;
+        let l1_latency = self.config.l1i.latency;
+        if self.l1i[core.index()].access(line).is_some() {
+            self.counters.l1i_hits += 1;
+            return MemAccessResult {
+                latency: l1_latency,
+                served_by: ServedBy::L1,
+                l1_hit: true,
+            };
+        }
+        // Instruction lines are read-only: fetch from the home L2 slice (or
+        // memory) without directory bookkeeping.
+        let (remote_latency, served_by) = self.fetch_into_l2(core, line, MessageClass::Ifetch);
+        self.l1i[core.index()].insert(line, ());
+        MemAccessResult {
+            latency: l1_latency + remote_latency,
+            served_by,
+            l1_hit: false,
+        }
+    }
+
+    fn data_access(
+        &mut self,
+        core: CoreId,
+        addr: Addr,
+        kind: AccessKind,
+        class: MessageClass,
+        reference_id: u64,
+    ) -> MemAccessResult {
+        let line = addr.line();
+        let is_write = kind.is_write();
+        self.counters.l1d_accesses += 1;
+        let l1_latency = self.config.l1d.latency;
+
+        let l1_state = self.l1d[core.index()].access(line).copied();
+
+        let result = match l1_state {
+            Some(state) if !is_write || state.can_write_silently() => {
+                // Plain hit.
+                self.counters.l1d_hits += 1;
+                if is_write {
+                    if let Some(s) = self.l1d[core.index()].lookup_mut(line) {
+                        *s = MoesiState::Modified;
+                    }
+                    self.set_directory_owner(core, line, MoesiState::Modified);
+                }
+                MemAccessResult {
+                    latency: l1_latency,
+                    served_by: ServedBy::L1,
+                    l1_hit: true,
+                }
+            }
+            Some(_) => {
+                // Write hit on a Shared/Owned line: upgrade (invalidate peers).
+                self.counters.l1d_hits += 1;
+                let upgrade_latency = self.upgrade_for_write(core, line, class);
+                if let Some(s) = self.l1d[core.index()].lookup_mut(line) {
+                    *s = MoesiState::Modified;
+                }
+                MemAccessResult {
+                    latency: l1_latency + upgrade_latency,
+                    served_by: ServedBy::L1,
+                    l1_hit: true,
+                }
+            }
+            None => {
+                // L1 miss: fetch through the home L2 slice.
+                let (fill_latency, served_by) = self.l1_miss_fill(core, line, is_write, class);
+                let _ = self.mshrs[core.index()].register(line, fill_latency);
+                self.mshrs[core.index()].retire(line);
+                MemAccessResult {
+                    latency: l1_latency + fill_latency,
+                    served_by,
+                    l1_hit: false,
+                }
+            }
+        };
+
+        // Train the stride prefetcher on every demand data access and bring
+        // the predicted lines into the L1 (their latency is off the critical
+        // path, but their traffic and cache pollution are real).
+        if self.config.prefetcher.enabled {
+            let predictions = self.prefetchers[core.index()].train(reference_id, addr);
+            for target in predictions {
+                self.prefetch_fill(core, target);
+            }
+        }
+
+        result
+    }
+
+    /// Handles an L1 load/store miss, returning `(latency beyond L1, source)`.
+    fn l1_miss_fill(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        is_write: bool,
+        class: MessageClass,
+    ) -> (Cycle, ServedBy) {
+        let home = self.home_slice(line);
+        let home_node = home.node();
+        let core_node = core.node();
+
+        // Request to the home slice.
+        let request = self.noc.send(core_node, home_node, class, 8);
+        let l2_latency = self.config.l2_slice.latency;
+        self.counters.l2_accesses += 1;
+
+        let l2_hit = self.l2[home.index()].access(line).is_some();
+        let (beyond_l2, served_by) = if l2_hit {
+            self.counters.l2_hits += 1;
+            let entry = *self.l2[home.index()].lookup(line).expect("hit line present");
+            if entry.has_dirty_owner() && entry.owner() != Some(core) {
+                // Forward from the dirty owner's L1 straight to the requestor.
+                let owner = entry.owner().expect("dirty owner");
+                self.counters.forwards += 1;
+                let fwd = self.noc.send(home_node, owner.node(), class, 8);
+                let data = self.noc.send(owner.node(), core_node, class, LINE_BYTES);
+                // Owner's copy: a read leaves it Owned; a write invalidates it.
+                if is_write {
+                    self.l1d[owner.index()].invalidate(line);
+                    self.counters.invalidations += 1;
+                } else if let Some(s) = self.l1d[owner.index()].lookup_mut(line) {
+                    *s = MoesiState::Owned;
+                }
+                (fwd + data, ServedBy::RemoteL1)
+            } else {
+                // Data supplied by the L2 slice.  A clean Exclusive owner in
+                // another L1 is downgraded to Shared so it can no longer
+                // write silently.
+                if let Some(owner) = entry.owner() {
+                    if owner != core && !entry.owner_state().is_dirty() {
+                        if let Some(s) = self.l1d[owner.index()].lookup_mut(line) {
+                            if *s == MoesiState::Exclusive {
+                                *s = MoesiState::Shared;
+                            }
+                        }
+                    }
+                }
+                let data = self.noc.send(home_node, core_node, class, LINE_BYTES);
+                (data, ServedBy::L2)
+            }
+        } else {
+            // L2 miss: fetch the line from memory into the home slice.
+            let dram_latency = self.dram_fetch(home, line, class);
+            let data = self.noc.send(home_node, core_node, class, LINE_BYTES);
+            (dram_latency + data, ServedBy::Dram)
+        };
+
+        // Invalidate other sharers on a write.
+        let invalidation_latency = if is_write {
+            self.invalidate_other_sharers(core, line, class)
+        } else {
+            Cycle::ZERO
+        };
+
+        // Update directory state at the home slice.
+        let new_state = if is_write {
+            MoesiState::Modified
+        } else {
+            let entry = self.l2[home.index()].lookup(line).copied().unwrap_or_default();
+            if entry.is_unshared() {
+                MoesiState::Exclusive
+            } else {
+                MoesiState::Shared
+            }
+        };
+        if let Some(entry) = self.l2[home.index()].lookup_mut(line) {
+            if is_write {
+                entry.clear_sharers();
+            }
+            entry.add_sharer(core, new_state);
+            if is_write {
+                entry.l2_dirty = true;
+            }
+        }
+
+        // Fill the L1, handling the victim.
+        self.fill_l1(core, line, new_state, class);
+
+        (
+            request + l2_latency + beyond_l2 + invalidation_latency,
+            served_by,
+        )
+    }
+
+    /// Write-upgrade of a line the core already holds in a shared state.
+    fn upgrade_for_write(&mut self, core: CoreId, line: LineAddr, class: MessageClass) -> Cycle {
+        let home = self.home_slice(line);
+        let rt = self
+            .noc
+            .round_trip(core.node(), home.node(), class, 8, 8);
+        let inv = self.invalidate_other_sharers(core, line, class);
+        if let Some(entry) = self.l2[home.index()].lookup_mut(line) {
+            entry.clear_sharers();
+            entry.add_sharer(core, MoesiState::Modified);
+            entry.l2_dirty = true;
+        }
+        rt + inv
+    }
+
+    /// Invalidates every L1 copy of `line` except the requestor's.
+    ///
+    /// Returns the extra latency on the critical path (the slowest
+    /// invalidation/ack round trip).  Invalidation traffic is accounted in
+    /// the write-back/replacement group, as in the paper.
+    fn invalidate_other_sharers(&mut self, requestor: CoreId, line: LineAddr, _class: MessageClass) -> Cycle {
+        let home = self.home_slice(line);
+        let entry = match self.l2[home.index()].lookup(line) {
+            Some(e) => *e,
+            None => return Cycle::ZERO,
+        };
+        let mut worst = Cycle::ZERO;
+        let sharers: Vec<CoreId> = entry.sharers_except(requestor).collect();
+        for sharer in sharers {
+            self.l1d[sharer.index()].invalidate(line);
+            self.counters.invalidations += 1;
+            let inv = self.noc.send(home.node(), sharer.node(), MessageClass::WbRepl, 8);
+            let ack = self.noc.send(sharer.node(), requestor.node(), MessageClass::WbRepl, 8);
+            worst = worst.max(inv + ack);
+        }
+        if let Some(e) = self.l2[home.index()].lookup_mut(line) {
+            let keep_requestor = e.is_sharer(requestor);
+            e.clear_sharers();
+            if keep_requestor {
+                e.add_sharer(requestor, MoesiState::Modified);
+            }
+        }
+        worst
+    }
+
+    /// Inserts a line into the requestor's L1, writing back the victim if dirty.
+    fn fill_l1(&mut self, core: CoreId, line: LineAddr, state: MoesiState, _class: MessageClass) {
+        if let Some(victim) = self.l1d[core.index()].insert(line, state) {
+            let victim_home = self.home_slice(victim.line);
+            if victim.state.is_dirty() {
+                // Write the dirty victim back to its home L2 slice.
+                self.counters.l1_writebacks += 1;
+                let _ = self
+                    .noc
+                    .send(core.node(), victim_home.node(), MessageClass::WbRepl, LINE_BYTES);
+                if let Some(entry) = self.l2[victim_home.index()].lookup_mut(victim.line) {
+                    entry.remove_sharer(core);
+                    entry.l2_dirty = true;
+                }
+            } else if let Some(entry) = self.l2[victim_home.index()].lookup_mut(victim.line) {
+                // Clean eviction: silently drop the sharer.
+                entry.remove_sharer(core);
+            }
+        }
+    }
+
+    /// Ensures `line` is present in its home L2 slice, fetching it from DRAM
+    /// if needed.  Returns the latency beyond the L2 lookup plus the source.
+    fn fetch_into_l2(&mut self, core: CoreId, line: LineAddr, class: MessageClass) -> (Cycle, ServedBy) {
+        let home = self.home_slice(line);
+        let request = self.noc.send(core.node(), home.node(), class, 8);
+        self.counters.l2_accesses += 1;
+        let l2_latency = self.config.l2_slice.latency;
+        if self.l2[home.index()].access(line).is_some() {
+            self.counters.l2_hits += 1;
+            let data = self.noc.send(home.node(), core.node(), class, LINE_BYTES);
+            (request + l2_latency + data, ServedBy::L2)
+        } else {
+            let dram = self.dram_fetch(home, line, class);
+            let data = self.noc.send(home.node(), core.node(), class, LINE_BYTES);
+            (request + l2_latency + dram + data, ServedBy::Dram)
+        }
+    }
+
+    /// Fetches a line from DRAM into the home L2 slice (allocating it there)
+    /// and returns the latency of the DRAM leg.
+    fn dram_fetch(&mut self, home: CoreId, line: LineAddr, class: MessageClass) -> Cycle {
+        self.counters.dram_accesses += 1;
+        let mem_node = self.dram.node_for(line);
+        let to_mem = self.noc.send(home.node(), mem_node, class, 8);
+        let dram_latency = self.dram.access(line);
+        let back = self.noc.send(mem_node, home.node(), class, LINE_BYTES);
+        self.allocate_in_l2(home, line, DirectoryEntry::new());
+        to_mem + dram_latency + back
+    }
+
+    /// Inserts a directory entry in the home L2 slice, handling the eviction
+    /// of the victim line (back-invalidation of L1 copies, write-back of dirty
+    /// data to memory).
+    fn allocate_in_l2(&mut self, home: CoreId, line: LineAddr, entry: DirectoryEntry) {
+        if let Some(victim) = self.l2[home.index()].insert(line, entry) {
+            self.counters.l2_evictions += 1;
+            // Back-invalidate every L1 holding the victim (inclusive L2).
+            let mut any_dirty_l1 = false;
+            let sharers: Vec<CoreId> = victim.state.sharers().collect();
+            for sharer in sharers {
+                if let Some(state) = self.l1d[sharer.index()].invalidate(victim.line) {
+                    any_dirty_l1 |= state.is_dirty();
+                }
+                self.counters.invalidations += 1;
+                let _ = self
+                    .noc
+                    .send(home.node(), sharer.node(), MessageClass::WbRepl, 8);
+                let _ = self
+                    .noc
+                    .send(sharer.node(), home.node(), MessageClass::WbRepl, 8);
+            }
+            if victim.state.l2_dirty || any_dirty_l1 {
+                // Write the dirty victim back to memory.
+                self.counters.dram_accesses += 1;
+                let mem_node = self.dram.node_for(victim.line);
+                let _ = self
+                    .noc
+                    .send(home.node(), mem_node, MessageClass::WbRepl, LINE_BYTES);
+                let _ = self.dram.write(victim.line);
+            }
+        }
+    }
+
+    /// Brings a prefetched line into the L1 (off the critical path).
+    fn prefetch_fill(&mut self, core: CoreId, line: LineAddr) {
+        if self.l1d[core.index()].contains(line) {
+            return;
+        }
+        self.counters.prefetches += 1;
+        let home = self.home_slice(line);
+        // Prefetch request + data response are real traffic (Read group).
+        let _ = self.noc.send(core.node(), home.node(), MessageClass::Read, 8);
+        self.counters.l2_accesses += 1;
+        if self.l2[home.index()].access(line).is_none() {
+            self.dram_prefetch_fill(home, line);
+        } else {
+            self.counters.l2_hits += 1;
+        }
+        let _ = self.noc.send(home.node(), core.node(), MessageClass::Read, LINE_BYTES);
+        let state = {
+            let entry = self.l2[home.index()].lookup(line).copied().unwrap_or_default();
+            if entry.is_unshared() {
+                MoesiState::Exclusive
+            } else {
+                MoesiState::Shared
+            }
+        };
+        if let Some(entry) = self.l2[home.index()].lookup_mut(line) {
+            entry.add_sharer(core, state);
+        }
+        self.fill_l1(core, line, state, MessageClass::Read);
+    }
+
+    fn dram_prefetch_fill(&mut self, home: CoreId, line: LineAddr) {
+        self.counters.dram_accesses += 1;
+        let mem_node = self.dram.node_for(line);
+        let _ = self.noc.send(home.node(), mem_node, MessageClass::Read, 8);
+        let _ = self.dram.access(line);
+        let _ = self.noc.send(mem_node, home.node(), MessageClass::Read, LINE_BYTES);
+        self.allocate_in_l2(home, line, DirectoryEntry::new());
+    }
+
+    fn set_directory_owner(&mut self, core: CoreId, line: LineAddr, state: MoesiState) {
+        let home = self.home_slice(line);
+        if let Some(entry) = self.l2[home.index()].lookup_mut(line) {
+            entry.add_sharer(core, state);
+            entry.l2_dirty = true;
+        }
+    }
+
+    // ------------------------------------------------------------------- DMA
+
+    /// Reads one line on behalf of a `dma-get`, snooping the caches.
+    ///
+    /// As described in §2.1 of the paper, the bus request looks for the data
+    /// in the caches and reads the freshest copy from there; otherwise it
+    /// reads main memory.  Cache state is not disturbed.
+    pub fn dma_get_line(&mut self, requestor: CoreId, line: LineAddr) -> Cycle {
+        self.counters.dma_line_reads += 1;
+        let home = self.home_slice(line);
+        let request = self.noc.send(requestor.node(), home.node(), MessageClass::Dma, 8);
+        self.counters.l2_accesses += 1;
+        let l2_latency = self.config.l2_slice.latency;
+
+        let entry = self.l2[home.index()].lookup(line).copied();
+        let beyond = match entry {
+            Some(e) if e.has_dirty_owner() => {
+                self.counters.l2_hits += 1;
+                self.counters.forwards += 1;
+                let owner = e.owner().expect("dirty owner");
+                let fwd = self.noc.send(home.node(), owner.node(), MessageClass::Dma, 8);
+                let data = self
+                    .noc
+                    .send(owner.node(), requestor.node(), MessageClass::Dma, LINE_BYTES);
+                fwd + data
+            }
+            Some(_) => {
+                self.counters.l2_hits += 1;
+                self.noc
+                    .send(home.node(), requestor.node(), MessageClass::Dma, LINE_BYTES)
+            }
+            None => {
+                self.counters.dram_accesses += 1;
+                let mem_node = self.dram.node_for(line);
+                let to_mem = self.noc.send(home.node(), mem_node, MessageClass::Dma, 8);
+                let dram = self.dram.access(line);
+                let data = self
+                    .noc
+                    .send(mem_node, requestor.node(), MessageClass::Dma, LINE_BYTES);
+                to_mem + dram + data
+            }
+        };
+        request + l2_latency + beyond
+    }
+
+    /// Writes one line on behalf of a `dma-put`.
+    ///
+    /// The data is copied from the SPM to main memory and the line is
+    /// invalidated in the whole cache hierarchy (§2.1 of the paper).
+    pub fn dma_put_line(&mut self, requestor: CoreId, line: LineAddr) -> Cycle {
+        self.counters.dma_line_writes += 1;
+        let home = self.home_slice(line);
+        let data = self
+            .noc
+            .send(requestor.node(), home.node(), MessageClass::Dma, LINE_BYTES);
+        self.counters.l2_accesses += 1;
+        let l2_latency = self.config.l2_slice.latency;
+
+        // Invalidate every cached copy.
+        if let Some(entry) = self.l2[home.index()].lookup(line).copied() {
+            let sharers: Vec<CoreId> = entry.sharers().collect();
+            for sharer in sharers {
+                self.l1d[sharer.index()].invalidate(line);
+                self.counters.invalidations += 1;
+                let _ = self.noc.send(home.node(), sharer.node(), MessageClass::Dma, 8);
+                let _ = self.noc.send(sharer.node(), home.node(), MessageClass::Dma, 8);
+            }
+            self.l2[home.index()].invalidate(line);
+        }
+
+        // Write the line to memory.
+        self.counters.dram_accesses += 1;
+        let mem_node = self.dram.node_for(line);
+        let to_mem = self.noc.send(home.node(), mem_node, MessageClass::Dma, LINE_BYTES);
+        let dram = self.dram.write(line);
+        let ack = self.noc.send(mem_node, requestor.node(), MessageClass::Dma, 8);
+        data + l2_latency + to_mem + dram + ack
+    }
+
+    // ----------------------------------------------------------------- stats
+
+    /// Exports the hierarchy counters into a [`StatRegistry`], together with
+    /// the NoC traffic.
+    pub fn export_stats(&self, stats: &mut StatRegistry) {
+        let c = &self.counters;
+        stats.add_count("mem.l1d.accesses", c.l1d_accesses);
+        stats.add_count("mem.l1d.hits", c.l1d_hits);
+        stats.add_count("mem.l1d.misses", c.l1d_accesses - c.l1d_hits);
+        stats.add_count("mem.l1i.accesses", c.l1i_accesses);
+        stats.add_count("mem.l1i.hits", c.l1i_hits);
+        stats.add_count("mem.l2.accesses", c.l2_accesses);
+        stats.add_count("mem.l2.hits", c.l2_hits);
+        stats.add_count("mem.dram.accesses", c.dram_accesses);
+        stats.add_count("mem.l1.writebacks", c.l1_writebacks);
+        stats.add_count("mem.l2.evictions", c.l2_evictions);
+        stats.add_count("mem.invalidations", c.invalidations);
+        stats.add_count("mem.prefetches", c.prefetches);
+        stats.add_count("mem.forwards", c.forwards);
+        stats.add_count("mem.dma.line_reads", c.dma_line_reads);
+        stats.add_count("mem.dma.line_writes", c.dma_line_writes);
+        if c.l1d_accesses > 0 {
+            stats.set_value(
+                "mem.l1d.hit_ratio",
+                c.l1d_hits as f64 / c.l1d_accesses as f64,
+            );
+        }
+        self.noc.export_stats(stats);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_system() -> MemorySystem {
+        MemorySystem::new(MemorySystemConfig::small(4))
+    }
+
+    #[test]
+    fn config_constructors_match_table1() {
+        let cfg = MemorySystemConfig::isca2015(64);
+        assert_eq!(cfg.l1d.size, ByteSize::kib(32));
+        assert_eq!(cfg.l2_slice.size, ByteSize::kib(256));
+        assert_eq!(cfg.l1d.latency, Cycle::new(2));
+        assert_eq!(cfg.l2_slice.latency, Cycle::new(15));
+        let base = MemorySystemConfig::cache_baseline(64);
+        assert_eq!(base.l1d.size, ByteSize::kib(64));
+        assert_eq!(base.l1d.latency, Cycle::new(2));
+    }
+
+    #[test]
+    fn load_miss_then_hit() {
+        let mut m = small_system();
+        let a = Addr::new(0x4_0000);
+        let miss = m.access(CoreId::new(0), a, AccessKind::Load, MessageClass::Read, 1);
+        assert!(!miss.l1_hit);
+        assert_eq!(miss.served_by, ServedBy::Dram);
+        let hit = m.access(CoreId::new(0), a, AccessKind::Load, MessageClass::Read, 1);
+        assert!(hit.l1_hit);
+        assert_eq!(hit.served_by, ServedBy::L1);
+        assert_eq!(hit.latency, Cycle::new(2));
+    }
+
+    #[test]
+    fn second_core_hits_in_l2() {
+        let mut m = small_system();
+        let a = Addr::new(0x8_0000);
+        let _ = m.access(CoreId::new(0), a, AccessKind::Load, MessageClass::Read, 1);
+        let r = m.access(CoreId::new(1), a, AccessKind::Load, MessageClass::Read, 1);
+        assert!(!r.l1_hit);
+        assert_eq!(r.served_by, ServedBy::L2);
+    }
+
+    #[test]
+    fn dirty_line_is_forwarded_from_remote_l1() {
+        let mut m = small_system();
+        let a = Addr::new(0xc_0000);
+        let _ = m.access(CoreId::new(0), a, AccessKind::Store, MessageClass::Write, 1);
+        assert_eq!(m.l1_state(CoreId::new(0), a.line()), MoesiState::Modified);
+        let r = m.access(CoreId::new(2), a, AccessKind::Load, MessageClass::Read, 2);
+        assert_eq!(r.served_by, ServedBy::RemoteL1);
+        // The old owner keeps an Owned copy after forwarding a read.
+        assert_eq!(m.l1_state(CoreId::new(0), a.line()), MoesiState::Owned);
+    }
+
+    #[test]
+    fn store_invalidates_other_sharers() {
+        let mut m = small_system();
+        let a = Addr::new(0x10_0000);
+        let _ = m.access(CoreId::new(0), a, AccessKind::Load, MessageClass::Read, 1);
+        let _ = m.access(CoreId::new(1), a, AccessKind::Load, MessageClass::Read, 1);
+        let _ = m.access(CoreId::new(2), a, AccessKind::Store, MessageClass::Write, 1);
+        assert_eq!(m.l1_state(CoreId::new(0), a.line()), MoesiState::Invalid);
+        assert_eq!(m.l1_state(CoreId::new(1), a.line()), MoesiState::Invalid);
+        assert_eq!(m.l1_state(CoreId::new(2), a.line()), MoesiState::Modified);
+        assert!(m.counters().invalidations >= 2);
+    }
+
+    #[test]
+    fn write_upgrade_on_shared_hit() {
+        let mut m = small_system();
+        let a = Addr::new(0x14_0000);
+        let _ = m.access(CoreId::new(0), a, AccessKind::Load, MessageClass::Read, 1);
+        let _ = m.access(CoreId::new(1), a, AccessKind::Load, MessageClass::Read, 1);
+        // Core 0 hits its Shared copy with a store: requires an upgrade.
+        let r = m.access(CoreId::new(0), a, AccessKind::Store, MessageClass::Write, 1);
+        assert!(r.l1_hit);
+        assert!(r.latency > Cycle::new(2), "upgrade must cost more than a plain hit");
+        assert_eq!(m.l1_state(CoreId::new(0), a.line()), MoesiState::Modified);
+        assert_eq!(m.l1_state(CoreId::new(1), a.line()), MoesiState::Invalid);
+    }
+
+    #[test]
+    fn ifetch_uses_l1i() {
+        let mut m = small_system();
+        let a = Addr::new(0x100);
+        let first = m.access(CoreId::new(0), a, AccessKind::Ifetch, MessageClass::Ifetch, 0);
+        let second = m.access(CoreId::new(0), a, AccessKind::Ifetch, MessageClass::Ifetch, 0);
+        assert!(!first.l1_hit);
+        assert!(second.l1_hit);
+        assert!(m.noc().traffic().packets(MessageClass::Ifetch) > 0);
+        assert_eq!(m.counters().l1i_accesses, 2);
+    }
+
+    #[test]
+    fn dma_get_reads_dirty_copy_from_cache() {
+        let mut m = small_system();
+        let a = Addr::new(0x20_0000);
+        let _ = m.access(CoreId::new(3), a, AccessKind::Store, MessageClass::Write, 1);
+        let before = m.counters().forwards;
+        let lat = m.dma_get_line(CoreId::new(0), a.line());
+        assert!(lat > Cycle::ZERO);
+        assert_eq!(m.counters().forwards, before + 1, "dma-get must snoop the dirty L1 copy");
+        assert!(m.noc().traffic().packets(MessageClass::Dma) > 0);
+        // The owner keeps its copy: dma-get does not invalidate.
+        assert!(m.l1_state(CoreId::new(3), a.line()).is_valid());
+    }
+
+    #[test]
+    fn dma_put_invalidates_whole_hierarchy() {
+        let mut m = small_system();
+        let a = Addr::new(0x24_0000);
+        let _ = m.access(CoreId::new(1), a, AccessKind::Load, MessageClass::Read, 1);
+        let _ = m.access(CoreId::new(2), a, AccessKind::Load, MessageClass::Read, 1);
+        assert!(m.is_cached(a.line()));
+        let lat = m.dma_put_line(CoreId::new(0), a.line());
+        assert!(lat > Cycle::ZERO);
+        assert!(!m.is_cached(a.line()), "dma-put must invalidate caches");
+        assert_eq!(m.counters().dma_line_writes, 1);
+        assert_eq!(m.l1_state(CoreId::new(1), a.line()), MoesiState::Invalid);
+    }
+
+    #[test]
+    fn dma_get_from_memory_when_uncached() {
+        let mut m = small_system();
+        let lat = m.dma_get_line(CoreId::new(0), Addr::new(0x30_0000).line());
+        assert!(lat >= Cycle::new(200), "must include the DRAM latency");
+        assert_eq!(m.counters().dma_line_reads, 1);
+    }
+
+    #[test]
+    fn strided_stream_triggers_prefetches_and_pollution() {
+        let mut m = small_system();
+        // March through 512 lines with a unit stride from one core.
+        for i in 0..512u64 {
+            let addr = Addr::new(0x40_0000 + i * 64);
+            let _ = m.access(CoreId::new(0), addr, AccessKind::Load, MessageClass::Read, 7);
+        }
+        assert!(m.counters().prefetches > 0, "stride prefetcher must kick in");
+        // The L1 only has 128 lines in the small config, so evictions happened.
+        assert!(m.counters().l1d_accesses >= 512);
+    }
+
+    #[test]
+    fn export_stats_has_core_counters() {
+        let mut m = small_system();
+        let _ = m.access(CoreId::new(0), Addr::new(0x1000), AccessKind::Load, MessageClass::Read, 1);
+        let mut stats = StatRegistry::new();
+        m.export_stats(&mut stats);
+        assert_eq!(stats.count("mem.l1d.accesses"), 1);
+        assert!(stats.contains("mem.l1d.hit_ratio"));
+        assert!(stats.count("noc.total.packets") > 0);
+    }
+
+    #[test]
+    fn home_slice_interleaves_lines() {
+        let m = small_system();
+        let homes: Vec<usize> = (0..8)
+            .map(|i| m.home_slice(LineAddr::new(i)).index())
+            .collect();
+        assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+}

@@ -1,0 +1,40 @@
+//! 2D-mesh network-on-chip model.
+//!
+//! The paper evaluates a 64-core manycore connected by a mesh with 1-cycle
+//! links and 1-cycle routers (Table 1).  The NoC model in this crate provides
+//! the three things the rest of the simulator needs from the interconnect:
+//!
+//! 1. **Latency** — how many cycles a message takes between two tiles, using
+//!    dimension-ordered (XY) routing with a simple utilisation-driven
+//!    contention penalty.
+//! 2. **Traffic accounting** — packet and flit counts per message class
+//!    (instruction fetch, data read, data write, write-back/replacement, DMA
+//!    and coherence-protocol traffic), which regenerates the paper's
+//!    Figure 10.
+//! 3. **Energy hooks** — hop-weighted flit counts that the energy model
+//!    converts into router/link energy.
+//!
+//! # Example
+//!
+//! ```
+//! use noc::{MeshTopology, MessageClass, Noc, NocConfig};
+//! use simkernel::NodeId;
+//!
+//! let mut noc = Noc::new(NocConfig::isca2015(64));
+//! let lat = noc.send(NodeId::new(0), NodeId::new(63), MessageClass::Read, 8);
+//! assert!(lat.as_u64() >= 14, "corner-to-corner on an 8x8 mesh is at least 14 hops");
+//! assert_eq!(noc.traffic().packets(MessageClass::Read), 1);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod network;
+pub mod packet;
+pub mod topology;
+pub mod traffic;
+
+pub use network::{Noc, NocConfig};
+pub use packet::{MessageClass, PacketKind, CONTROL_PACKET_BYTES, DATA_PACKET_BYTES};
+pub use topology::MeshTopology;
+pub use traffic::TrafficAccountant;

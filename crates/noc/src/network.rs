@@ -1,0 +1,303 @@
+//! The network model proper: latency computation and traffic recording.
+
+use serde::{Deserialize, Serialize};
+use simkernel::{Cycle, NodeId, StatRegistry};
+
+use crate::packet::{MessageClass, PacketKind};
+use crate::topology::MeshTopology;
+use crate::traffic::TrafficAccountant;
+
+/// Configuration of the on-chip network.
+///
+/// The defaults follow Table 1 of the paper: a mesh with 1-cycle links and
+/// 1-cycle routers.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NocConfig {
+    /// Mesh topology (8×8 for the 64-core configuration).
+    pub topology: MeshTopology,
+    /// Cycles to traverse one link.
+    pub link_latency: Cycle,
+    /// Cycles spent in each router.
+    pub router_latency: Cycle,
+    /// Strength of the utilisation-driven contention penalty.
+    ///
+    /// The added queueing delay per hop is
+    /// `contention_factor · ρ² / (1 − ρ)` cycles, where ρ is the link
+    /// utilisation estimate fed through [`Noc::set_utilization`].  With the
+    /// paper's workloads ρ stays low, so the penalty is small — exactly the
+    /// behaviour the paper reports ("contention in the filterDir is very
+    /// low").
+    pub contention_factor: f64,
+}
+
+impl NocConfig {
+    /// The paper's NoC configuration for a machine with `cores` tiles.
+    pub fn isca2015(cores: usize) -> Self {
+        NocConfig {
+            topology: MeshTopology::square_for(cores),
+            link_latency: Cycle::new(1),
+            router_latency: Cycle::new(1),
+            contention_factor: 4.0,
+        }
+    }
+}
+
+impl Default for NocConfig {
+    fn default() -> Self {
+        Self::isca2015(64)
+    }
+}
+
+/// The on-chip network: computes message latencies and accounts traffic.
+///
+/// # Example
+///
+/// ```
+/// use noc::{MessageClass, Noc, NocConfig};
+/// use simkernel::NodeId;
+///
+/// let mut noc = Noc::new(NocConfig::isca2015(16));
+/// let lat = noc.send(NodeId::new(0), NodeId::new(15), MessageClass::Write, 64);
+/// assert!(lat.as_u64() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Noc {
+    config: NocConfig,
+    traffic: TrafficAccountant,
+    utilization: f64,
+}
+
+impl Noc {
+    /// Creates a network with the given configuration.
+    pub fn new(config: NocConfig) -> Self {
+        Noc {
+            config,
+            traffic: TrafficAccountant::new(),
+            utilization: 0.0,
+        }
+    }
+
+    /// Returns the network configuration.
+    pub fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    /// Returns the topology.
+    pub fn topology(&self) -> &MeshTopology {
+        &self.config.topology
+    }
+
+    /// Updates the link-utilisation estimate ρ used by the contention model.
+    ///
+    /// The value is clamped to `[0, 0.95]` so the queueing term stays finite.
+    pub fn set_utilization(&mut self, rho: f64) {
+        self.utilization = rho.clamp(0.0, 0.95);
+    }
+
+    /// Current link-utilisation estimate.
+    pub fn utilization(&self) -> f64 {
+        self.utilization
+    }
+
+    fn packet_kind(payload_bytes: u64) -> PacketKind {
+        if payload_bytes >= 32 {
+            PacketKind::Data
+        } else {
+            PacketKind::Control
+        }
+    }
+
+    fn hop_latency(&self) -> u64 {
+        self.config.link_latency.as_u64() + self.config.router_latency.as_u64()
+    }
+
+    fn contention_delay_per_hop(&self) -> f64 {
+        let rho = self.utilization;
+        if rho <= 0.0 {
+            0.0
+        } else {
+            self.config.contention_factor * rho * rho / (1.0 - rho)
+        }
+    }
+
+    /// Latency of a packet between two nodes *without* recording traffic.
+    ///
+    /// Useful for "ideal" oracle models that must not perturb the traffic
+    /// statistics.
+    pub fn latency(&self, from: NodeId, to: NodeId, payload_bytes: u64) -> Cycle {
+        let hops = self.config.topology.hops(from, to).max(1);
+        let kind = Self::packet_kind(payload_bytes);
+        let serialization = kind.flits().saturating_sub(1);
+        let contention = (self.contention_delay_per_hop() * hops as f64).round() as u64;
+        Cycle::new(hops * self.hop_latency() + serialization + contention)
+    }
+
+    /// Sends one packet and returns its latency, recording the traffic.
+    ///
+    /// `payload_bytes` chooses between control packets (< 32 bytes: requests,
+    /// acks, invalidations) and data packets (a cache line).
+    pub fn send(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: MessageClass,
+        payload_bytes: u64,
+    ) -> Cycle {
+        let hops = self.config.topology.hops(from, to).max(1);
+        let kind = Self::packet_kind(payload_bytes);
+        self.traffic.record(class, kind, hops);
+        self.latency(from, to, payload_bytes)
+    }
+
+    /// Sends a request/response pair and returns the round-trip latency.
+    pub fn round_trip(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: MessageClass,
+        request_bytes: u64,
+        response_bytes: u64,
+    ) -> Cycle {
+        let there = self.send(from, to, class, request_bytes);
+        let back = self.send(to, from, class, response_bytes);
+        there + back
+    }
+
+    /// Broadcasts a control packet from `from` to every other node and
+    /// collects one control response from each.
+    ///
+    /// Returns the latency until the *last* response arrives (the critical
+    /// path of a filterDir broadcast, Figure 6b of the paper).
+    pub fn broadcast_collect(
+        &mut self,
+        from: NodeId,
+        class: MessageClass,
+        payload_bytes: u64,
+    ) -> Cycle {
+        let nodes = self.config.topology.nodes();
+        let mut worst = Cycle::ZERO;
+        for i in 0..nodes {
+            let to = NodeId::new(i);
+            if to == from {
+                continue;
+            }
+            let out = self.send(from, to, class, payload_bytes);
+            let back = self.send(to, from, class, CONTROL_RESPONSE_BYTES);
+            worst = worst.max(out + back);
+        }
+        worst
+    }
+
+    /// Read access to the accumulated traffic.
+    pub fn traffic(&self) -> &TrafficAccountant {
+        &self.traffic
+    }
+
+    /// Drains the accumulated traffic, leaving the accountant empty.
+    pub fn take_traffic(&mut self) -> TrafficAccountant {
+        std::mem::take(&mut self.traffic)
+    }
+
+    /// Exports the traffic counters into a [`StatRegistry`].
+    pub fn export_stats(&self, stats: &mut StatRegistry) {
+        self.traffic.export(stats);
+        stats.set_value("noc.utilization", self.utilization);
+    }
+}
+
+const CONTROL_RESPONSE_BYTES: u64 = 8;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn config_defaults_match_table1() {
+        let c = NocConfig::default();
+        assert_eq!(c.topology.nodes(), 64);
+        assert_eq!(c.link_latency, Cycle::new(1));
+        assert_eq!(c.router_latency, Cycle::new(1));
+    }
+
+    #[test]
+    fn latency_scales_with_distance() {
+        let noc = Noc::new(NocConfig::isca2015(64));
+        let near = noc.latency(NodeId::new(0), NodeId::new(1), 8);
+        let far = noc.latency(NodeId::new(0), NodeId::new(63), 8);
+        assert!(far > near);
+        // 14 hops * (1+1) cycles for a single-flit control packet.
+        assert_eq!(far, Cycle::new(28));
+    }
+
+    #[test]
+    fn data_packets_add_serialization_latency() {
+        let noc = Noc::new(NocConfig::isca2015(64));
+        let control = noc.latency(NodeId::new(0), NodeId::new(2), 8);
+        let data = noc.latency(NodeId::new(0), NodeId::new(2), 64);
+        assert_eq!(data - control, Cycle::new(4), "5-flit data packet adds 4 serialization cycles");
+    }
+
+    #[test]
+    fn local_messages_still_cost_one_hop() {
+        let noc = Noc::new(NocConfig::isca2015(64));
+        let lat = noc.latency(NodeId::new(5), NodeId::new(5), 8);
+        assert_eq!(lat, Cycle::new(2));
+    }
+
+    #[test]
+    fn send_records_traffic_latency_does_not() {
+        let mut noc = Noc::new(NocConfig::isca2015(16));
+        let _ = noc.latency(NodeId::new(0), NodeId::new(3), 64);
+        assert_eq!(noc.traffic().total_packets(), 0);
+        let _ = noc.send(NodeId::new(0), NodeId::new(3), MessageClass::Read, 64);
+        assert_eq!(noc.traffic().total_packets(), 1);
+        assert_eq!(noc.traffic().packets(MessageClass::Read), 1);
+    }
+
+    #[test]
+    fn round_trip_records_two_packets() {
+        let mut noc = Noc::new(NocConfig::isca2015(16));
+        let rt = noc.round_trip(NodeId::new(1), NodeId::new(2), MessageClass::Dma, 8, 64);
+        assert_eq!(noc.traffic().packets(MessageClass::Dma), 2);
+        assert!(rt > Cycle::ZERO);
+    }
+
+    #[test]
+    fn broadcast_touches_every_other_node() {
+        let mut noc = Noc::new(NocConfig::isca2015(16));
+        let lat = noc.broadcast_collect(NodeId::new(0), MessageClass::CohProt, 8);
+        // 15 requests + 15 responses.
+        assert_eq!(noc.traffic().packets(MessageClass::CohProt), 30);
+        assert!(lat >= noc.latency(NodeId::new(0), NodeId::new(15), 8) * 2);
+    }
+
+    #[test]
+    fn contention_increases_latency() {
+        let mut noc = Noc::new(NocConfig::isca2015(64));
+        let idle = noc.latency(NodeId::new(0), NodeId::new(63), 8);
+        noc.set_utilization(0.8);
+        let busy = noc.latency(NodeId::new(0), NodeId::new(63), 8);
+        assert!(busy > idle);
+        noc.set_utilization(2.0);
+        assert!(noc.utilization() <= 0.95);
+    }
+
+    #[test]
+    fn take_traffic_resets() {
+        let mut noc = Noc::new(NocConfig::isca2015(4));
+        noc.send(NodeId::new(0), NodeId::new(1), MessageClass::Write, 64);
+        let t = noc.take_traffic();
+        assert_eq!(t.total_packets(), 1);
+        assert_eq!(noc.traffic().total_packets(), 0);
+    }
+
+    #[test]
+    fn export_stats_includes_totals() {
+        let mut noc = Noc::new(NocConfig::isca2015(4));
+        noc.send(NodeId::new(0), NodeId::new(1), MessageClass::Ifetch, 64);
+        let mut stats = StatRegistry::new();
+        noc.export_stats(&mut stats);
+        assert_eq!(stats.count("noc.total.packets"), 1);
+        assert!(stats.contains("noc.utilization"));
+    }
+}

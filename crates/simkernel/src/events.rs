@@ -1,0 +1,197 @@
+//! Deterministic timestamped event queue.
+//!
+//! The simulator is largely cycle-approximate and analytic, but several
+//! components (the DMA controllers, the filter-directory request/response
+//! flows and the system driver's round-robin core interleaving) are expressed
+//! as discrete events.  [`EventQueue`] is a thin wrapper around a binary heap
+//! that breaks ties by insertion order so runs are exactly reproducible.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+use crate::cycles::Cycle;
+
+/// A deterministic priority queue of events ordered by their firing cycle.
+///
+/// Events scheduled for the same cycle are delivered in insertion order
+/// (FIFO), which keeps simulations reproducible regardless of payload type.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::{Cycle, EventQueue};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(Cycle::new(5), 'b');
+/// q.schedule(Cycle::new(5), 'c');
+/// q.schedule(Cycle::new(1), 'a');
+///
+/// let order: Vec<char> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+/// assert_eq!(order, vec!['a', 'b', 'c']);
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Entry<E>>,
+    next_seq: u64,
+}
+
+struct Entry<E> {
+    when: Cycle,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.when == other.when && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest cycle (and lowest
+        // sequence number within a cycle) pops first.
+        other
+            .when
+            .cmp(&self.when)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty event queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Creates an empty event queue with space for `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        EventQueue {
+            heap: BinaryHeap::with_capacity(capacity),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at cycle `when`.
+    pub fn schedule(&mut self, when: Cycle, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Entry { when, seq, event });
+    }
+
+    /// Removes and returns the earliest event, if any.
+    pub fn pop(&mut self) -> Option<(Cycle, E)> {
+        self.heap.pop().map(|e| (e.when, e.event))
+    }
+
+    /// Returns the firing time of the earliest pending event without removing it.
+    pub fn peek_time(&self) -> Option<Cycle> {
+        self.heap.peek().map(|e| e.when)
+    }
+
+    /// Removes and returns the earliest event only if it fires at or before `now`.
+    pub fn pop_due(&mut self, now: Cycle) -> Option<(Cycle, E)> {
+        match self.peek_time() {
+            Some(t) if t <= now => self.pop(),
+            _ => None,
+        }
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Removes all pending events.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("pending", &self.heap.len())
+            .field("next_fire", &self.peek_time())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(30), 3);
+        q.schedule(Cycle::new(10), 1);
+        q.schedule(Cycle::new(20), 2);
+        assert_eq!(q.pop(), Some((Cycle::new(10), 1)));
+        assert_eq!(q.pop(), Some((Cycle::new(20), 2)));
+        assert_eq!(q.pop(), Some((Cycle::new(30), 3)));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn same_cycle_is_fifo() {
+        let mut q = EventQueue::new();
+        for i in 0..100 {
+            q.schedule(Cycle::new(7), i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((Cycle::new(7), i)));
+        }
+    }
+
+    #[test]
+    fn pop_due_only_returns_ripe_events() {
+        let mut q = EventQueue::new();
+        q.schedule(Cycle::new(5), "early");
+        q.schedule(Cycle::new(50), "late");
+        assert_eq!(q.pop_due(Cycle::new(4)), None);
+        assert_eq!(q.pop_due(Cycle::new(5)), Some((Cycle::new(5), "early")));
+        assert_eq!(q.pop_due(Cycle::new(10)), None);
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peek_len_clear() {
+        let mut q: EventQueue<u8> = EventQueue::with_capacity(4);
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(Cycle::new(3), 1);
+        q.schedule(Cycle::new(1), 2);
+        assert_eq!(q.peek_time(), Some(Cycle::new(1)));
+        assert_eq!(q.len(), 2);
+        q.clear();
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn debug_is_nonempty() {
+        let q: EventQueue<u8> = EventQueue::new();
+        assert!(!format!("{q:?}").is_empty());
+    }
+}

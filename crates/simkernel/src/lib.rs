@@ -1,0 +1,50 @@
+//! Discrete-event simulation kernel shared by every component of the
+//! hybrid-memory manycore simulator.
+//!
+//! The crate provides the small set of primitives that the rest of the
+//! workspace builds on:
+//!
+//! * [`Cycle`] — a strongly typed simulation time stamp, plus helpers to
+//!   convert between cycles and wall-clock time at a given [`Frequency`].
+//! * [`EventQueue`] — a deterministic priority queue of timestamped events.
+//! * [`stats`] — counters, histograms and running statistics grouped into a
+//!   hierarchical [`stats::StatRegistry`].
+//! * [`rng::SimRng`] — a small, fast, fully deterministic pseudo random
+//!   number generator (SplitMix64 seeded xoshiro256**) so simulations are
+//!   exactly reproducible without pulling a heavyweight dependency into every
+//!   crate.
+//! * [`ids`] — shared identifier newtypes ([`CoreId`], [`NodeId`]) used by the
+//!   network, memory and coherence crates.
+//! * [`mem_units`] — byte-quantity helpers (`KiB`, `MiB`) used by
+//!   configuration structures.
+//!
+//! # Example
+//!
+//! ```
+//! use simkernel::{Cycle, EventQueue};
+//!
+//! let mut queue: EventQueue<&'static str> = EventQueue::new();
+//! queue.schedule(Cycle::new(10), "later");
+//! queue.schedule(Cycle::new(2), "sooner");
+//!
+//! let (when, what) = queue.pop().unwrap();
+//! assert_eq!(when, Cycle::new(2));
+//! assert_eq!(what, "sooner");
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cycles;
+pub mod events;
+pub mod ids;
+pub mod mem_units;
+pub mod rng;
+pub mod stats;
+
+pub use cycles::{Cycle, Frequency};
+pub use events::EventQueue;
+pub use ids::{CoreId, NodeId};
+pub use mem_units::ByteSize;
+pub use rng::SimRng;
+pub use stats::{Counter, Histogram, RunningStat, StatRegistry};

@@ -1,0 +1,348 @@
+//! The per-core DMA controller.
+//!
+//! Each DMAC exposes three operations to the runtime library (§2.1 of the
+//! paper): `dma-get` (global memory → SPM), `dma-put` (SPM → global memory)
+//! and `dma-synch` (wait for tagged transfers to complete).  The bus requests
+//! of a transfer are integrated with the cache coherence protocol of the
+//! global memory: a `dma-get` snoops the caches for the freshest copy, a
+//! `dma-put` updates memory and invalidates cached copies.  Both behaviours
+//! are implemented by [`mem::MemorySystem::dma_get_line`] /
+//! [`mem::MemorySystem::dma_put_line`]; the DMAC adds the command-queue and
+//! issue-bandwidth timing on top.
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+use simkernel::{CoreId, Cycle, StatRegistry};
+
+use mem::{AddressRange, MemorySystem};
+
+/// Tag used by the runtime library to name a transfer for `dma-synch`.
+pub type DmaTag = u32;
+
+/// Configuration of one DMA controller (Table 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DmacConfig {
+    /// Entries of the in-order DMA command queue.
+    pub command_queue_entries: usize,
+    /// Entries of the in-order bus request queue.
+    pub bus_request_queue_entries: usize,
+    /// Minimum gap between consecutive line requests issued to the bus.
+    pub issue_gap: Cycle,
+    /// Fixed cost of accepting and decoding one DMA command.
+    pub command_overhead: Cycle,
+}
+
+impl DmacConfig {
+    /// The paper's configuration: 32 command-queue entries, 512 bus-request
+    /// queue entries, both in order.
+    pub fn isca2015() -> Self {
+        DmacConfig {
+            command_queue_entries: 32,
+            bus_request_queue_entries: 512,
+            issue_gap: Cycle::new(1),
+            command_overhead: Cycle::new(16),
+        }
+    }
+}
+
+impl Default for DmacConfig {
+    fn default() -> Self {
+        Self::isca2015()
+    }
+}
+
+/// Direction of a DMA transfer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DmaDirection {
+    /// Global memory → SPM (`dma-get`).
+    Get,
+    /// SPM → global memory (`dma-put`).
+    Put,
+}
+
+/// The per-core DMA controller.
+///
+/// See the crate-level example for typical usage.
+#[derive(Debug)]
+pub struct Dmac {
+    core: CoreId,
+    config: DmacConfig,
+    /// When the engine is next free to start issuing line requests.
+    next_issue: Cycle,
+    /// Completion time of each outstanding tagged transfer.
+    pending: HashMap<DmaTag, Cycle>,
+    commands: u64,
+    gets: u64,
+    puts: u64,
+    lines_transferred: u64,
+    bytes_transferred: u64,
+    queue_full_stalls: u64,
+}
+
+impl Dmac {
+    /// Creates the DMAC attached to `core`.
+    pub fn new(core: CoreId, config: DmacConfig) -> Self {
+        Dmac {
+            core,
+            config,
+            next_issue: Cycle::ZERO,
+            pending: HashMap::new(),
+            commands: 0,
+            gets: 0,
+            puts: 0,
+            lines_transferred: 0,
+            bytes_transferred: 0,
+            queue_full_stalls: 0,
+        }
+    }
+
+    /// The core this DMAC belongs to.
+    pub fn core(&self) -> CoreId {
+        self.core
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &DmacConfig {
+        &self.config
+    }
+
+    /// Issues a `dma-get`: copies `range` of global memory into the SPM.
+    ///
+    /// Returns the cycle at which the transfer completes.  The transfer is
+    /// also remembered under `tag` until a matching [`Dmac::dma_synch`].
+    pub fn dma_get(
+        &mut self,
+        tag: DmaTag,
+        range: AddressRange,
+        now: Cycle,
+        memsys: &mut MemorySystem,
+    ) -> Cycle {
+        self.gets += 1;
+        self.transfer(tag, range, DmaDirection::Get, now, memsys)
+    }
+
+    /// Issues a `dma-put`: copies `range` (as staged in the SPM) back to
+    /// global memory, invalidating stale cached copies.
+    ///
+    /// Returns the cycle at which the transfer completes.
+    pub fn dma_put(
+        &mut self,
+        tag: DmaTag,
+        range: AddressRange,
+        now: Cycle,
+        memsys: &mut MemorySystem,
+    ) -> Cycle {
+        self.puts += 1;
+        self.transfer(tag, range, DmaDirection::Put, now, memsys)
+    }
+
+    fn transfer(
+        &mut self,
+        tag: DmaTag,
+        range: AddressRange,
+        direction: DmaDirection,
+        now: Cycle,
+        memsys: &mut MemorySystem,
+    ) -> Cycle {
+        self.commands += 1;
+        if self.pending.len() >= self.config.command_queue_entries {
+            // The in-order command queue is full: the new command has to wait
+            // for the oldest outstanding transfer to drain.
+            self.queue_full_stalls += 1;
+            if let Some(&oldest) = self.pending.values().min() {
+                self.next_issue = self.next_issue.max(oldest);
+            }
+        }
+
+        let start = now.max(self.next_issue) + self.config.command_overhead;
+        let mut issue = start;
+        let mut completion = start;
+        for line in range.lines() {
+            let latency = match direction {
+                DmaDirection::Get => memsys.dma_get_line(self.core, line),
+                DmaDirection::Put => memsys.dma_put_line(self.core, line),
+            };
+            completion = completion.max(issue + latency);
+            issue += self.config.issue_gap;
+            self.lines_transferred += 1;
+        }
+        self.bytes_transferred += range.len();
+        // The engine can accept the next command once it has issued every
+        // line request of this one.
+        self.next_issue = issue;
+
+        let entry = self.pending.entry(tag).or_insert(Cycle::ZERO);
+        *entry = (*entry).max(completion);
+        completion
+    }
+
+    /// Implements `dma-synch`: blocks until every transfer tagged with one of
+    /// `tags` has completed.
+    ///
+    /// Returns the cycle at which the waiting thread may resume (at least
+    /// `now`).  Synced tags are forgotten.
+    pub fn dma_synch(&mut self, tags: &[DmaTag], now: Cycle) -> Cycle {
+        let mut done = now;
+        for tag in tags {
+            if let Some(completion) = self.pending.remove(tag) {
+                done = done.max(completion);
+            }
+        }
+        done
+    }
+
+    /// Completion time of every outstanding transfer (used at kernel barriers).
+    pub fn drain_all(&mut self, now: Cycle) -> Cycle {
+        let mut done = now;
+        for (_, completion) in self.pending.drain() {
+            done = done.max(completion);
+        }
+        done
+    }
+
+    /// Number of transfers still outstanding.
+    pub fn outstanding(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Total DMA commands processed.
+    pub fn commands(&self) -> u64 {
+        self.commands
+    }
+
+    /// Total lines transferred in either direction.
+    pub fn lines_transferred(&self) -> u64 {
+        self.lines_transferred
+    }
+
+    /// Total bytes transferred in either direction.
+    pub fn bytes_transferred(&self) -> u64 {
+        self.bytes_transferred
+    }
+
+    /// Number of commands that found the command queue full.
+    pub fn queue_full_stalls(&self) -> u64 {
+        self.queue_full_stalls
+    }
+
+    /// Exports the DMAC counters under `dmac.*` names.
+    pub fn export_stats(&self, stats: &mut StatRegistry) {
+        stats.add_count("dmac.commands", self.commands);
+        stats.add_count("dmac.gets", self.gets);
+        stats.add_count("dmac.puts", self.puts);
+        stats.add_count("dmac.lines", self.lines_transferred);
+        stats.add_count("dmac.bytes", self.bytes_transferred);
+        stats.add_count("dmac.queue_full_stalls", self.queue_full_stalls);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mem::{Addr, MemorySystemConfig};
+    use noc::MessageClass;
+
+    fn memsys() -> MemorySystem {
+        MemorySystem::new(MemorySystemConfig::small(4))
+    }
+
+    fn dmac() -> Dmac {
+        Dmac::new(CoreId::new(0), DmacConfig::isca2015())
+    }
+
+    #[test]
+    fn get_transfers_all_lines() {
+        let mut m = memsys();
+        let mut d = dmac();
+        let range = AddressRange::new(Addr::new(0x10_0000), 1024);
+        let done = d.dma_get(1, range, Cycle::ZERO, &mut m);
+        assert!(done > Cycle::ZERO);
+        assert_eq!(d.lines_transferred(), 16);
+        assert_eq!(d.bytes_transferred(), 1024);
+        assert_eq!(m.counters().dma_line_reads, 16);
+        assert!(m.noc().traffic().packets(MessageClass::Dma) > 0);
+    }
+
+    #[test]
+    fn put_invalidates_and_completes() {
+        let mut m = memsys();
+        let mut d = dmac();
+        // Warm a line into core 1's cache, then dma-put over it.
+        let addr = Addr::new(0x20_0000);
+        let _ = m.access(CoreId::new(1), addr, mem::AccessKind::Load, MessageClass::Read, 1);
+        assert!(m.is_cached(addr.line()));
+        let range = AddressRange::new(addr, 64);
+        let done = d.dma_put(2, range, Cycle::new(100), &mut m);
+        assert!(done > Cycle::new(100));
+        assert!(!m.is_cached(addr.line()));
+        assert_eq!(d.commands(), 1);
+    }
+
+    #[test]
+    fn synch_waits_for_tagged_transfers() {
+        let mut m = memsys();
+        let mut d = dmac();
+        let r1 = AddressRange::new(Addr::new(0x30_0000), 512);
+        let r2 = AddressRange::new(Addr::new(0x40_0000), 512);
+        let c1 = d.dma_get(1, r1, Cycle::ZERO, &mut m);
+        let c2 = d.dma_get(2, r2, Cycle::ZERO, &mut m);
+        assert_eq!(d.outstanding(), 2);
+        let done = d.dma_synch(&[1], Cycle::ZERO);
+        assert_eq!(done, c1);
+        assert_eq!(d.outstanding(), 1);
+        // Syncing an unknown tag is a no-op returning `now`.
+        assert_eq!(d.dma_synch(&[99], Cycle::new(5)), Cycle::new(5));
+        let done_all = d.drain_all(Cycle::ZERO);
+        assert_eq!(done_all, c2.max(c1));
+        assert_eq!(d.outstanding(), 0);
+    }
+
+    #[test]
+    fn back_to_back_commands_serialize_on_the_engine() {
+        let mut m = memsys();
+        let mut d = dmac();
+        let r = AddressRange::new(Addr::new(0x50_0000), 2048);
+        let c1 = d.dma_get(1, r, Cycle::ZERO, &mut m);
+        let r2 = AddressRange::new(Addr::new(0x60_0000), 2048);
+        let c2 = d.dma_get(2, r2, Cycle::ZERO, &mut m);
+        assert!(c2 > c1, "second command must finish after the first");
+    }
+
+    #[test]
+    fn same_tag_accumulates_latest_completion() {
+        let mut m = memsys();
+        let mut d = dmac();
+        let c1 = d.dma_get(7, AddressRange::new(Addr::new(0x1000), 64), Cycle::ZERO, &mut m);
+        let c2 = d.dma_get(7, AddressRange::new(Addr::new(0x2000), 64), Cycle::ZERO, &mut m);
+        let done = d.dma_synch(&[7], Cycle::ZERO);
+        assert_eq!(done, c1.max(c2));
+    }
+
+    #[test]
+    fn command_queue_pressure_is_counted() {
+        let mut m = memsys();
+        let mut d = Dmac::new(
+            CoreId::new(0),
+            DmacConfig {
+                command_queue_entries: 2,
+                ..DmacConfig::isca2015()
+            },
+        );
+        for tag in 0..4 {
+            let _ = d.dma_get(tag, AddressRange::new(Addr::new(0x1000 * (tag as u64 + 1)), 256), Cycle::ZERO, &mut m);
+        }
+        assert!(d.queue_full_stalls() > 0);
+    }
+
+    #[test]
+    fn export_stats_names() {
+        let mut m = memsys();
+        let mut d = dmac();
+        let _ = d.dma_get(1, AddressRange::new(Addr::new(0x1000), 128), Cycle::ZERO, &mut m);
+        let mut stats = StatRegistry::new();
+        d.export_stats(&mut stats);
+        assert_eq!(stats.count("dmac.gets"), 1);
+        assert_eq!(stats.count("dmac.lines"), 2);
+    }
+}

@@ -1,0 +1,8 @@
+//! Prints ablations of the ISCA'15 evaluation.
+//!
+//! Usage: `cargo run --release --bin ablations -- [--cores N] [--scale F] [--benchmarks CG,IS] [--json]`
+
+fn main() {
+    let options = system::CliOptions::parse(std::env::args().skip(1));
+    print!("{}", system::cli::run_report(system::Report::Ablations, &options));
+}

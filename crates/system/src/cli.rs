@@ -1,0 +1,218 @@
+//! Shared command-line driver used by the report binaries (`table2`, `fig7`,
+//! … `fig11`, `ablations`, `full_eval`).
+//!
+//! Every binary accepts the same optional arguments:
+//!
+//! ```text
+//! --cores N          number of cores (default 64, the paper's machine)
+//! --scale F          extra data-set scale multiplier on top of each
+//!                    benchmark's recommended scale (default 1.0)
+//! --benchmarks LIST  comma-separated subset, e.g. CG,IS (default: all six)
+//! --json             also print the raw results as JSON
+//! ```
+
+use workloads::characterize;
+use workloads::nas::NasBenchmark;
+
+use crate::config::SystemConfig;
+use crate::experiments::{ablations, ExperimentSuite};
+
+/// Parsed command-line options.
+#[derive(Debug, Clone)]
+pub struct CliOptions {
+    /// Number of cores to simulate.
+    pub cores: usize,
+    /// Extra scale multiplier for the data sets.
+    pub scale: f64,
+    /// Benchmarks to run.
+    pub benchmarks: Vec<NasBenchmark>,
+    /// Whether to also dump JSON.
+    pub json: bool,
+}
+
+impl Default for CliOptions {
+    fn default() -> Self {
+        CliOptions {
+            cores: 64,
+            scale: 1.0,
+            benchmarks: NasBenchmark::ALL.to_vec(),
+            json: false,
+        }
+    }
+}
+
+impl CliOptions {
+    /// Parses options from an argument iterator (usually `std::env::args`).
+    ///
+    /// Unknown arguments are ignored so binaries stay forgiving.
+    pub fn parse<I: IntoIterator<Item = String>>(args: I) -> Self {
+        let mut options = CliOptions::default();
+        let mut args = args.into_iter().peekable();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--cores" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        options.cores = v;
+                    }
+                }
+                "--scale" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        options.scale = v;
+                    }
+                }
+                "--benchmarks" => {
+                    if let Some(list) = args.next() {
+                        let parsed: Vec<NasBenchmark> =
+                            list.split(',').filter_map(NasBenchmark::from_name).collect();
+                        if !parsed.is_empty() {
+                            options.benchmarks = parsed;
+                        }
+                    }
+                }
+                "--json" => options.json = true,
+                _ => {}
+            }
+        }
+        options
+    }
+
+    /// The system configuration implied by the options.
+    pub fn config(&self) -> SystemConfig {
+        SystemConfig::with_cores(self.cores)
+    }
+
+    /// Runs the suite implied by the options.
+    pub fn run_suite(&self) -> ExperimentSuite {
+        ExperimentSuite::run(
+            &self.config(),
+            &self.benchmarks,
+            &crate::config::MachineKind::ALL,
+            self.scale,
+        )
+    }
+}
+
+/// Which report a binary wants to print.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Report {
+    /// Table 1 (simulator parameters).
+    Table1,
+    /// Table 2 (benchmark characterisation).
+    Table2,
+    /// Figure 7 (protocol overheads).
+    Fig7,
+    /// Figure 8 (filter hit ratios).
+    Fig8,
+    /// Figure 9 (performance comparison).
+    Fig9,
+    /// Figure 10 (NoC traffic comparison).
+    Fig10,
+    /// Figure 11 (energy comparison).
+    Fig11,
+    /// The design-choice ablation sweeps.
+    Ablations,
+    /// Everything, including the headline summary.
+    Full,
+}
+
+/// Runs the requested report and returns the text to print.
+pub fn run_report(report: Report, options: &CliOptions) -> String {
+    match report {
+        Report::Table1 => options.config().table1(),
+        Report::Table2 => workloads::characterize::to_table(&characterize()),
+        Report::Ablations => run_ablations(options),
+        _ => {
+            let suite = options.run_suite();
+            let mut out = String::new();
+            match report {
+                Report::Fig7 => out.push_str(&suite.fig7().to_table()),
+                Report::Fig8 => out.push_str(&suite.fig8().to_table()),
+                Report::Fig9 => out.push_str(&suite.fig9().to_table()),
+                Report::Fig10 => out.push_str(&suite.fig10().to_table()),
+                Report::Fig11 => out.push_str(&suite.fig11().to_table()),
+                Report::Full => {
+                    out.push_str(&options.config().table1());
+                    out.push('\n');
+                    out.push_str(&workloads::characterize::to_table(&characterize()));
+                    out.push('\n');
+                    out.push_str(&suite.fig7().to_table());
+                    out.push('\n');
+                    out.push_str(&suite.fig8().to_table());
+                    out.push('\n');
+                    out.push_str(&suite.fig9().to_table());
+                    out.push('\n');
+                    out.push_str(&suite.fig10().to_table());
+                    out.push('\n');
+                    out.push_str(&suite.fig11().to_table());
+                    out.push('\n');
+                    out.push_str(&suite.summary().to_table());
+                }
+                _ => unreachable!("handled above"),
+            }
+            if options.json {
+                out.push('\n');
+                out.push_str(&serde_json::to_string_pretty(&suite.summary()).unwrap_or_default());
+                out.push('\n');
+            }
+            out
+        }
+    }
+}
+
+fn run_ablations(options: &CliOptions) -> String {
+    let config = options.config();
+    let mut out = String::new();
+    let filter_points = ablations::filter_size_sweep(
+        &config,
+        NasBenchmark::Is,
+        &[8, 16, 32, 48, 96],
+        options.scale * 0.5,
+    );
+    out.push_str(&ablations::filter_size_table(&filter_points));
+    out.push('\n');
+    let spm_sizes = [
+        simkernel::ByteSize::kib(8),
+        simkernel::ByteSize::kib(16),
+        simkernel::ByteSize::kib(32),
+        simkernel::ByteSize::kib(64),
+    ];
+    let spm_points = ablations::spm_size_sweep(&config, NasBenchmark::Cg, &spm_sizes, options.scale * 0.5);
+    out.push_str(&ablations::spm_size_table(&spm_points));
+    out.push('\n');
+    let intensity_points =
+        ablations::guarded_intensity_sweep(&config, &[0.0, 0.5, 1.0, 2.0, 4.0], options.scale * 0.25);
+    out.push_str(&ablations::guarded_intensity_table(&intensity_points));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_defaults_and_overrides() {
+        let d = CliOptions::parse(Vec::<String>::new());
+        assert_eq!(d.cores, 64);
+        assert_eq!(d.benchmarks.len(), 6);
+        assert!(!d.json);
+
+        let args = ["--cores", "8", "--scale", "0.25", "--benchmarks", "cg,is", "--json", "--bogus"]
+            .iter()
+            .map(|s| s.to_string());
+        let o = CliOptions::parse(args);
+        assert_eq!(o.cores, 8);
+        assert_eq!(o.scale, 0.25);
+        assert_eq!(o.benchmarks, vec![NasBenchmark::Cg, NasBenchmark::Is]);
+        assert!(o.json);
+        assert_eq!(o.config().cores, 8);
+    }
+
+    #[test]
+    fn static_reports_render_without_running_simulations() {
+        let options = CliOptions::default();
+        let t1 = run_report(Report::Table1, &options);
+        assert!(t1.contains("SPMDir"));
+        let t2 = run_report(Report::Table2, &options);
+        assert!(t2.contains("CG"));
+    }
+}

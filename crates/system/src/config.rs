@@ -1,0 +1,228 @@
+//! System configuration (Table 1) and machine kinds.
+
+use serde::{Deserialize, Serialize};
+use simkernel::{ByteSize, Frequency};
+
+use cpu::CoreConfig;
+use energy::EnergyParams;
+use mem::MemorySystemConfig;
+use spm::{DmacConfig, SpmConfig};
+use spm_coherence::ProtocolConfig;
+
+/// The three machines compared in the paper's evaluation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MachineKind {
+    /// The cache-based baseline of §5.4 (64 KB L1 D-cache, no SPMs).
+    CacheOnly,
+    /// The hybrid memory system with the ideal-coherence oracle (§5.3's
+    /// comparison point).
+    HybridIdeal,
+    /// The hybrid memory system with the proposed coherence protocol.
+    HybridProposed,
+}
+
+impl MachineKind {
+    /// All machine kinds.
+    pub const ALL: [MachineKind; 3] = [
+        MachineKind::CacheOnly,
+        MachineKind::HybridIdeal,
+        MachineKind::HybridProposed,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            MachineKind::CacheOnly => "cache-based",
+            MachineKind::HybridIdeal => "hybrid (ideal coherence)",
+            MachineKind::HybridProposed => "hybrid (proposed protocol)",
+        }
+    }
+
+    /// Returns `true` for the two hybrid machines.
+    pub fn has_spms(self) -> bool {
+        !matches!(self, MachineKind::CacheOnly)
+    }
+}
+
+impl std::fmt::Display for MachineKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The whole-system configuration (the knobs of Table 1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// Number of cores / tiles.
+    pub cores: usize,
+    /// Cache hierarchy of the hybrid machines (32 KB L1 D-cache).
+    pub memory: MemorySystemConfig,
+    /// Cache hierarchy of the cache-based baseline (64 KB L1 D-cache).
+    pub memory_cache_baseline: MemorySystemConfig,
+    /// Per-core scratchpad.
+    pub spm: SpmConfig,
+    /// Per-core DMA controller.
+    pub dmac: DmacConfig,
+    /// The proposed protocol's structure sizes.
+    pub protocol: ProtocolConfig,
+    /// Core pipeline parameters.
+    pub core: CoreConfig,
+    /// Energy-model parameters.
+    pub energy: EnergyParams,
+    /// Chip clock.
+    pub frequency: Frequency,
+    /// Seed for the workload address streams.
+    pub trace_seed: u64,
+}
+
+impl SystemConfig {
+    /// The paper's 64-core configuration (Table 1).
+    pub fn isca2015() -> Self {
+        Self::with_cores(64)
+    }
+
+    /// The Table 1 configuration instantiated with an arbitrary core count.
+    pub fn with_cores(cores: usize) -> Self {
+        SystemConfig {
+            cores,
+            memory: MemorySystemConfig::isca2015(cores),
+            memory_cache_baseline: MemorySystemConfig::cache_baseline(cores),
+            spm: SpmConfig::isca2015(),
+            dmac: DmacConfig::isca2015(),
+            protocol: ProtocolConfig::isca2015(cores),
+            core: CoreConfig::isca2015(),
+            energy: EnergyParams::isca2015_22nm().scaled_to_cores(cores),
+            frequency: Frequency::ghz(2.0),
+            trace_seed: 0x15CA_2015,
+        }
+    }
+
+    /// A scaled-down machine (smaller caches, L2 slices and SPMs) for fast
+    /// unit tests, doctests and criterion benches.  Workloads meant for this
+    /// configuration should be scaled accordingly.
+    pub fn small(cores: usize) -> Self {
+        let mut cfg = Self::with_cores(cores);
+        cfg.memory = MemorySystemConfig::small(cores);
+        cfg.memory_cache_baseline = {
+            let mut m = MemorySystemConfig::small(cores);
+            m.l1d = mem::CacheConfig::new("l1d", ByteSize::kib(16), 4, simkernel::Cycle::new(2));
+            m
+        };
+        cfg.spm = SpmConfig::small();
+        cfg.protocol = ProtocolConfig::small(cores);
+        cfg
+    }
+
+    /// The memory-hierarchy configuration used by a machine kind.
+    pub fn memory_for(&self, kind: MachineKind) -> &MemorySystemConfig {
+        match kind {
+            MachineKind::CacheOnly => &self.memory_cache_baseline,
+            _ => &self.memory,
+        }
+    }
+
+    /// A human-readable rendition of Table 1.
+    pub fn table1(&self) -> String {
+        let m = &self.memory;
+        let b = &self.memory_cache_baseline;
+        format!(
+            "Table 1: main simulator parameters\n\
+             ------------------------------------------------------------\n\
+             Cores            {} cores, out-of-order, {}-wide, {:.0} GHz\n\
+             Pipeline         {} cycles, ROB {} entries, LQ/SQ {}/{}\n\
+             L1 I-cache       {} cycles, {}, {}-way\n\
+             L1 D-cache       {} cycles, {}, {}-way, stride prefetcher\n\
+             L1 D (baseline)  {} (cache-based system, same latency)\n\
+             L2 cache         shared NUCA {} total, {} per core, {} cycles, {}-way\n\
+             Cache coherence  MOESI directory, 64 B lines\n\
+             NoC              {}x{} mesh, link 1 cycle, router 1 cycle\n\
+             SPM              {} cycles, {}, 64 B blocks\n\
+             DMAC             {}-entry command queue, {}-entry bus queue\n\
+             SPMDir           {} entries\n\
+             Filter           {} entries, fully associative, pseudoLRU\n\
+             FilterDir        distributed {} entries, fully associative, pseudoLRU\n",
+            self.cores,
+            self.core.issue_width,
+            self.frequency.as_hz() / 1e9,
+            self.core.pipeline_depth,
+            self.core.rob_entries,
+            self.core.lq_entries,
+            self.core.sq_entries,
+            m.l1i.latency.as_u64(),
+            m.l1i.size,
+            m.l1i.ways,
+            m.l1d.latency.as_u64(),
+            m.l1d.size,
+            m.l1d.ways,
+            b.l1d.size,
+            ByteSize::bytes_exact(m.l2_slice.size.bytes() * self.cores as u64),
+            m.l2_slice.size,
+            m.l2_slice.latency.as_u64(),
+            m.l2_slice.ways,
+            m.noc.topology.cols(),
+            m.noc.topology.rows(),
+            self.spm.latency.as_u64(),
+            self.spm.size,
+            self.dmac.command_queue_entries,
+            self.dmac.bus_request_queue_entries,
+            self.protocol.spmdir_entries,
+            self.protocol.filter_entries,
+            self.protocol.filterdir_entries,
+        )
+    }
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        Self::isca2015()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isca2015_matches_table1() {
+        let c = SystemConfig::isca2015();
+        assert_eq!(c.cores, 64);
+        assert_eq!(c.memory.l1d.size, ByteSize::kib(32));
+        assert_eq!(c.memory_cache_baseline.l1d.size, ByteSize::kib(64));
+        assert_eq!(c.spm.size, ByteSize::kib(32));
+        assert_eq!(c.protocol.spmdir_entries, 32);
+        assert_eq!(c.protocol.filter_entries, 48);
+        assert_eq!(c.protocol.filterdir_entries, 4096);
+    }
+
+    #[test]
+    fn memory_for_selects_the_right_l1() {
+        let c = SystemConfig::isca2015();
+        assert_eq!(c.memory_for(MachineKind::CacheOnly).l1d.size, ByteSize::kib(64));
+        assert_eq!(c.memory_for(MachineKind::HybridProposed).l1d.size, ByteSize::kib(32));
+        assert_eq!(c.memory_for(MachineKind::HybridIdeal).l1d.size, ByteSize::kib(32));
+    }
+
+    #[test]
+    fn table1_render_mentions_key_structures() {
+        let t = SystemConfig::isca2015().table1();
+        for needle in ["64 cores", "SPMDir", "Filter", "FilterDir", "MOESI", "mesh", "32 KiB"] {
+            assert!(t.contains(needle), "table 1 text missing {needle}");
+        }
+    }
+
+    #[test]
+    fn machine_kind_labels() {
+        assert_eq!(MachineKind::ALL.len(), 3);
+        assert!(MachineKind::HybridProposed.has_spms());
+        assert!(!MachineKind::CacheOnly.has_spms());
+        assert!(MachineKind::CacheOnly.to_string().contains("cache"));
+    }
+
+    #[test]
+    fn small_config_shrinks_hardware() {
+        let c = SystemConfig::small(8);
+        assert_eq!(c.cores, 8);
+        assert!(c.memory.l1d.size < ByteSize::kib(32));
+        assert!(c.spm.size < ByteSize::kib(32));
+    }
+}

@@ -1,0 +1,222 @@
+//! Design-choice ablation sweeps (beyond the paper's figures).
+//!
+//! The paper fixes the protocol's structure sizes (filter = 48 entries,
+//! filterDir = 4K entries) and the SPM partitioning without showing the
+//! sensitivity to those choices.  These sweeps make the trade-offs visible
+//! and double as stress tests for the protocol implementation:
+//!
+//! * [`filter_size_sweep`] — filter capacity vs hit ratio and execution-time
+//!   overhead (run on the benchmark with the largest guarded data set);
+//! * [`spm_size_sweep`] — scratchpad (and therefore tile) size vs the
+//!   control/sync/work split of the hybrid system;
+//! * [`guarded_intensity_sweep`] — how many guarded accesses per iteration
+//!   the hybrid system tolerates before losing its advantage over the
+//!   cache-based baseline.
+
+use serde::{Deserialize, Serialize};
+use simkernel::ByteSize;
+
+use workloads::nas::NasBenchmark;
+use workloads::{BenchmarkSpec, Phase};
+
+use crate::config::{MachineKind, SystemConfig};
+use crate::machine::Machine;
+use crate::report::{fmt_percent, fmt_ratio, TableBuilder};
+
+/// One point of the filter-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilterSizePoint {
+    /// Filter entries per core.
+    pub filter_entries: usize,
+    /// Measured filter hit ratio.
+    pub hit_ratio: f64,
+    /// Execution time relative to the ideal-coherence hybrid.
+    pub time_overhead: f64,
+}
+
+/// Sweeps the per-core filter capacity on `benchmark`.
+pub fn filter_size_sweep(
+    config: &SystemConfig,
+    benchmark: NasBenchmark,
+    sizes: &[usize],
+    scale_multiplier: f64,
+) -> Vec<FilterSizePoint> {
+    let spec = benchmark.spec_scaled(benchmark.recommended_scale() * scale_multiplier);
+    let ideal = Machine::new(MachineKind::HybridIdeal, config.clone()).run(&spec);
+    sizes
+        .iter()
+        .map(|&entries| {
+            let mut cfg = config.clone();
+            cfg.protocol.filter_entries = entries.max(1);
+            let run = Machine::new(MachineKind::HybridProposed, cfg).run(&spec);
+            FilterSizePoint {
+                filter_entries: entries,
+                hit_ratio: run.filter_hit_ratio.unwrap_or(0.0),
+                time_overhead: run.execution_time.as_f64() / ideal.execution_time.as_f64().max(1.0),
+            }
+        })
+        .collect()
+}
+
+/// Formats a filter-size sweep as a text table.
+pub fn filter_size_table(points: &[FilterSizePoint]) -> String {
+    let mut t = TableBuilder::new("Ablation: filter size vs hit ratio and overhead");
+    t.columns(&["Filter entries", "Hit ratio", "Time vs ideal"]);
+    for p in points {
+        t.row_owned(vec![
+            p.filter_entries.to_string(),
+            fmt_percent(p.hit_ratio),
+            fmt_ratio(p.time_overhead),
+        ]);
+    }
+    t.build()
+}
+
+/// One point of the SPM-size sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SpmSizePoint {
+    /// Scratchpad size per core.
+    pub spm_size: ByteSize,
+    /// Fraction of time in the control phase.
+    pub control_fraction: f64,
+    /// Fraction of time in the synchronization phase.
+    pub sync_fraction: f64,
+    /// Fraction of time in the work phase.
+    pub work_fraction: f64,
+    /// Speedup over the cache-based baseline.
+    pub speedup: f64,
+}
+
+/// Sweeps the scratchpad size (and therefore the tile size) on `benchmark`.
+pub fn spm_size_sweep(
+    config: &SystemConfig,
+    benchmark: NasBenchmark,
+    sizes: &[ByteSize],
+    scale_multiplier: f64,
+) -> Vec<SpmSizePoint> {
+    let spec = benchmark.spec_scaled(benchmark.recommended_scale() * scale_multiplier);
+    let cache = Machine::new(MachineKind::CacheOnly, config.clone()).run(&spec);
+    sizes
+        .iter()
+        .map(|&size| {
+            let mut cfg = config.clone();
+            cfg.spm.size = size;
+            cfg.protocol.spm_size = size;
+            let run = Machine::new(MachineKind::HybridProposed, cfg).run(&spec);
+            SpmSizePoint {
+                spm_size: size,
+                control_fraction: run.phase_fraction(Phase::Control),
+                sync_fraction: run.phase_fraction(Phase::Sync),
+                work_fraction: run.phase_fraction(Phase::Work),
+                speedup: cache.execution_time.as_f64() / run.execution_time.as_f64().max(1.0),
+            }
+        })
+        .collect()
+}
+
+/// Formats an SPM-size sweep as a text table.
+pub fn spm_size_table(points: &[SpmSizePoint]) -> String {
+    let mut t = TableBuilder::new("Ablation: SPM (tile) size vs phase split and speedup");
+    t.columns(&["SPM size", "Control", "Sync", "Work", "Speedup vs cache"]);
+    for p in points {
+        t.row_owned(vec![
+            p.spm_size.to_string(),
+            fmt_percent(p.control_fraction),
+            fmt_percent(p.sync_fraction),
+            fmt_percent(p.work_fraction),
+            fmt_ratio(p.speedup),
+        ]);
+    }
+    t.build()
+}
+
+/// One point of the guarded-intensity sweep.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GuardedIntensityPoint {
+    /// Guarded accesses per loop iteration.
+    pub guarded_per_iteration: f64,
+    /// Speedup of the hybrid (proposed) system over the cache-based system.
+    pub speedup: f64,
+    /// Filter hit ratio at this intensity.
+    pub filter_hit_ratio: Option<f64>,
+}
+
+/// Sweeps the number of guarded accesses per iteration of a CG-like kernel.
+pub fn guarded_intensity_sweep(
+    config: &SystemConfig,
+    intensities: &[f64],
+    scale_multiplier: f64,
+) -> Vec<GuardedIntensityPoint> {
+    intensities
+        .iter()
+        .map(|&intensity| {
+            let mut spec: BenchmarkSpec =
+                NasBenchmark::Cg.spec_scaled(NasBenchmark::Cg.recommended_scale() * scale_multiplier);
+            for kernel in &mut spec.kernels {
+                for random in &mut kernel.random_refs {
+                    random.accesses_per_iteration = intensity;
+                }
+            }
+            let cache = Machine::new(MachineKind::CacheOnly, config.clone()).run(&spec);
+            let hybrid = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+            GuardedIntensityPoint {
+                guarded_per_iteration: intensity,
+                speedup: cache.execution_time.as_f64() / hybrid.execution_time.as_f64().max(1.0),
+                filter_hit_ratio: hybrid.filter_hit_ratio,
+            }
+        })
+        .collect()
+}
+
+/// Formats a guarded-intensity sweep as a text table.
+pub fn guarded_intensity_table(points: &[GuardedIntensityPoint]) -> String {
+    let mut t = TableBuilder::new("Ablation: guarded accesses per iteration vs hybrid speedup");
+    t.columns(&["Guarded / iteration", "Speedup vs cache", "Filter hit ratio"]);
+    for p in points {
+        t.row_owned(vec![
+            format!("{:.2}", p.guarded_per_iteration),
+            fmt_ratio(p.speedup),
+            p.filter_hit_ratio.map(fmt_percent).unwrap_or_else(|| "n/a".into()),
+        ]);
+    }
+    t.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> SystemConfig {
+        SystemConfig::small(4)
+    }
+
+    #[test]
+    fn filter_sweep_hit_ratio_grows_with_capacity() {
+        let points = filter_size_sweep(&config(), NasBenchmark::Is, &[2, 48], 1.0 / 256.0);
+        assert_eq!(points.len(), 2);
+        assert!(points[1].hit_ratio >= points[0].hit_ratio);
+        assert!(points[0].time_overhead >= 0.99);
+        assert!(filter_size_table(&points).contains("Filter entries"));
+    }
+
+    #[test]
+    fn spm_sweep_reports_phase_fractions() {
+        let sizes = [ByteSize::kib(4), ByteSize::kib(8)];
+        let points = spm_size_sweep(&config(), NasBenchmark::Cg, &sizes, 1.0 / 512.0);
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            let sum = p.control_fraction + p.sync_fraction + p.work_fraction;
+            assert!((sum - 1.0).abs() < 0.05, "phase fractions should sum to ~1, got {sum}");
+            assert!(p.speedup > 0.0);
+        }
+        assert!(spm_size_table(&points).contains("SPM size"));
+    }
+
+    #[test]
+    fn guarded_intensity_sweep_runs() {
+        let points = guarded_intensity_sweep(&config(), &[0.0, 2.0], 1.0 / 512.0);
+        assert_eq!(points.len(), 2);
+        assert!(points[0].speedup > 0.0);
+        assert!(guarded_intensity_table(&points).contains("Guarded"));
+    }
+}

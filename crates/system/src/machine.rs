@@ -1,0 +1,511 @@
+//! The full machine: drives workload traces through every hardware model.
+
+use serde::{Deserialize, Serialize};
+use simkernel::{CoreId, Cycle, StatRegistry};
+
+use cpu::{CoreConfig, CoreTimingModel, PhaseBreakdown};
+use energy::model::MachineFeatures;
+use energy::{EnergyBreakdown, EnergyModel};
+use mem::{AccessKind, MemorySystem};
+use noc::{MessageClass, TrafficAccountant};
+use spm::{Dmac, Scratchpad};
+use spm_coherence::{CoherenceSupport, IdealCoherence, ProtocolStats, SpmCoherenceProtocol};
+use workloads::{
+    compile, BenchmarkSpec, CompiledKernel, ExecMode, KernelExecution, MachineParams, MemRefClass,
+    Phase, TraceOp,
+};
+
+use crate::config::{MachineKind, SystemConfig};
+
+/// The result of running one benchmark on one machine.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// The machine the benchmark ran on.
+    pub kind: MachineKind,
+    /// End-to-end execution time (the slowest core).
+    pub execution_time: Cycle,
+    /// Execution time split into control / synchronization / work.
+    pub phase_cycles: [Cycle; 3],
+    /// Total NoC packets injected, per message class.
+    pub traffic: TrafficAccountant,
+    /// Per-component energy.
+    pub energy: EnergyBreakdown,
+    /// Filter hit ratio, when the proposed protocol was active and used.
+    pub filter_hit_ratio: Option<f64>,
+    /// Protocol-level statistics (zeroed on the cache-based machine).
+    pub protocol: ProtocolStats,
+    /// Total instructions executed over all cores.
+    pub instructions: u64,
+    /// Every raw counter exported by the hardware models.
+    pub stats: StatRegistry,
+}
+
+impl RunResult {
+    /// Total NoC packets injected.
+    pub fn total_packets(&self) -> u64 {
+        self.traffic.total_packets()
+    }
+
+    /// Total energy in joules.
+    pub fn total_energy(&self) -> f64 {
+        self.energy.total()
+    }
+
+    /// Fraction of execution time spent in a phase.
+    pub fn phase_fraction(&self, phase: Phase) -> f64 {
+        let total: u64 = self.phase_cycles.iter().map(|c| c.as_u64()).sum();
+        if total == 0 {
+            0.0
+        } else {
+            self.phase_cycles[phase.index()].as_f64() / total as f64
+        }
+    }
+}
+
+/// A machine of one of the three [`MachineKind`]s, ready to run benchmarks.
+///
+/// # Example
+///
+/// ```
+/// use system::{Machine, MachineKind, SystemConfig};
+/// use workloads::nas::NasBenchmark;
+///
+/// let config = SystemConfig::small(4);
+/// let spec = NasBenchmark::Ep.spec_scaled(1.0 / 8.0);
+/// let result = Machine::new(MachineKind::HybridProposed, config).run(&spec);
+/// assert!(result.execution_time.as_u64() > 0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Machine {
+    kind: MachineKind,
+    config: SystemConfig,
+}
+
+impl Machine {
+    /// Creates a machine of the given kind.
+    pub fn new(kind: MachineKind, config: SystemConfig) -> Self {
+        Machine { kind, config }
+    }
+
+    /// The machine kind.
+    pub fn kind(&self) -> MachineKind {
+        self.kind
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &SystemConfig {
+        &self.config
+    }
+
+    /// Runs a benchmark to completion and collects every statistic.
+    pub fn run(&self, spec: &BenchmarkSpec) -> RunResult {
+        let cores = self.config.cores;
+        let mode = if self.kind == MachineKind::CacheOnly {
+            ExecMode::CacheOnly
+        } else {
+            ExecMode::Hybrid
+        };
+        let machine_params = MachineParams {
+            cores,
+            spm_size: self.config.spm.size,
+        };
+        let compiled = compile(spec, mode, &machine_params);
+
+        let mut memsys = MemorySystem::new(self.config.memory_for(self.kind).clone());
+        let mut protocol: Box<dyn CoherenceSupport> = match self.kind {
+            MachineKind::HybridProposed => {
+                Box::new(SpmCoherenceProtocol::new(self.config.protocol.clone()))
+            }
+            _ => Box::new(IdealCoherence::new(self.config.protocol.clone())),
+        };
+        let mut spms: Vec<Scratchpad> = (0..cores).map(|_| Scratchpad::new(self.config.spm)).collect();
+        let mut dmacs: Vec<Dmac> =
+            (0..cores).map(|i| Dmac::new(CoreId::new(i), self.config.dmac)).collect();
+        let mut core_models: Vec<CoreTimingModel> = (0..cores)
+            .map(|_| CoreTimingModel::new(self.config.core))
+            .collect();
+
+        // Parallel initialisation: the NAS benchmarks initialise their data in
+        // parallel loops before the timed kernels, so shared read-mostly data
+        // (the randomly accessed sets and the code) is already resident in the
+        // shared L2 when measurement starts.  Touching it round-robin across
+        // the cores avoids charging the whole cold-start cost to whichever
+        // core happens to execute first in the trace interleaving.
+        self.warm_shared_data(&compiled, &mut memsys);
+
+        for kernel in &compiled.kernels {
+            self.run_kernel(
+                kernel,
+                cores,
+                &mut memsys,
+                protocol.as_mut(),
+                &mut spms,
+                &mut dmacs,
+                &mut core_models,
+            );
+            // Kernel barrier: every core waits for the slowest one.
+            if std::env::var("SPM_DEBUG_CORES").is_ok() {
+                let times: Vec<u64> = core_models.iter().map(|c| c.now().as_u64()).collect();
+                let works: Vec<u64> = core_models.iter().map(|c| c.breakdown().phase(Phase::Work).as_u64()).collect();
+                let stalls: Vec<u64> = core_models.iter().map(|c| c.stall_cycles()).collect();
+                eprintln!("kernel {} times={times:?}\n  works={works:?}\n  stalls={stalls:?}", kernel.name);
+            }
+            let barrier = core_models.iter().map(|c| c.now()).max().unwrap_or(Cycle::ZERO);
+            for core in core_models.iter_mut() {
+                core.set_phase(Phase::Sync);
+                core.drain_memory();
+                // Idle barrier wait: load imbalance, not a loop phase.
+                core.idle_until(barrier);
+            }
+        }
+
+        self.collect(spec, &compiled, memsys, protocol, spms, dmacs, core_models)
+    }
+
+    /// Touches the shared (non-partitioned) data of every kernel — the
+    /// randomly accessed data sets and the code — spreading the accesses over
+    /// the cores, without advancing any core's clock.
+    fn warm_shared_data(&self, compiled: &workloads::CompiledBenchmark, memsys: &mut MemorySystem) {
+        let cores = self.config.cores;
+        for kernel in &compiled.kernels {
+            for random in &kernel.random_refs {
+                let range = mem::AddressRange::new(random.base, random.size);
+                for (i, line) in range.lines().enumerate() {
+                    let core = CoreId::new(i % cores);
+                    let _ = memsys.access(
+                        core,
+                        line.base(),
+                        AccessKind::Load,
+                        MessageClass::Read,
+                        random.reference_id,
+                    );
+                }
+            }
+            let code = mem::AddressRange::new(kernel.code_base, kernel.code_size);
+            for (i, line) in code.lines().enumerate() {
+                let core = CoreId::new(i % cores);
+                let _ = memsys.access(core, line.base(), AccessKind::Ifetch, MessageClass::Ifetch, 0);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_kernel(
+        &self,
+        kernel: &CompiledKernel,
+        cores: usize,
+        memsys: &mut MemorySystem,
+        protocol: &mut dyn CoherenceSupport,
+        spms: &mut [Scratchpad],
+        dmacs: &mut [Dmac],
+        core_models: &mut [CoreTimingModel],
+    ) {
+        protocol.configure_buffer_size(kernel.buffer_size);
+        // Kernels without guarded accesses power-gate the filters (as the
+        // paper does for SP).
+        protocol.set_filters_gated(!kernel.has_guarded_refs());
+
+        let mut execs: Vec<KernelExecution<'_>> = (0..cores)
+            .map(|i| KernelExecution::new(kernel, CoreId::new(i), cores, self.config.trace_seed))
+            .collect();
+
+        // Prologue on every core.
+        for (i, exec) in execs.iter_mut().enumerate() {
+            let ops = exec.prologue();
+            self.execute_ops(&ops, CoreId::new(i), kernel, memsys, protocol, spms, dmacs, core_models);
+        }
+
+        // Tiles are interleaved across cores so the shared L2 and the NoC see
+        // the concurrent working set of the whole chip, as in the fork-join
+        // execution the paper models.
+        let tiles = execs.iter().map(|e| e.num_tiles()).max().unwrap_or(0);
+        for tile in 0..tiles {
+            for (i, exec) in execs.iter_mut().enumerate() {
+                if tile >= exec.num_tiles() {
+                    continue;
+                }
+                let ops = exec.tile(tile);
+                self.execute_ops(&ops, CoreId::new(i), kernel, memsys, protocol, spms, dmacs, core_models);
+            }
+        }
+
+        // Epilogue on every core.
+        for (i, exec) in execs.iter_mut().enumerate() {
+            let ops = exec.epilogue();
+            self.execute_ops(&ops, CoreId::new(i), kernel, memsys, protocol, spms, dmacs, core_models);
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn execute_ops(
+        &self,
+        ops: &[TraceOp],
+        core_id: CoreId,
+        kernel: &CompiledKernel,
+        memsys: &mut MemorySystem,
+        protocol: &mut dyn CoherenceSupport,
+        spms: &mut [Scratchpad],
+        dmacs: &mut [Dmac],
+        core_models: &mut [CoreTimingModel],
+    ) {
+        let c = core_id.index();
+        for op in ops {
+            match op {
+                TraceOp::Compute { insts } => core_models[c].execute_compute(*insts),
+                TraceOp::SetPhase(phase) => {
+                    if *phase != Phase::Work {
+                        core_models[c].drain_memory();
+                    }
+                    core_models[c].set_phase(*phase);
+                }
+                TraceOp::AllocateBuffers { count } => {
+                    let _ = spms[c].allocate_buffers(*count);
+                }
+                TraceOp::DmaGet { tag, buffer, chunk } => {
+                    let now = core_models[c].now();
+                    let _completion = dmacs[c].dma_get(*tag, *chunk, now, memsys);
+                    spms[c].record_dma_fill(chunk.len());
+                    let _ = protocol.on_map(core_id, *buffer, *chunk, memsys);
+                }
+                TraceOp::DmaPut { tag, buffer, chunk } => {
+                    let now = core_models[c].now();
+                    let _completion = dmacs[c].dma_put(*tag, *chunk, now, memsys);
+                    spms[c].record_dma_drain(chunk.len());
+                    let _ = protocol.on_unmap(core_id, *buffer);
+                }
+                TraceOp::DmaSync { tags } => {
+                    let now = core_models[c].now();
+                    let done = dmacs[c].dma_synch(tags, now);
+                    core_models[c].stall_until(done);
+                }
+                TraceOp::LoopEnd => {
+                    protocol.on_loop_end(core_id);
+                    core_models[c].drain_memory();
+                }
+                TraceOp::Load { addr, class, reference_id }
+                | TraceOp::Store { addr, class, reference_id } => {
+                    let is_store = matches!(op, TraceOp::Store { .. });
+                    match class {
+                        MemRefClass::SpmStrided { .. } => {
+                            let latency = if is_store {
+                                spms[c].write_local()
+                            } else {
+                                spms[c].read_local()
+                            };
+                            core_models[c].issue_memory_access(latency, false);
+                            core_models[c].record_in_lsq(*addr, is_store);
+                        }
+                        MemRefClass::Guarded => {
+                            let outcome =
+                                protocol.guarded_access(core_id, *addr, is_store, memsys, spms);
+                            core_models[c].issue_memory_access(outcome.latency, true);
+                            core_models[c].record_in_lsq(*addr, is_store);
+                            if outcome.diverted_to_spm() {
+                                // §3.4: the LSQ re-checks ordering against the
+                                // data's original (GM) address, flushing on a
+                                // violation.
+                                let _ = core_models[c].recheck_ordering(*addr, is_store);
+                            }
+                        }
+                        MemRefClass::Gm | MemRefClass::GmStrided | MemRefClass::Stack => {
+                            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
+                            let msg_class = if is_store { MessageClass::Write } else { MessageClass::Read };
+                            let result = memsys.access(core_id, *addr, kind, msg_class, *reference_id);
+                            // Random (pointer-like) accesses feed dependent
+                            // work; strided and stack accesses are
+                            // independent and overlap under the MLP window.
+                            let dependent = matches!(class, MemRefClass::Gm);
+                            core_models[c].issue_memory_access(result.latency, dependent);
+                            core_models[c].record_in_lsq(*addr, is_store);
+                        }
+                    }
+                }
+            }
+
+            // Instruction fetches implied by the executed instructions.
+            let fetches = core_models[c].take_due_ifetches(kernel.code_base, kernel.code_size);
+            for fetch in fetches {
+                let result =
+                    memsys.access(core_id, fetch, AccessKind::Ifetch, MessageClass::Ifetch, 0);
+                core_models[c].apply_ifetch(result.latency, result.l1_hit);
+            }
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn collect(
+        &self,
+        spec: &BenchmarkSpec,
+        compiled: &workloads::CompiledBenchmark,
+        memsys: MemorySystem,
+        protocol: Box<dyn CoherenceSupport>,
+        spms: Vec<Scratchpad>,
+        dmacs: Vec<Dmac>,
+        core_models: Vec<CoreTimingModel>,
+    ) -> RunResult {
+        let _ = compiled;
+        let execution_time = core_models.iter().map(|c| c.now()).max().unwrap_or(Cycle::ZERO);
+
+        // Aggregate statistics from every component.
+        let mut stats = StatRegistry::new();
+        memsys.export_stats(&mut stats);
+        protocol.export_stats(&mut stats);
+        for core in &core_models {
+            core.export_stats(&mut stats);
+        }
+        for dmac in &dmacs {
+            dmac.export_stats(&mut stats);
+        }
+        let spm_accesses: u64 = spms.iter().map(Scratchpad::total_array_accesses).sum();
+        let spm_local: u64 = spms.iter().map(Scratchpad::local_accesses).sum();
+        let spm_remote: u64 = spms.iter().map(Scratchpad::remote_accesses).sum();
+        stats.add_count("spm.array_accesses", spm_accesses);
+        stats.add_count("spm.local_accesses", spm_local);
+        stats.add_count("spm.remote_accesses", spm_remote);
+
+        // Phase split: barrier waits are never accounted to a phase, so the
+        // per-phase critical path (the slowest core in each phase) is a fair
+        // representation of where the program's time goes.
+        let mut critical = PhaseBreakdown::default();
+        for core in &core_models {
+            critical = critical.max(core.breakdown());
+        }
+        let mut phase_cycles = [Cycle::ZERO; 3];
+        for phase in Phase::ALL {
+            phase_cycles[phase.index()] = critical.phase(phase);
+        }
+
+        let features = match self.kind {
+            MachineKind::CacheOnly => MachineFeatures::cache_only(),
+            MachineKind::HybridIdeal => MachineFeatures::hybrid_ideal(),
+            MachineKind::HybridProposed => MachineFeatures::hybrid_proposed(),
+        };
+        let energy_model = EnergyModel::new(self.config.energy, self.config.frequency);
+        let energy = energy_model.evaluate(&stats, execution_time, features);
+
+        let filter_hit_ratio = if self.kind == MachineKind::HybridProposed {
+            protocol.filter_hit_ratio()
+        } else {
+            None
+        };
+
+        RunResult {
+            benchmark: spec.name.clone(),
+            kind: self.kind,
+            execution_time,
+            phase_cycles,
+            traffic: memsys.noc().traffic().clone(),
+            energy,
+            filter_hit_ratio,
+            protocol: *protocol.stats(),
+            instructions: core_models.iter().map(CoreTimingModel::instructions).sum(),
+            stats,
+        }
+    }
+}
+
+/// Convenience: the core configuration used when none is specified.
+pub fn default_core_config() -> CoreConfig {
+    CoreConfig::isca2015()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use workloads::nas::NasBenchmark;
+
+    fn small_spec() -> BenchmarkSpec {
+        NasBenchmark::Cg.spec_scaled(1.0 / 512.0)
+    }
+
+    fn config() -> SystemConfig {
+        SystemConfig::small(4)
+    }
+
+    #[test]
+    fn all_three_machines_run_the_same_workload() {
+        let spec = small_spec();
+        for kind in MachineKind::ALL {
+            let r = Machine::new(kind, config()).run(&spec);
+            assert!(r.execution_time > Cycle::ZERO, "{kind}: zero execution time");
+            assert!(r.instructions > 0);
+            assert!(r.total_energy() > 0.0);
+            assert!(r.total_packets() > 0);
+        }
+    }
+
+    #[test]
+    fn hybrid_uses_spms_and_dma_cache_based_does_not() {
+        let spec = small_spec();
+        let hybrid = Machine::new(MachineKind::HybridProposed, config()).run(&spec);
+        let cache = Machine::new(MachineKind::CacheOnly, config()).run(&spec);
+        assert!(hybrid.stats.count("spm.array_accesses") > 0);
+        assert!(hybrid.stats.count("dmac.lines") > 0);
+        assert!(hybrid.traffic.packets(MessageClass::Dma) > 0);
+        assert_eq!(cache.stats.count("spm.array_accesses"), 0);
+        assert_eq!(cache.traffic.packets(MessageClass::Dma), 0);
+        assert_eq!(cache.traffic.packets(MessageClass::CohProt), 0);
+    }
+
+    #[test]
+    fn proposed_protocol_adds_cohprot_traffic_ideal_does_not() {
+        let spec = small_spec();
+        let proposed = Machine::new(MachineKind::HybridProposed, config()).run(&spec);
+        let ideal = Machine::new(MachineKind::HybridIdeal, config()).run(&spec);
+        assert!(proposed.traffic.packets(MessageClass::CohProt) > 0);
+        assert_eq!(ideal.traffic.packets(MessageClass::CohProt), 0);
+        assert!(proposed.filter_hit_ratio.is_some());
+        assert!(ideal.filter_hit_ratio.is_none());
+        // The proposed protocol can only be slower (or equal), never faster,
+        // than the ideal oracle.
+        assert!(proposed.execution_time >= ideal.execution_time);
+    }
+
+    #[test]
+    fn hybrid_has_control_and_sync_phases_cache_based_does_not() {
+        let spec = small_spec();
+        let hybrid = Machine::new(MachineKind::HybridProposed, config()).run(&spec);
+        let cache = Machine::new(MachineKind::CacheOnly, config()).run(&spec);
+        assert!(hybrid.phase_cycles[Phase::Control.index()] > Cycle::ZERO);
+        assert!(hybrid.phase_fraction(Phase::Work) > 0.3);
+        assert_eq!(cache.phase_cycles[Phase::Control.index()], Cycle::ZERO);
+        // The cache-based run only leaves the work phase at the kernel-end
+        // barrier (load imbalance), so essentially all time is work.
+        assert!(cache.phase_fraction(Phase::Work) > 0.9);
+    }
+
+    #[test]
+    fn runs_are_deterministic() {
+        let spec = small_spec();
+        let a = Machine::new(MachineKind::HybridProposed, config()).run(&spec);
+        let b = Machine::new(MachineKind::HybridProposed, config()).run(&spec);
+        assert_eq!(a.execution_time, b.execution_time);
+        assert_eq!(a.total_packets(), b.total_packets());
+        assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn no_pipeline_squashes_with_disjoint_data_sets() {
+        // The paper reports that filter invalidations and pipeline squashes
+        // never happen because guarded accesses never alias SPM data.
+        let spec = small_spec();
+        let r = Machine::new(MachineKind::HybridProposed, config()).run(&spec);
+        assert_eq!(r.stats.count("cpu.flushes"), 0);
+        assert_eq!(r.protocol.remote_spm_accesses, 0);
+    }
+
+    #[test]
+    fn sp_like_kernel_without_guarded_accesses_skips_the_filters() {
+        let spec = NasBenchmark::Sp.spec_scaled(1.0 / 8.0);
+        let mut small = spec;
+        small.kernels.truncate(2);
+        for k in &mut small.kernels {
+            k.outer_repeats = 1;
+        }
+        let r = Machine::new(MachineKind::HybridProposed, config()).run(&small);
+        assert_eq!(r.protocol.guarded_accesses(), 0);
+        assert!(r.filter_hit_ratio.is_none());
+    }
+}

@@ -1,0 +1,47 @@
+//! Design-space exploration: how large does the filter have to be?
+//!
+//! The paper fixes the filter at 48 fully-associative entries and reports hit
+//! ratios above 92 % (Figure 8).  This example sweeps the filter size on IS —
+//! the benchmark with the largest guarded data set and the lowest hit ratio —
+//! and also sweeps the scratchpad size to show the control/sync/work
+//! trade-off of the tiling (both sweeps are the ablations described in
+//! DESIGN.md).
+//!
+//! ```text
+//! cargo run --release --example filter_sizing [CORES] [SCALE]
+//! ```
+
+use simkernel::ByteSize;
+use spm_manycore::system::experiments::ablations;
+use spm_manycore::system::SystemConfig;
+use spm_manycore::workloads::nas::NasBenchmark;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let cores: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
+    let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
+    let config = SystemConfig::with_cores(cores);
+
+    println!("machine: {} cores, data-set scale multiplier {scale}\n", cores);
+
+    let filter_points =
+        ablations::filter_size_sweep(&config, NasBenchmark::Is, &[4, 8, 16, 32, 48, 96], scale);
+    println!("{}", ablations::filter_size_table(&filter_points));
+
+    let spm_points = ablations::spm_size_sweep(
+        &config,
+        NasBenchmark::Cg,
+        &[
+            ByteSize::kib(8),
+            ByteSize::kib(16),
+            ByteSize::kib(32),
+            ByteSize::kib(64),
+        ],
+        scale,
+    );
+    println!("{}", ablations::spm_size_table(&spm_points));
+
+    let intensity_points =
+        ablations::guarded_intensity_sweep(&config, &[0.0, 0.5, 1.0, 2.0, 4.0, 8.0], scale * 0.5);
+    println!("{}", ablations::guarded_intensity_table(&intensity_points));
+}
