@@ -23,12 +23,16 @@ fn bench_fig7(c: &mut Criterion) {
         );
         group.bench_function(format!("{}/hybrid_proposed", benchmark.name()), |b| {
             b.iter(|| {
-                std::hint::black_box(Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec))
+                std::hint::black_box(
+                    Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec),
+                )
             })
         });
         group.bench_function(format!("{}/hybrid_ideal", benchmark.name()), |b| {
             b.iter(|| {
-                std::hint::black_box(Machine::new(MachineKind::HybridIdeal, config.clone()).run(&spec))
+                std::hint::black_box(
+                    Machine::new(MachineKind::HybridIdeal, config.clone()).run(&spec),
+                )
             })
         });
     }

@@ -14,26 +14,42 @@ fn bench_protocol(c: &mut Criterion) {
 
     group.bench_function("guarded_access/filter_hit_fast_path", |b| {
         let mut memsys = MemorySystem::new(MemorySystemConfig::small(cores));
-        let mut spms: Vec<Scratchpad> = (0..cores).map(|_| Scratchpad::new(SpmConfig::small())).collect();
+        let mut spms: Vec<Scratchpad> = (0..cores)
+            .map(|_| Scratchpad::new(SpmConfig::small()))
+            .collect();
         let mut protocol = SpmCoherenceProtocol::new(ProtocolConfig::small(cores));
         protocol.configure_buffer_size(ByteSize::kib(4));
         let addr = Addr::new(0x40_0000);
         // Warm the filter.
         let _ = protocol.guarded_access(CoreId::new(0), addr, false, &mut memsys, &mut spms);
         b.iter(|| {
-            std::hint::black_box(protocol.guarded_access(CoreId::new(0), addr, false, &mut memsys, &mut spms))
+            std::hint::black_box(protocol.guarded_access(
+                CoreId::new(0),
+                addr,
+                false,
+                &mut memsys,
+                &mut spms,
+            ))
         })
     });
 
     group.bench_function("guarded_access/local_spmdir_hit", |b| {
         let mut memsys = MemorySystem::new(MemorySystemConfig::small(cores));
-        let mut spms: Vec<Scratchpad> = (0..cores).map(|_| Scratchpad::new(SpmConfig::small())).collect();
+        let mut spms: Vec<Scratchpad> = (0..cores)
+            .map(|_| Scratchpad::new(SpmConfig::small()))
+            .collect();
         let mut protocol = SpmCoherenceProtocol::new(ProtocolConfig::small(cores));
         protocol.configure_buffer_size(ByteSize::kib(4));
         let chunk = AddressRange::new(Addr::new(0x80_0000), 4096);
         protocol.on_map(CoreId::new(0), 0, chunk, &mut memsys);
         b.iter(|| {
-            std::hint::black_box(protocol.guarded_access(CoreId::new(0), Addr::new(0x80_0040), false, &mut memsys, &mut spms))
+            std::hint::black_box(protocol.guarded_access(
+                CoreId::new(0),
+                Addr::new(0x80_0040),
+                false,
+                &mut memsys,
+                &mut spms,
+            ))
         })
     });
 
@@ -45,7 +61,12 @@ fn bench_protocol(c: &mut Criterion) {
         b.iter(|| {
             chunk_index += 1;
             let chunk = AddressRange::new(Addr::new(0x100_0000 + chunk_index * 4096), 4096);
-            std::hint::black_box(protocol.on_map(CoreId::new((chunk_index % 16) as usize), 0, chunk, &mut memsys))
+            std::hint::black_box(protocol.on_map(
+                CoreId::new((chunk_index % 16) as usize),
+                0,
+                chunk,
+                &mut memsys,
+            ))
         })
     });
 

@@ -259,7 +259,11 @@ mod tests {
         assert!(f.is_gated_off());
         assert!(f.insert(Addr::new(0x1)).is_none());
         assert!(!f.lookup(Addr::new(0x1)));
-        assert_eq!(f.lookups(), 0, "gated filter must not consume lookup energy");
+        assert_eq!(
+            f.lookups(),
+            0,
+            "gated filter must not consume lookup energy"
+        );
         f.set_gated_off(false);
         assert_eq!(f.occupancy(), 0);
     }

@@ -135,7 +135,10 @@ impl FilterDir {
         self.tick += 1;
         let tick = self.tick;
         let slice = self.home_slice(base).index();
-        if let Some(entry) = self.slice_entries[slice].iter_mut().find(|e| e.base == base) {
+        if let Some(entry) = self.slice_entries[slice]
+            .iter_mut()
+            .find(|e| e.base == base)
+        {
             entry.sharers |= 1u64 << (requestor.index() % 64);
             entry.tick = tick;
             self.hits += 1;
@@ -156,7 +159,10 @@ impl FilterDir {
         self.tick += 1;
         let tick = self.tick;
         let slice = self.home_slice(base).index();
-        if let Some(entry) = self.slice_entries[slice].iter_mut().find(|e| e.base == base) {
+        if let Some(entry) = self.slice_entries[slice]
+            .iter_mut()
+            .find(|e| e.base == base)
+        {
             entry.sharers |= 1u64 << (requestor.index() % 64);
             entry.tick = tick;
             return None;
@@ -191,7 +197,9 @@ impl FilterDir {
     /// invalidated, or `None` if the address was not tracked.
     pub fn invalidate(&mut self, base: Addr) -> Option<Vec<CoreId>> {
         let slice = self.home_slice(base).index();
-        let pos = self.slice_entries[slice].iter().position(|e| e.base == base)?;
+        let pos = self.slice_entries[slice]
+            .iter()
+            .position(|e| e.base == base)?;
         let entry = self.slice_entries[slice].swap_remove(pos);
         self.invalidations += 1;
         Some(entry.sharer_list())
@@ -201,7 +209,10 @@ impl FilterDir {
     /// from its filter and notified the directory).
     pub fn remove_sharer(&mut self, base: Addr, core: CoreId) {
         let slice = self.home_slice(base).index();
-        if let Some(entry) = self.slice_entries[slice].iter_mut().find(|e| e.base == base) {
+        if let Some(entry) = self.slice_entries[slice]
+            .iter_mut()
+            .find(|e| e.base == base)
+        {
             entry.sharers &= !(1u64 << (core.index() % 64));
             self.sharer_updates += 1;
         }
@@ -295,9 +306,13 @@ mod tests {
         // 4 entries over 1 slice: the fifth insertion evicts.
         let mut fd = FilterDir::new(4, 1);
         for i in 0..4u64 {
-            assert!(fd.insert(Addr::new(0x1000 * (i + 1)), CoreId::new(i as usize)).is_none());
+            assert!(fd
+                .insert(Addr::new(0x1000 * (i + 1)), CoreId::new(i as usize))
+                .is_none());
         }
-        let evicted = fd.insert(Addr::new(0xf000), CoreId::new(9)).expect("must evict");
+        let evicted = fd
+            .insert(Addr::new(0xf000), CoreId::new(9))
+            .expect("must evict");
         assert_eq!(evicted.sharers.len(), 1);
         assert_eq!(fd.occupancy(), 4);
         assert_eq!(fd.evictions(), 1);
@@ -334,7 +349,11 @@ mod tests {
         for i in 0..256u64 {
             seen.insert(fd.home_slice(Addr::new(i * 0x4000)).index());
         }
-        assert!(seen.len() > 16, "interleaving should use many slices, got {}", seen.len());
+        assert!(
+            seen.len() > 16,
+            "interleaving should use many slices, got {}",
+            seen.len()
+        );
     }
 
     #[test]

@@ -84,7 +84,13 @@ impl CoherenceSupport for IdealCoherence {
         self.masks = AddressMasks::for_buffer_size(buffer_size);
     }
 
-    fn on_map(&mut self, core: CoreId, buffer: usize, chunk: AddressRange, _memsys: &mut MemorySystem) -> Cycle {
+    fn on_map(
+        &mut self,
+        core: CoreId,
+        buffer: usize,
+        chunk: AddressRange,
+        _memsys: &mut MemorySystem,
+    ) -> Cycle {
         let base = self.masks.base(chunk.start());
         if let Some(old) = self.by_buffer.insert((core, buffer), base) {
             self.mappings.remove(&old);
@@ -155,7 +161,11 @@ impl CoherenceSupport for IdealCoherence {
                     spms[owner.index()].read_remote()
                 };
                 let noc_latency = memsys.noc().latency(core.node(), owner.node(), 8)
-                    + memsys.noc().latency(owner.node(), core.node(), if is_write { 8 } else { 64 });
+                    + memsys.noc().latency(
+                        owner.node(),
+                        core.node(),
+                        if is_write { 8 } else { 64 },
+                    );
                 GuardedOutcome {
                     latency: spm_latency + noc_latency,
                     target: GuardedTarget::RemoteSpm { owner },
@@ -164,13 +174,23 @@ impl CoherenceSupport for IdealCoherence {
                 }
             }
             None => {
-                let kind = if is_write { AccessKind::Store } else { AccessKind::Load };
-                let class = if is_write { MessageClass::Write } else { MessageClass::Read };
+                let kind = if is_write {
+                    AccessKind::Store
+                } else {
+                    AccessKind::Load
+                };
+                let class = if is_write {
+                    MessageClass::Write
+                } else {
+                    MessageClass::Read
+                };
                 let result = memsys.access(core, addr, kind, class, u64::MAX);
                 self.stats.served_by_gm += 1;
                 GuardedOutcome {
                     latency: result.latency,
-                    target: GuardedTarget::GlobalMemory { served_by: result.served_by },
+                    target: GuardedTarget::GlobalMemory {
+                        served_by: result.served_by,
+                    },
                     filter_hit: None,
                     spm_virtual_addr: None,
                 }
@@ -204,14 +224,22 @@ mod tests {
     fn setup(cores: usize) -> (IdealCoherence, MemorySystem, Vec<Scratchpad>) {
         let oracle = IdealCoherence::new(ProtocolConfig::small(cores));
         let memsys = MemorySystem::new(MemorySystemConfig::small(cores));
-        let spms = (0..cores).map(|_| Scratchpad::new(SpmConfig::small())).collect();
+        let spms = (0..cores)
+            .map(|_| Scratchpad::new(SpmConfig::small()))
+            .collect();
         (oracle, memsys, spms)
     }
 
     #[test]
     fn unmapped_access_goes_to_gm_without_coherence_traffic() {
         let (mut o, mut m, mut spms) = setup(4);
-        let out = o.guarded_access(CoreId::new(0), Addr::new(0x12_0000), false, &mut m, &mut spms);
+        let out = o.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x12_0000),
+            false,
+            &mut m,
+            &mut spms,
+        );
         assert!(out.served_by_global_memory());
         assert_eq!(out.filter_hit, None);
         assert_eq!(m.noc().traffic().packets(MessageClass::CohProt), 0);
@@ -222,8 +250,19 @@ mod tests {
     fn local_mapping_diverts_with_spm_latency_only() {
         let (mut o, mut m, mut spms) = setup(4);
         o.configure_buffer_size(ByteSize::kib(4));
-        o.on_map(CoreId::new(1), 2, AddressRange::new(Addr::new(0x20_0000), 4096), &mut m);
-        let out = o.guarded_access(CoreId::new(1), Addr::new(0x20_0008), true, &mut m, &mut spms);
+        o.on_map(
+            CoreId::new(1),
+            2,
+            AddressRange::new(Addr::new(0x20_0000), 4096),
+            &mut m,
+        );
+        let out = o.guarded_access(
+            CoreId::new(1),
+            Addr::new(0x20_0008),
+            true,
+            &mut m,
+            &mut spms,
+        );
         assert_eq!(out.target, GuardedTarget::LocalSpm { buffer: 2 });
         assert_eq!(out.latency, Cycle::new(2));
         assert_eq!(spms[1].local_accesses(), 1);
@@ -233,12 +272,32 @@ mod tests {
     fn remote_mapping_costs_only_the_data_movement() {
         let (mut o, mut m, mut spms) = setup(4);
         o.configure_buffer_size(ByteSize::kib(4));
-        o.on_map(CoreId::new(3), 0, AddressRange::new(Addr::new(0x30_0000), 4096), &mut m);
+        o.on_map(
+            CoreId::new(3),
+            0,
+            AddressRange::new(Addr::new(0x30_0000), 4096),
+            &mut m,
+        );
         let before = m.noc().traffic().total_packets();
-        let out = o.guarded_access(CoreId::new(0), Addr::new(0x30_0040), false, &mut m, &mut spms);
-        assert_eq!(out.target, GuardedTarget::RemoteSpm { owner: CoreId::new(3) });
+        let out = o.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x30_0040),
+            false,
+            &mut m,
+            &mut spms,
+        );
+        assert_eq!(
+            out.target,
+            GuardedTarget::RemoteSpm {
+                owner: CoreId::new(3)
+            }
+        );
         assert!(out.latency > Cycle::new(2));
-        assert_eq!(m.noc().traffic().total_packets(), before, "oracle injects no protocol packets");
+        assert_eq!(
+            m.noc().traffic().total_packets(),
+            before,
+            "oracle injects no protocol packets"
+        );
         assert_eq!(spms[3].remote_accesses(), 1);
     }
 
@@ -246,13 +305,35 @@ mod tests {
     fn unmap_and_loop_end_forget_mappings() {
         let (mut o, mut m, mut spms) = setup(2);
         o.configure_buffer_size(ByteSize::kib(4));
-        o.on_map(CoreId::new(0), 0, AddressRange::new(Addr::new(0x40_0000), 4096), &mut m);
-        o.on_map(CoreId::new(0), 1, AddressRange::new(Addr::new(0x41_0000), 4096), &mut m);
+        o.on_map(
+            CoreId::new(0),
+            0,
+            AddressRange::new(Addr::new(0x40_0000), 4096),
+            &mut m,
+        );
+        o.on_map(
+            CoreId::new(0),
+            1,
+            AddressRange::new(Addr::new(0x41_0000), 4096),
+            &mut m,
+        );
         o.on_unmap(CoreId::new(0), 0);
-        let out = o.guarded_access(CoreId::new(0), Addr::new(0x40_0000), false, &mut m, &mut spms);
+        let out = o.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x40_0000),
+            false,
+            &mut m,
+            &mut spms,
+        );
         assert!(out.served_by_global_memory());
         o.on_loop_end(CoreId::new(0));
-        let out = o.guarded_access(CoreId::new(0), Addr::new(0x41_0000), false, &mut m, &mut spms);
+        let out = o.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x41_0000),
+            false,
+            &mut m,
+            &mut spms,
+        );
         assert!(out.served_by_global_memory());
     }
 
@@ -260,19 +341,53 @@ mod tests {
     fn remapping_a_buffer_replaces_the_old_chunk() {
         let (mut o, mut m, mut spms) = setup(2);
         o.configure_buffer_size(ByteSize::kib(4));
-        o.on_map(CoreId::new(0), 0, AddressRange::new(Addr::new(0x50_0000), 4096), &mut m);
-        o.on_map(CoreId::new(0), 0, AddressRange::new(Addr::new(0x51_0000), 4096), &mut m);
-        let old = o.guarded_access(CoreId::new(0), Addr::new(0x50_0000), false, &mut m, &mut spms);
+        o.on_map(
+            CoreId::new(0),
+            0,
+            AddressRange::new(Addr::new(0x50_0000), 4096),
+            &mut m,
+        );
+        o.on_map(
+            CoreId::new(0),
+            0,
+            AddressRange::new(Addr::new(0x51_0000), 4096),
+            &mut m,
+        );
+        let old = o.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x50_0000),
+            false,
+            &mut m,
+            &mut spms,
+        );
         assert!(old.served_by_global_memory());
-        let new = o.guarded_access(CoreId::new(0), Addr::new(0x51_0000), false, &mut m, &mut spms);
+        let new = o.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x51_0000),
+            false,
+            &mut m,
+            &mut spms,
+        );
         assert!(new.diverted_to_spm());
     }
 
     #[test]
     fn stats_are_tracked_and_exported() {
         let (mut o, mut m, mut spms) = setup(2);
-        let _ = o.guarded_access(CoreId::new(0), Addr::new(0x60_0000), false, &mut m, &mut spms);
-        let _ = o.guarded_access(CoreId::new(0), Addr::new(0x60_0000), true, &mut m, &mut spms);
+        let _ = o.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x60_0000),
+            false,
+            &mut m,
+            &mut spms,
+        );
+        let _ = o.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x60_0000),
+            true,
+            &mut m,
+            &mut spms,
+        );
         assert_eq!(o.stats().guarded_accesses(), 2);
         assert_eq!(o.filter_hit_ratio(), None);
         let mut reg = StatRegistry::new();

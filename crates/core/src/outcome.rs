@@ -67,7 +67,9 @@ mod tests {
     fn predicates_follow_target() {
         let gm = GuardedOutcome {
             latency: Cycle::new(2),
-            target: GuardedTarget::GlobalMemory { served_by: ServedBy::L1 },
+            target: GuardedTarget::GlobalMemory {
+                served_by: ServedBy::L1,
+            },
             filter_hit: Some(true),
             spm_virtual_addr: None,
         };
@@ -85,7 +87,9 @@ mod tests {
 
         let remote = GuardedOutcome {
             latency: Cycle::new(40),
-            target: GuardedTarget::RemoteSpm { owner: CoreId::new(9) },
+            target: GuardedTarget::RemoteSpm {
+                owner: CoreId::new(9),
+            },
             filter_hit: Some(false),
             spm_virtual_addr: Some(Addr::new(0x2000)),
         };

@@ -34,7 +34,13 @@ pub trait CoherenceSupport {
     /// Called when a `dma-get` maps `chunk` of global memory into SPM buffer
     /// `buffer` of `core`.  Returns the latency added to the control phase by
     /// the protocol (filter invalidation round, Figure 6a).
-    fn on_map(&mut self, core: CoreId, buffer: usize, chunk: AddressRange, memsys: &mut MemorySystem) -> Cycle;
+    fn on_map(
+        &mut self,
+        core: CoreId,
+        buffer: usize,
+        chunk: AddressRange,
+        memsys: &mut MemorySystem,
+    ) -> Cycle;
 
     /// Called when a buffer's chunk is written back / dropped.
     fn on_unmap(&mut self, core: CoreId, buffer: usize) -> Cycle;
@@ -140,8 +146,12 @@ impl SpmCoherenceProtocol {
             masks: AddressMasks::for_buffer_size(config.spm_size),
             buffer_size: config.spm_size,
             address_map: SpmAddressMap::new(cores, config.spm_size),
-            spmdirs: (0..cores).map(|_| SpmDir::new(config.spmdir_entries)).collect(),
-            filters: (0..cores).map(|_| Filter::new(config.filter_entries)).collect(),
+            spmdirs: (0..cores)
+                .map(|_| SpmDir::new(config.spmdir_entries))
+                .collect(),
+            filters: (0..cores)
+                .map(|_| Filter::new(config.filter_entries))
+                .collect(),
             filterdir: FilterDir::new(config.filterdir_entries, cores),
             config,
             stats: ProtocolStats::new(),
@@ -193,14 +203,27 @@ impl SpmCoherenceProtocol {
         is_write: bool,
         memsys: &mut MemorySystem,
     ) -> (Cycle, mem::ServedBy) {
-        let kind = if is_write { AccessKind::Store } else { AccessKind::Load };
-        let class = if is_write { MessageClass::Write } else { MessageClass::Read };
+        let kind = if is_write {
+            AccessKind::Store
+        } else {
+            AccessKind::Load
+        };
+        let class = if is_write {
+            MessageClass::Write
+        } else {
+            MessageClass::Read
+        };
         let result = memsys.access(core, addr, kind, class, GUARDED_REFERENCE_ID);
         (result.latency, result.served_by)
     }
 
     /// Figure 6a: invalidate the filters for a freshly mapped base address.
-    fn invalidate_filters_for(&mut self, core: CoreId, base: Addr, memsys: &mut MemorySystem) -> Cycle {
+    fn invalidate_filters_for(
+        &mut self,
+        core: CoreId,
+        base: Addr,
+        memsys: &mut MemorySystem,
+    ) -> Cycle {
         let home = CoreId::new(self.filterdir.home_slice(base).index() % self.config.cores);
         let noc = memsys.noc_mut();
         let mut latency = noc.send(core.node(), home.node(), MessageClass::CohProt, 8);
@@ -225,10 +248,12 @@ impl SpmCoherenceProtocol {
     fn filter_insert(&mut self, core: CoreId, base: Addr, memsys: &mut MemorySystem) {
         if let Some(victim) = self.filters[core.index()].insert(base) {
             self.stats.filter_eviction_notifies += 1;
-            let victim_home = CoreId::new(self.filterdir.home_slice(victim).index() % self.config.cores);
-            let _ = memsys
-                .noc_mut()
-                .send(core.node(), victim_home.node(), MessageClass::CohProt, 8);
+            let victim_home =
+                CoreId::new(self.filterdir.home_slice(victim).index() % self.config.cores);
+            let _ =
+                memsys
+                    .noc_mut()
+                    .send(core.node(), victim_home.node(), MessageClass::CohProt, 8);
             self.filterdir.remove_sharer(victim, core);
         }
     }
@@ -259,7 +284,13 @@ impl CoherenceSupport for SpmCoherenceProtocol {
         self.masks = AddressMasks::for_buffer_size(buffer_size);
     }
 
-    fn on_map(&mut self, core: CoreId, buffer: usize, chunk: AddressRange, memsys: &mut MemorySystem) -> Cycle {
+    fn on_map(
+        &mut self,
+        core: CoreId,
+        buffer: usize,
+        chunk: AddressRange,
+        memsys: &mut MemorySystem,
+    ) -> Cycle {
         let base = self.masks.base(chunk.start());
         self.spmdirs[core.index()].map(buffer, base);
         self.stats.dma_mappings += 1;
@@ -384,9 +415,12 @@ impl CoherenceSupport for SpmCoherenceProtocol {
                     spms[owner.index()].read_remote()
                 };
                 let payload = if is_write { 8 } else { 64 };
-                let response = memsys
-                    .noc_mut()
-                    .send(owner.node(), core.node(), MessageClass::CohProt, payload);
+                let response = memsys.noc_mut().send(
+                    owner.node(),
+                    core.node(),
+                    MessageClass::CohProt,
+                    payload,
+                );
                 // The filterDir also NACKs the requestor so it does not cache
                 // the address in its filter.
                 let _ = memsys
@@ -445,7 +479,10 @@ impl CoherenceSupport for SpmCoherenceProtocol {
             self.spmdirs.iter().map(SpmDir::maps).sum(),
         );
         stats.add_count("cohprot.filterdir.lookups", self.filterdir.lookups());
-        stats.add_count("cohprot.filterdir.occupancy", self.filterdir.occupancy() as u64);
+        stats.add_count(
+            "cohprot.filterdir.occupancy",
+            self.filterdir.occupancy() as u64,
+        );
         stats.add_count(
             "cohprot.filter.evictions",
             self.filters.iter().map(Filter::evictions).sum(),
@@ -466,7 +503,9 @@ mod tests {
     fn setup(cores: usize) -> (SpmCoherenceProtocol, MemorySystem, Vec<Scratchpad>) {
         let protocol = SpmCoherenceProtocol::new(ProtocolConfig::small(cores));
         let memsys = MemorySystem::new(MemorySystemConfig::small(cores));
-        let spms = (0..cores).map(|_| Scratchpad::new(SpmConfig::small())).collect();
+        let spms = (0..cores)
+            .map(|_| Scratchpad::new(SpmConfig::small()))
+            .collect();
         (protocol, memsys, spms)
     }
 
@@ -495,7 +534,13 @@ mod tests {
         p.configure_buffer_size(ByteSize::kib(4));
         let chunk = AddressRange::new(Addr::new(0x10_0000), 4096);
         p.on_map(CoreId::new(2), 1, chunk, &mut m);
-        let out = p.guarded_access(CoreId::new(2), Addr::new(0x10_0040), false, &mut m, &mut spms);
+        let out = p.guarded_access(
+            CoreId::new(2),
+            Addr::new(0x10_0040),
+            false,
+            &mut m,
+            &mut spms,
+        );
         assert_eq!(out.target, GuardedTarget::LocalSpm { buffer: 1 });
         assert!(out.diverted_to_spm());
         assert!(out.spm_virtual_addr.is_some());
@@ -518,7 +563,11 @@ mod tests {
         // A different core touching the same chunk now resolves without a broadcast.
         let out2 = p.guarded_access(CoreId::new(3), addr, false, &mut m, &mut spms);
         assert!(out2.served_by_global_memory());
-        assert_eq!(p.stats().broadcasts, 1, "second request must hit the filterDir");
+        assert_eq!(
+            p.stats().broadcasts,
+            1,
+            "second request must hit the filterDir"
+        );
         assert_eq!(p.stats().filterdir_hits, 1);
     }
 
@@ -529,8 +578,19 @@ mod tests {
         let chunk = AddressRange::new(Addr::new(0x20_0000), 4096);
         p.on_map(CoreId::new(3), 0, chunk, &mut m);
         // Core 0 issues a guarded store to data mapped in core 3's SPM.
-        let out = p.guarded_access(CoreId::new(0), Addr::new(0x20_0100), true, &mut m, &mut spms);
-        assert_eq!(out.target, GuardedTarget::RemoteSpm { owner: CoreId::new(3) });
+        let out = p.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x20_0100),
+            true,
+            &mut m,
+            &mut spms,
+        );
+        assert_eq!(
+            out.target,
+            GuardedTarget::RemoteSpm {
+                owner: CoreId::new(3)
+            }
+        );
         assert!(out.diverted_to_spm());
         assert_eq!(spms[3].remote_accesses(), 1);
         assert_eq!(p.stats().remote_spm_accesses, 1);
@@ -559,22 +619,43 @@ mod tests {
         assert_eq!(p.stats().filter_entries_invalidated, 1);
         // And the guarded access from core 0 is now diverted to core 1's SPM.
         let out = p.guarded_access(CoreId::new(0), addr, false, &mut m, &mut spms);
-        assert_eq!(out.target, GuardedTarget::RemoteSpm { owner: CoreId::new(1) });
+        assert_eq!(
+            out.target,
+            GuardedTarget::RemoteSpm {
+                owner: CoreId::new(1)
+            }
+        );
     }
 
     #[test]
     fn unmap_and_loop_end_clear_mappings() {
         let (mut p, mut m, mut spms) = setup(2);
         p.configure_buffer_size(ByteSize::kib(4));
-        p.on_map(CoreId::new(0), 0, AddressRange::new(Addr::new(0x1_0000), 4096), &mut m);
-        p.on_map(CoreId::new(0), 1, AddressRange::new(Addr::new(0x2_0000), 4096), &mut m);
+        p.on_map(
+            CoreId::new(0),
+            0,
+            AddressRange::new(Addr::new(0x1_0000), 4096),
+            &mut m,
+        );
+        p.on_map(
+            CoreId::new(0),
+            1,
+            AddressRange::new(Addr::new(0x2_0000), 4096),
+            &mut m,
+        );
         assert_eq!(p.spmdir(CoreId::new(0)).mapped_count(), 2);
         p.on_unmap(CoreId::new(0), 0);
         assert_eq!(p.spmdir(CoreId::new(0)).mapped_count(), 1);
         p.on_loop_end(CoreId::new(0));
         assert_eq!(p.spmdir(CoreId::new(0)).mapped_count(), 0);
         // After the loop, the guarded access is served by GM again.
-        let out = p.guarded_access(CoreId::new(0), Addr::new(0x1_0000), false, &mut m, &mut spms);
+        let out = p.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x1_0000),
+            false,
+            &mut m,
+            &mut spms,
+        );
         assert!(out.served_by_global_memory());
     }
 
@@ -587,7 +668,10 @@ mod tests {
         let before = m.counters().l1d_accesses;
         let out = p.guarded_access(CoreId::new(0), addr, true, &mut m, &mut spms);
         assert!(out.diverted_to_spm());
-        assert!(m.counters().l1d_accesses > before, "guarded store must also update the GM copy");
+        assert!(
+            m.counters().l1d_accesses > before,
+            "guarded store must also update the GM copy"
+        );
         assert_eq!(spms[0].local_accesses(), 1);
     }
 
@@ -595,7 +679,13 @@ mod tests {
     fn filters_can_be_gated_off() {
         let (mut p, mut m, mut spms) = setup(2);
         p.set_filters_gated(true);
-        let _ = p.guarded_access(CoreId::new(0), Addr::new(0x66_0000), false, &mut m, &mut spms);
+        let _ = p.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x66_0000),
+            false,
+            &mut m,
+            &mut spms,
+        );
         assert_eq!(p.stats().filter_lookups, 0);
         assert_eq!(p.filter_hit_ratio(), None);
         p.set_filters_gated(false);
@@ -604,7 +694,13 @@ mod tests {
     #[test]
     fn stats_export_contains_structure_counters() {
         let (mut p, mut m, mut spms) = setup(2);
-        let _ = p.guarded_access(CoreId::new(0), Addr::new(0x70_0000), false, &mut m, &mut spms);
+        let _ = p.guarded_access(
+            CoreId::new(0),
+            Addr::new(0x70_0000),
+            false,
+            &mut m,
+            &mut spms,
+        );
         let mut reg = StatRegistry::new();
         p.export_stats(&mut reg);
         assert!(reg.contains("cohprot.filter.lookups"));
@@ -626,6 +722,9 @@ mod tests {
             }
         }
         let ratio = p.filter_hit_ratio().unwrap();
-        assert!(ratio > 0.97, "filter hit ratio {ratio} below the paper's range");
+        assert!(
+            ratio > 0.97,
+            "filter hit ratio {ratio} below the paper's range"
+        );
     }
 }

@@ -59,7 +59,10 @@ impl SpmDir {
     ///
     /// Panics if `buffer` is outside the directory.
     pub fn map(&mut self, buffer: usize, gm_base: Addr) {
-        assert!(buffer < self.entries.len(), "buffer {buffer} outside the SPMDir");
+        assert!(
+            buffer < self.entries.len(),
+            "buffer {buffer} outside the SPMDir"
+        );
         self.entries[buffer] = Some(gm_base);
         self.maps += 1;
     }
@@ -70,7 +73,10 @@ impl SpmDir {
     ///
     /// Panics if `buffer` is outside the directory.
     pub fn unmap(&mut self, buffer: usize) {
-        assert!(buffer < self.entries.len(), "buffer {buffer} outside the SPMDir");
+        assert!(
+            buffer < self.entries.len(),
+            "buffer {buffer} outside the SPMDir"
+        );
         self.entries[buffer] = None;
     }
 

@@ -116,12 +116,24 @@ impl ProtocolStats {
         stats.add_count("cohprot.broadcasts", self.broadcasts);
         stats.add_count("cohprot.spmdir.probe_lookups", self.spmdir_probe_lookups);
         stats.add_count("cohprot.dma_mappings", self.dma_mappings);
-        stats.add_count("cohprot.filter_invalidation_rounds", self.filter_invalidation_rounds);
-        stats.add_count("cohprot.filter_entries_invalidated", self.filter_entries_invalidated);
-        stats.add_count("cohprot.filter_eviction_notifies", self.filter_eviction_notifies);
+        stats.add_count(
+            "cohprot.filter_invalidation_rounds",
+            self.filter_invalidation_rounds,
+        );
+        stats.add_count(
+            "cohprot.filter_entries_invalidated",
+            self.filter_entries_invalidated,
+        );
+        stats.add_count(
+            "cohprot.filter_eviction_notifies",
+            self.filter_eviction_notifies,
+        );
         stats.add_count("cohprot.filterdir.evictions", self.filterdir_evictions);
         stats.add_count("cohprot.parallel_l1_lookups", self.parallel_l1_lookups);
-        stats.add_count("cohprot.lsq_recheck_notifications", self.lsq_recheck_notifications);
+        stats.add_count(
+            "cohprot.lsq_recheck_notifications",
+            self.lsq_recheck_notifications,
+        );
         if let Some(ratio) = self.filter_hit_ratio() {
             stats.set_value("cohprot.filter.hit_ratio", ratio);
         }

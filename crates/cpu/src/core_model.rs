@@ -236,7 +236,12 @@ impl CoreTimingModel {
 
     /// Waits for every in-flight miss to complete (barriers, phase ends).
     pub fn drain_memory(&mut self) {
-        let latest = self.outstanding.iter().copied().max().unwrap_or(Cycle::ZERO);
+        let latest = self
+            .outstanding
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Cycle::ZERO);
         self.outstanding.clear();
         if latest > self.now {
             let wait = latest - self.now;
@@ -396,7 +401,10 @@ mod tests {
         }
         c.drain_memory();
         assert!(c.stall_cycles() > 0);
-        assert!(c.now() > Cycle::new(200 * 100 / 8 / 2), "throughput bounded by MLP");
+        assert!(
+            c.now() > Cycle::new(200 * 100 / 8 / 2),
+            "throughput bounded by MLP"
+        );
     }
 
     #[test]
@@ -447,7 +455,9 @@ mod tests {
         // Sequential lines.
         assert_eq!(fetches[1] - fetches[0], 64);
         // Nothing more until new instructions execute.
-        assert!(c.take_due_ifetches(Addr::new(0x40_0000), 8 * 1024).is_empty());
+        assert!(c
+            .take_due_ifetches(Addr::new(0x40_0000), 8 * 1024)
+            .is_empty());
         // Wrap-around inside the code footprint.
         c.execute_compute(16 * 1024);
         let many = c.take_due_ifetches(Addr::new(0x40_0000), 1024);

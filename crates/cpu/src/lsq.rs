@@ -54,7 +54,10 @@ impl LoadStoreQueue {
     ///
     /// Panics if either capacity is zero.
     pub fn new(lq_capacity: usize, sq_capacity: usize) -> Self {
-        assert!(lq_capacity > 0 && sq_capacity > 0, "LSQ capacities must be non-zero");
+        assert!(
+            lq_capacity > 0 && sq_capacity > 0,
+            "LSQ capacities must be non-zero"
+        );
         LoadStoreQueue {
             lq_capacity,
             sq_capacity,

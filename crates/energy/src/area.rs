@@ -78,7 +78,9 @@ impl AreaModel {
 
     /// Area of the hybrid chip with the proposed protocol, mm².
     pub fn hybrid_chip_mm2(&self) -> f64 {
-        (self.baseline_tile_mm2() + self.spm_addition_per_tile_mm2() + self.protocol_addition_per_tile_mm2())
+        (self.baseline_tile_mm2()
+            + self.spm_addition_per_tile_mm2()
+            + self.protocol_addition_per_tile_mm2())
             * self.tiles as f64
     }
 
@@ -104,7 +106,10 @@ mod tests {
         let a = AreaModel::isca2015();
         let f = a.protocol_overhead_fraction();
         assert!(f > 0.0);
-        assert!(f < 0.04, "protocol area fraction {f} exceeds the paper's 4 %");
+        assert!(
+            f < 0.04,
+            "protocol area fraction {f} exceeds the paper's 4 %"
+        );
     }
 
     #[test]

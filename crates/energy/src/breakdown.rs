@@ -108,8 +108,8 @@ impl EnergyBreakdown {
         let denom = reference.total();
         let mut out = [0.0; 6];
         if denom > 0.0 {
-            for i in 0..6 {
-                out[i] = self.joules[i] / denom;
+            for (o, j) in out.iter_mut().zip(self.joules.iter()) {
+                *o = j / denom;
             }
         }
         out

@@ -106,7 +106,8 @@ impl EnergyModel {
         let stall_cycles = stats.value("cpu.stall_cycles");
         out.add_energy(
             Component::Cpus,
-            (instructions * p.cpu_per_instruction_pj + stall_cycles * p.cpu_per_stall_cycle_pj) * PJ,
+            (instructions * p.cpu_per_instruction_pj + stall_cycles * p.cpu_per_stall_cycle_pj)
+                * PJ,
         );
 
         // Caches: L1 I/D, L2, and the parallel L1 lookups of guarded accesses.
@@ -117,7 +118,10 @@ impl EnergyModel {
         let prefetches = stats.value("mem.prefetches");
         out.add_energy(
             Component::Caches,
-            (l1_accesses * p.l1_access_pj + l2_accesses * p.l2_access_pj + prefetches * p.l1_access_pj) * PJ,
+            (l1_accesses * p.l1_access_pj
+                + l2_accesses * p.l2_access_pj
+                + prefetches * p.l1_access_pj)
+                * PJ,
         );
 
         // NoC: flit-hops.
@@ -199,7 +203,11 @@ mod tests {
         // The paper says the cache hierarchy contributes more than 35 % of the
         // energy of the cache-based system on its memory-intensive workloads.
         let model = EnergyModel::default();
-        let b = model.evaluate(&stats_for_cache_run(), Cycle::new(4_000_000), MachineFeatures::cache_only());
+        let b = model.evaluate(
+            &stats_for_cache_run(),
+            Cycle::new(4_000_000),
+            MachineFeatures::cache_only(),
+        );
         assert!(b.total() > 0.0);
         assert!(
             b.fraction(Component::Caches) > 0.30,
@@ -219,7 +227,11 @@ mod tests {
         s.add_count("cohprot.filterdir.requests", 5_000);
         s.add_count("dmac.lines", 100_000);
         let model = EnergyModel::default();
-        let b = model.evaluate(&s, Cycle::new(3_500_000), MachineFeatures::hybrid_proposed());
+        let b = model.evaluate(
+            &s,
+            Cycle::new(3_500_000),
+            MachineFeatures::hybrid_proposed(),
+        );
         assert!(b.component(Component::Spms) > 0.0);
         assert!(b.component(Component::CohProt) > 0.0);
         // Dynamic SPM energy per access must be cheaper than an L1 access
@@ -235,10 +247,17 @@ mod tests {
         let s = StatRegistry::new();
         let model = EnergyModel::default();
         let ideal = model.evaluate(&s, Cycle::new(1_000_000), MachineFeatures::hybrid_ideal());
-        let proposed = model.evaluate(&s, Cycle::new(1_000_000), MachineFeatures::hybrid_proposed());
+        let proposed = model.evaluate(
+            &s,
+            Cycle::new(1_000_000),
+            MachineFeatures::hybrid_proposed(),
+        );
         assert_eq!(ideal.component(Component::CohProt), 0.0);
         assert!(proposed.component(Component::CohProt) > 0.0);
-        assert!(ideal.component(Component::Spms) > 0.0, "SPM leakage is present in both hybrids");
+        assert!(
+            ideal.component(Component::Spms) > 0.0,
+            "SPM leakage is present in both hybrids"
+        );
     }
 
     #[test]

@@ -104,7 +104,10 @@ mod tests {
     #[test]
     fn relative_magnitudes_are_sane() {
         let p = EnergyParams::default();
-        assert!(p.spm_access_pj < p.l1_access_pj, "SPM must be cheaper than L1");
+        assert!(
+            p.spm_access_pj < p.l1_access_pj,
+            "SPM must be cheaper than L1"
+        );
         assert!(p.l1_access_pj < p.l2_access_pj);
         assert!(p.l2_access_pj < p.dram_access_pj);
         assert!(p.small_cam_lookup_pj < p.l1_access_pj);

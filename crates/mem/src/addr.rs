@@ -25,7 +25,9 @@ pub const LINE_BYTES: u64 = 64;
 /// assert_eq!((a + 100).raw(), 0x1000_00a6);
 /// let _ = LINE_BYTES;
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Addr(u64);
 
 impl Addr {
@@ -137,7 +139,9 @@ impl From<Addr> for u64 {
 /// assert_eq!(l.base(), Addr::new(0x80));
 /// assert_eq!(l.next().base(), Addr::new(0xc0));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct LineAddr(u64);
 
 impl LineAddr {
@@ -229,7 +233,10 @@ impl AddressRange {
 
     /// Returns `true` if the two ranges share at least one byte.
     pub fn overlaps(&self, other: &AddressRange) -> bool {
-        !self.is_empty() && !other.is_empty() && self.start < other.end() && other.start < self.end()
+        !self.is_empty()
+            && !other.is_empty()
+            && self.start < other.end()
+            && other.start < self.end()
     }
 
     /// Iterates over every cache line touched by the range.

@@ -46,8 +46,14 @@ impl CacheConfig {
             ways,
             latency,
         };
-        assert!(ways > 0 && ways.is_power_of_two(), "ways must be a power of two");
-        assert!(cfg.lines() >= ways as u64, "cache must have at least one set");
+        assert!(
+            ways > 0 && ways.is_power_of_two(),
+            "ways must be a power of two"
+        );
+        assert!(
+            cfg.lines() >= ways as u64,
+            "cache must have at least one set"
+        );
         cfg
     }
 
@@ -191,7 +197,10 @@ impl<S: Clone> CacheArray<S> {
         let tag = Self::tag(line);
         let ways = self.config.ways;
 
-        if let Some(pos) = self.sets[set_idx].iter().position(|w| w.valid && w.tag == tag) {
+        if let Some(pos) = self.sets[set_idx]
+            .iter()
+            .position(|w| w.valid && w.tag == tag)
+        {
             self.sets[set_idx][pos].state = state;
             self.plru[set_idx].touch(pos);
             return None;
@@ -199,14 +208,22 @@ impl<S: Clone> CacheArray<S> {
 
         // Reuse an invalid way if one exists.
         if let Some(pos) = self.sets[set_idx].iter().position(|w| !w.valid) {
-            self.sets[set_idx][pos] = Way { tag, valid: true, state };
+            self.sets[set_idx][pos] = Way {
+                tag,
+                valid: true,
+                state,
+            };
             self.plru[set_idx].touch(pos);
             return None;
         }
 
         // Grow the set until the associativity limit is reached.
         if self.sets[set_idx].len() < ways {
-            self.sets[set_idx].push(Way { tag, valid: true, state });
+            self.sets[set_idx].push(Way {
+                tag,
+                valid: true,
+                state,
+            });
             let pos = self.sets[set_idx].len() - 1;
             self.plru[set_idx].touch(pos);
             return None;
@@ -214,7 +231,14 @@ impl<S: Clone> CacheArray<S> {
 
         // Evict the pseudo-LRU victim.
         let victim = self.plru[set_idx].victim();
-        let old = std::mem::replace(&mut self.sets[set_idx][victim], Way { tag, valid: true, state });
+        let old = std::mem::replace(
+            &mut self.sets[set_idx][victim],
+            Way {
+                tag,
+                valid: true,
+                state,
+            },
+        );
         self.plru[set_idx].touch(victim);
         self.evictions += 1;
         Some(EvictedLine {
@@ -292,7 +316,12 @@ impl<S: Clone> fmt::Display for CacheArray<S> {
         write!(
             f,
             "{}: {} ways={} hits={} misses={} evictions={}",
-            self.config.name, self.config.size, self.config.ways, self.hits, self.misses, self.evictions
+            self.config.name,
+            self.config.size,
+            self.config.ways,
+            self.hits,
+            self.misses,
+            self.evictions
         )
     }
 }
@@ -341,7 +370,9 @@ mod tests {
         // Lines 0, 8, 16 all map to set 0 of an 8-set cache.
         assert!(c.insert(LineAddr::new(0), 0).is_none());
         assert!(c.insert(LineAddr::new(8), 1).is_none());
-        let evicted = c.insert(LineAddr::new(16), 2).expect("third line must evict");
+        let evicted = c
+            .insert(LineAddr::new(16), 2)
+            .expect("third line must evict");
         assert!(evicted.line == LineAddr::new(0) || evicted.line == LineAddr::new(8));
         assert_eq!(c.occupancy(), 2);
         assert_eq!(c.evictions(), 1);

@@ -74,7 +74,10 @@ impl DramModel {
     ///
     /// Panics if `controllers` is zero.
     pub fn new(config: DramConfig, mesh_nodes: usize) -> Self {
-        assert!(config.controllers > 0, "need at least one memory controller");
+        assert!(
+            config.controllers > 0,
+            "need at least one memory controller"
+        );
         let n = mesh_nodes.max(1);
         let side = (n as f64).sqrt().round().max(1.0) as usize;
         let candidates = [

@@ -202,11 +202,21 @@ impl MemorySystem {
         let cores = config.cores;
         MemorySystem {
             noc: Noc::new(config.noc),
-            l1i: (0..cores).map(|_| CacheArray::new(config.l1i.clone())).collect(),
-            l1d: (0..cores).map(|_| CacheArray::new(config.l1d.clone())).collect(),
-            l2: (0..cores).map(|_| CacheArray::new(config.l2_slice.clone())).collect(),
-            prefetchers: (0..cores).map(|_| StridePrefetcher::new(config.prefetcher)).collect(),
-            mshrs: (0..cores).map(|_| MshrFile::new(config.mshr_entries)).collect(),
+            l1i: (0..cores)
+                .map(|_| CacheArray::new(config.l1i.clone()))
+                .collect(),
+            l1d: (0..cores)
+                .map(|_| CacheArray::new(config.l1d.clone()))
+                .collect(),
+            l2: (0..cores)
+                .map(|_| CacheArray::new(config.l2_slice.clone()))
+                .collect(),
+            prefetchers: (0..cores)
+                .map(|_| StridePrefetcher::new(config.prefetcher))
+                .collect(),
+            mshrs: (0..cores)
+                .map(|_| MshrFile::new(config.mshr_entries))
+                .collect(),
             dram: DramModel::new(config.dram.clone(), cores),
             config,
             counters: HierarchyCounters::default(),
@@ -276,7 +286,9 @@ impl MemorySystem {
     ) -> MemAccessResult {
         match kind {
             AccessKind::Ifetch => self.ifetch(core, addr),
-            AccessKind::Load | AccessKind::Store => self.data_access(core, addr, kind, class, reference_id),
+            AccessKind::Load | AccessKind::Store => {
+                self.data_access(core, addr, kind, class, reference_id)
+            }
         }
     }
 
@@ -393,7 +405,9 @@ impl MemorySystem {
         let l2_hit = self.l2[home.index()].access(line).is_some();
         let (beyond_l2, served_by) = if l2_hit {
             self.counters.l2_hits += 1;
-            let entry = *self.l2[home.index()].lookup(line).expect("hit line present");
+            let entry = *self.l2[home.index()]
+                .lookup(line)
+                .expect("hit line present");
             if entry.has_dirty_owner() && entry.owner() != Some(core) {
                 // Forward from the dirty owner's L1 straight to the requestor.
                 let owner = entry.owner().expect("dirty owner");
@@ -442,7 +456,10 @@ impl MemorySystem {
         let new_state = if is_write {
             MoesiState::Modified
         } else {
-            let entry = self.l2[home.index()].lookup(line).copied().unwrap_or_default();
+            let entry = self.l2[home.index()]
+                .lookup(line)
+                .copied()
+                .unwrap_or_default();
             if entry.is_unshared() {
                 MoesiState::Exclusive
             } else {
@@ -471,9 +488,7 @@ impl MemorySystem {
     /// Write-upgrade of a line the core already holds in a shared state.
     fn upgrade_for_write(&mut self, core: CoreId, line: LineAddr, class: MessageClass) -> Cycle {
         let home = self.home_slice(line);
-        let rt = self
-            .noc
-            .round_trip(core.node(), home.node(), class, 8, 8);
+        let rt = self.noc.round_trip(core.node(), home.node(), class, 8, 8);
         let inv = self.invalidate_other_sharers(core, line, class);
         if let Some(entry) = self.l2[home.index()].lookup_mut(line) {
             entry.clear_sharers();
@@ -488,7 +503,12 @@ impl MemorySystem {
     /// Returns the extra latency on the critical path (the slowest
     /// invalidation/ack round trip).  Invalidation traffic is accounted in
     /// the write-back/replacement group, as in the paper.
-    fn invalidate_other_sharers(&mut self, requestor: CoreId, line: LineAddr, _class: MessageClass) -> Cycle {
+    fn invalidate_other_sharers(
+        &mut self,
+        requestor: CoreId,
+        line: LineAddr,
+        _class: MessageClass,
+    ) -> Cycle {
         let home = self.home_slice(line);
         let entry = match self.l2[home.index()].lookup(line) {
             Some(e) => *e,
@@ -499,8 +519,12 @@ impl MemorySystem {
         for sharer in sharers {
             self.l1d[sharer.index()].invalidate(line);
             self.counters.invalidations += 1;
-            let inv = self.noc.send(home.node(), sharer.node(), MessageClass::WbRepl, 8);
-            let ack = self.noc.send(sharer.node(), requestor.node(), MessageClass::WbRepl, 8);
+            let inv = self
+                .noc
+                .send(home.node(), sharer.node(), MessageClass::WbRepl, 8);
+            let ack = self
+                .noc
+                .send(sharer.node(), requestor.node(), MessageClass::WbRepl, 8);
             worst = worst.max(inv + ack);
         }
         if let Some(e) = self.l2[home.index()].lookup_mut(line) {
@@ -520,9 +544,12 @@ impl MemorySystem {
             if victim.state.is_dirty() {
                 // Write the dirty victim back to its home L2 slice.
                 self.counters.l1_writebacks += 1;
-                let _ = self
-                    .noc
-                    .send(core.node(), victim_home.node(), MessageClass::WbRepl, LINE_BYTES);
+                let _ = self.noc.send(
+                    core.node(),
+                    victim_home.node(),
+                    MessageClass::WbRepl,
+                    LINE_BYTES,
+                );
                 if let Some(entry) = self.l2[victim_home.index()].lookup_mut(victim.line) {
                     entry.remove_sharer(core);
                     entry.l2_dirty = true;
@@ -536,7 +563,12 @@ impl MemorySystem {
 
     /// Ensures `line` is present in its home L2 slice, fetching it from DRAM
     /// if needed.  Returns the latency beyond the L2 lookup plus the source.
-    fn fetch_into_l2(&mut self, core: CoreId, line: LineAddr, class: MessageClass) -> (Cycle, ServedBy) {
+    fn fetch_into_l2(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        class: MessageClass,
+    ) -> (Cycle, ServedBy) {
         let home = self.home_slice(line);
         let request = self.noc.send(core.node(), home.node(), class, 8);
         self.counters.l2_accesses += 1;
@@ -605,16 +637,23 @@ impl MemorySystem {
         self.counters.prefetches += 1;
         let home = self.home_slice(line);
         // Prefetch request + data response are real traffic (Read group).
-        let _ = self.noc.send(core.node(), home.node(), MessageClass::Read, 8);
+        let _ = self
+            .noc
+            .send(core.node(), home.node(), MessageClass::Read, 8);
         self.counters.l2_accesses += 1;
         if self.l2[home.index()].access(line).is_none() {
             self.dram_prefetch_fill(home, line);
         } else {
             self.counters.l2_hits += 1;
         }
-        let _ = self.noc.send(home.node(), core.node(), MessageClass::Read, LINE_BYTES);
+        let _ = self
+            .noc
+            .send(home.node(), core.node(), MessageClass::Read, LINE_BYTES);
         let state = {
-            let entry = self.l2[home.index()].lookup(line).copied().unwrap_or_default();
+            let entry = self.l2[home.index()]
+                .lookup(line)
+                .copied()
+                .unwrap_or_default();
             if entry.is_unshared() {
                 MoesiState::Exclusive
             } else {
@@ -632,7 +671,9 @@ impl MemorySystem {
         let mem_node = self.dram.node_for(line);
         let _ = self.noc.send(home.node(), mem_node, MessageClass::Read, 8);
         let _ = self.dram.access(line);
-        let _ = self.noc.send(mem_node, home.node(), MessageClass::Read, LINE_BYTES);
+        let _ = self
+            .noc
+            .send(mem_node, home.node(), MessageClass::Read, LINE_BYTES);
         self.allocate_in_l2(home, line, DirectoryEntry::new());
     }
 
@@ -654,7 +695,9 @@ impl MemorySystem {
     pub fn dma_get_line(&mut self, requestor: CoreId, line: LineAddr) -> Cycle {
         self.counters.dma_line_reads += 1;
         let home = self.home_slice(line);
-        let request = self.noc.send(requestor.node(), home.node(), MessageClass::Dma, 8);
+        let request = self
+            .noc
+            .send(requestor.node(), home.node(), MessageClass::Dma, 8);
         self.counters.l2_accesses += 1;
         let l2_latency = self.config.l2_slice.latency;
 
@@ -664,10 +707,15 @@ impl MemorySystem {
                 self.counters.l2_hits += 1;
                 self.counters.forwards += 1;
                 let owner = e.owner().expect("dirty owner");
-                let fwd = self.noc.send(home.node(), owner.node(), MessageClass::Dma, 8);
-                let data = self
+                let fwd = self
                     .noc
-                    .send(owner.node(), requestor.node(), MessageClass::Dma, LINE_BYTES);
+                    .send(home.node(), owner.node(), MessageClass::Dma, 8);
+                let data = self.noc.send(
+                    owner.node(),
+                    requestor.node(),
+                    MessageClass::Dma,
+                    LINE_BYTES,
+                );
                 fwd + data
             }
             Some(_) => {
@@ -708,8 +756,12 @@ impl MemorySystem {
             for sharer in sharers {
                 self.l1d[sharer.index()].invalidate(line);
                 self.counters.invalidations += 1;
-                let _ = self.noc.send(home.node(), sharer.node(), MessageClass::Dma, 8);
-                let _ = self.noc.send(sharer.node(), home.node(), MessageClass::Dma, 8);
+                let _ = self
+                    .noc
+                    .send(home.node(), sharer.node(), MessageClass::Dma, 8);
+                let _ = self
+                    .noc
+                    .send(sharer.node(), home.node(), MessageClass::Dma, 8);
             }
             self.l2[home.index()].invalidate(line);
         }
@@ -717,9 +769,13 @@ impl MemorySystem {
         // Write the line to memory.
         self.counters.dram_accesses += 1;
         let mem_node = self.dram.node_for(line);
-        let to_mem = self.noc.send(home.node(), mem_node, MessageClass::Dma, LINE_BYTES);
+        let to_mem = self
+            .noc
+            .send(home.node(), mem_node, MessageClass::Dma, LINE_BYTES);
         let dram = self.dram.write(line);
-        let ack = self.noc.send(mem_node, requestor.node(), MessageClass::Dma, 8);
+        let ack = self
+            .noc
+            .send(mem_node, requestor.node(), MessageClass::Dma, 8);
         data + l2_latency + to_mem + dram + ack
     }
 
@@ -831,7 +887,10 @@ mod tests {
         // Core 0 hits its Shared copy with a store: requires an upgrade.
         let r = m.access(CoreId::new(0), a, AccessKind::Store, MessageClass::Write, 1);
         assert!(r.l1_hit);
-        assert!(r.latency > Cycle::new(2), "upgrade must cost more than a plain hit");
+        assert!(
+            r.latency > Cycle::new(2),
+            "upgrade must cost more than a plain hit"
+        );
         assert_eq!(m.l1_state(CoreId::new(0), a.line()), MoesiState::Modified);
         assert_eq!(m.l1_state(CoreId::new(1), a.line()), MoesiState::Invalid);
     }
@@ -840,8 +899,20 @@ mod tests {
     fn ifetch_uses_l1i() {
         let mut m = small_system();
         let a = Addr::new(0x100);
-        let first = m.access(CoreId::new(0), a, AccessKind::Ifetch, MessageClass::Ifetch, 0);
-        let second = m.access(CoreId::new(0), a, AccessKind::Ifetch, MessageClass::Ifetch, 0);
+        let first = m.access(
+            CoreId::new(0),
+            a,
+            AccessKind::Ifetch,
+            MessageClass::Ifetch,
+            0,
+        );
+        let second = m.access(
+            CoreId::new(0),
+            a,
+            AccessKind::Ifetch,
+            MessageClass::Ifetch,
+            0,
+        );
         assert!(!first.l1_hit);
         assert!(second.l1_hit);
         assert!(m.noc().traffic().packets(MessageClass::Ifetch) > 0);
@@ -856,7 +927,11 @@ mod tests {
         let before = m.counters().forwards;
         let lat = m.dma_get_line(CoreId::new(0), a.line());
         assert!(lat > Cycle::ZERO);
-        assert_eq!(m.counters().forwards, before + 1, "dma-get must snoop the dirty L1 copy");
+        assert_eq!(
+            m.counters().forwards,
+            before + 1,
+            "dma-get must snoop the dirty L1 copy"
+        );
         assert!(m.noc().traffic().packets(MessageClass::Dma) > 0);
         // The owner keeps its copy: dma-get does not invalidate.
         assert!(m.l1_state(CoreId::new(3), a.line()).is_valid());
@@ -890,9 +965,18 @@ mod tests {
         // March through 512 lines with a unit stride from one core.
         for i in 0..512u64 {
             let addr = Addr::new(0x40_0000 + i * 64);
-            let _ = m.access(CoreId::new(0), addr, AccessKind::Load, MessageClass::Read, 7);
+            let _ = m.access(
+                CoreId::new(0),
+                addr,
+                AccessKind::Load,
+                MessageClass::Read,
+                7,
+            );
         }
-        assert!(m.counters().prefetches > 0, "stride prefetcher must kick in");
+        assert!(
+            m.counters().prefetches > 0,
+            "stride prefetcher must kick in"
+        );
         // The L1 only has 128 lines in the small config, so evictions happened.
         assert!(m.counters().l1d_accesses >= 512);
     }
@@ -900,7 +984,13 @@ mod tests {
     #[test]
     fn export_stats_has_core_counters() {
         let mut m = small_system();
-        let _ = m.access(CoreId::new(0), Addr::new(0x1000), AccessKind::Load, MessageClass::Read, 1);
+        let _ = m.access(
+            CoreId::new(0),
+            Addr::new(0x1000),
+            AccessKind::Load,
+            MessageClass::Read,
+            1,
+        );
         let mut stats = StatRegistry::new();
         m.export_stats(&mut stats);
         assert_eq!(stats.count("mem.l1d.accesses"), 1);

@@ -101,7 +101,10 @@ impl DirectoryEntry {
     pub fn add_sharer(&mut self, core: CoreId, state: MoesiState) {
         assert!(core.index() < 64, "sharer vector supports up to 64 cores");
         self.sharers |= 1u64 << core.index();
-        if matches!(state, MoesiState::Modified | MoesiState::Owned | MoesiState::Exclusive) {
+        if matches!(
+            state,
+            MoesiState::Modified | MoesiState::Owned | MoesiState::Exclusive
+        ) {
             self.owner = Some(core);
             self.owner_state = state;
         }
@@ -149,7 +152,9 @@ impl DirectoryEntry {
 
     /// Iterates over the sharer cores.
     pub fn sharers(&self) -> impl Iterator<Item = CoreId> + '_ {
-        (0..64).filter(|i| (self.sharers >> i) & 1 == 1).map(CoreId::new)
+        (0..64)
+            .filter(|i| (self.sharers >> i) & 1 == 1)
+            .map(CoreId::new)
     }
 
     /// Iterates over the sharers other than `except`.

@@ -152,10 +152,22 @@ mod tests {
     #[test]
     fn allocate_merge_full() {
         let mut m = MshrFile::new(2);
-        assert_eq!(m.register(LineAddr::new(1), Cycle::new(10)), MshrOutcome::Allocated);
-        assert_eq!(m.register(LineAddr::new(1), Cycle::new(10)), MshrOutcome::Merged);
-        assert_eq!(m.register(LineAddr::new(2), Cycle::new(20)), MshrOutcome::Allocated);
-        assert_eq!(m.register(LineAddr::new(3), Cycle::new(30)), MshrOutcome::Full);
+        assert_eq!(
+            m.register(LineAddr::new(1), Cycle::new(10)),
+            MshrOutcome::Allocated
+        );
+        assert_eq!(
+            m.register(LineAddr::new(1), Cycle::new(10)),
+            MshrOutcome::Merged
+        );
+        assert_eq!(
+            m.register(LineAddr::new(2), Cycle::new(20)),
+            MshrOutcome::Allocated
+        );
+        assert_eq!(
+            m.register(LineAddr::new(3), Cycle::new(30)),
+            MshrOutcome::Full
+        );
         assert!(m.is_full());
         assert_eq!(m.allocations(), 2);
         assert_eq!(m.merges(), 1);

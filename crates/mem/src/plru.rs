@@ -40,7 +40,10 @@ impl TreePlru {
     ///
     /// Panics if `ways` is zero or not a power of two.
     pub fn new(ways: usize) -> Self {
-        assert!(ways > 0 && ways.is_power_of_two(), "ways must be a power of two, got {ways}");
+        assert!(
+            ways > 0 && ways.is_power_of_two(),
+            "ways must be a power of two, got {ways}"
+        );
         TreePlru {
             ways,
             bits: vec![false; ways.saturating_sub(1)],
@@ -58,7 +61,11 @@ impl TreePlru {
     ///
     /// Panics if `way` is out of range.
     pub fn touch(&mut self, way: usize) {
-        assert!(way < self.ways, "way {way} out of range (ways = {})", self.ways);
+        assert!(
+            way < self.ways,
+            "way {way} out of range (ways = {})",
+            self.ways
+        );
         if self.ways == 1 {
             return;
         }

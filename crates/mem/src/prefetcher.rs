@@ -132,7 +132,10 @@ impl StridePrefetcher {
                 }
                 entry.last_addr = addr;
                 entry.lru = tick;
-                (entry.confidence >= self.config.confidence_threshold, entry.stride)
+                (
+                    entry.confidence >= self.config.confidence_threshold,
+                    entry.stride,
+                )
             }
             None => {
                 if self.table.len() >= self.config.table_entries {
@@ -220,7 +223,9 @@ mod tests {
     #[test]
     fn random_accesses_do_not_trigger_prefetches() {
         let mut pf = StridePrefetcher::new(PrefetcherConfig::isca2015());
-        let addrs = [0x1000u64, 0x8000, 0x2040, 0x9010, 0x3300, 0x100, 0x7777, 0x1234];
+        let addrs = [
+            0x1000u64, 0x8000, 0x2040, 0x9010, 0x3300, 0x100, 0x7777, 0x1234,
+        ];
         let mut total = 0;
         for (i, a) in addrs.iter().cycle().take(64).enumerate() {
             total += pf.train(9, Addr::new(a + i as u64)).len();
@@ -237,7 +242,10 @@ mod tests {
         }
         // A 4-byte stride only crosses a line every 16 accesses, so very few
         // prefetches should be issued.
-        assert!(total <= 4, "got {total} prefetches for an intra-line stride");
+        assert!(
+            total <= 4,
+            "got {total} prefetches for an intra-line stride"
+        );
     }
 
     #[test]

@@ -234,7 +234,11 @@ mod tests {
         let noc = Noc::new(NocConfig::isca2015(64));
         let control = noc.latency(NodeId::new(0), NodeId::new(2), 8);
         let data = noc.latency(NodeId::new(0), NodeId::new(2), 64);
-        assert_eq!(data - control, Cycle::new(4), "5-flit data packet adds 4 serialization cycles");
+        assert_eq!(
+            data - control,
+            Cycle::new(4),
+            "5-flit data packet adds 4 serialization cycles"
+        );
     }
 
     #[test]

@@ -46,7 +46,7 @@ impl MeshTopology {
     pub fn square_for(nodes: usize) -> Self {
         assert!(nodes > 0, "mesh must have at least one node");
         let mut rows = (nodes as f64).sqrt().floor() as usize;
-        while rows > 1 && nodes % rows != 0 {
+        while rows > 1 && !nodes.is_multiple_of(rows) {
             rows -= 1;
         }
         let cols = nodes / rows;
@@ -75,7 +75,12 @@ impl MeshTopology {
     /// Panics if the node is outside the mesh.
     pub fn coords(&self, node: NodeId) -> (usize, usize) {
         let idx = node.index();
-        assert!(idx < self.nodes(), "node {idx} outside {}x{} mesh", self.cols, self.rows);
+        assert!(
+            idx < self.nodes(),
+            "node {idx} outside {}x{} mesh",
+            self.cols,
+            self.rows
+        );
         (idx % self.cols, idx / self.cols)
     }
 
@@ -85,7 +90,10 @@ impl MeshTopology {
     ///
     /// Panics if the coordinate is outside the mesh.
     pub fn node_at(&self, col: usize, row: usize) -> NodeId {
-        assert!(col < self.cols && row < self.rows, "coordinate outside mesh");
+        assert!(
+            col < self.cols && row < self.rows,
+            "coordinate outside mesh"
+        );
         NodeId::new(row * self.cols + col)
     }
 
@@ -189,9 +197,16 @@ mod tests {
         let path = m.route(NodeId::new(3), NodeId::new(60));
         assert_eq!(path.first(), Some(&NodeId::new(3)));
         assert_eq!(path.last(), Some(&NodeId::new(60)));
-        assert_eq!(path.len() as u64, m.hops(NodeId::new(3), NodeId::new(60)) + 1);
+        assert_eq!(
+            path.len() as u64,
+            m.hops(NodeId::new(3), NodeId::new(60)) + 1
+        );
         for pair in path.windows(2) {
-            assert_eq!(m.hops(pair[0], pair[1]), 1, "route must move one hop at a time");
+            assert_eq!(
+                m.hops(pair[0], pair[1]),
+                1,
+                "route must move one hop at a time"
+            );
         }
     }
 
@@ -200,7 +215,10 @@ mod tests {
         let m = MeshTopology::new(8, 8);
         let corner = m.mean_hops_from(NodeId::new(0));
         let center = m.mean_hops_from(NodeId::new(27));
-        assert!(corner > center, "corner should be further from everyone on average");
+        assert!(
+            corner > center,
+            "corner should be further from everyone on average"
+        );
         assert!(corner <= m.diameter() as f64);
     }
 

@@ -28,7 +28,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!((end - start).as_u64(), 15);
 /// assert_eq!((start - end), Cycle::ZERO); // saturating
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct Cycle(u64);
 
 impl Cycle {
@@ -184,7 +186,10 @@ impl Frequency {
     ///
     /// Panics if `hz` is not finite and strictly positive.
     pub fn hz(hz: f64) -> Self {
-        assert!(hz.is_finite() && hz > 0.0, "frequency must be positive, got {hz}");
+        assert!(
+            hz.is_finite() && hz > 0.0,
+            "frequency must be positive, got {hz}"
+        );
         Frequency { hz }
     }
 
@@ -262,7 +267,9 @@ mod tests {
         c += Cycle::new(4);
         c += Cycle::new(6);
         assert_eq!(c, Cycle::new(10));
-        let total: Cycle = [Cycle::new(1), Cycle::new(2), Cycle::new(3)].into_iter().sum();
+        let total: Cycle = [Cycle::new(1), Cycle::new(2), Cycle::new(3)]
+            .into_iter()
+            .sum();
         assert_eq!(total, Cycle::new(6));
     }
 

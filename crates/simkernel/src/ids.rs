@@ -21,7 +21,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(c.index(), 17);
 /// assert_eq!(c.to_string(), "core17");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct CoreId(usize);
 
 impl CoreId {
@@ -76,7 +78,9 @@ impl From<CoreId> for usize {
 ///
 /// assert_eq!(CoreId::new(5).node(), NodeId::new(5));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct NodeId(usize);
 
 impl NodeId {

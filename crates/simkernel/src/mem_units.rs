@@ -22,7 +22,9 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!((l2_slice / l1), 8);
 /// assert_eq!(ByteSize::mib(16), ByteSize::kib(16 * 1024));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct ByteSize(u64);
 
 impl ByteSize {
@@ -101,11 +103,11 @@ impl ByteSize {
 impl fmt::Display for ByteSize {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let b = self.0;
-        if b >= 1024 * 1024 * 1024 && b % (1024 * 1024 * 1024) == 0 {
+        if b >= 1024 * 1024 * 1024 && b.is_multiple_of(1024 * 1024 * 1024) {
             write!(f, "{} GiB", b / (1024 * 1024 * 1024))
-        } else if b >= 1024 * 1024 && b % (1024 * 1024) == 0 {
+        } else if b >= 1024 * 1024 && b.is_multiple_of(1024 * 1024) {
             write!(f, "{} MiB", b / (1024 * 1024))
-        } else if b >= 1024 && b % 1024 == 0 {
+        } else if b >= 1024 && b.is_multiple_of(1024) {
             write!(f, "{} KiB", b / 1024)
         } else {
             write!(f, "{b} B")
@@ -185,8 +187,14 @@ mod tests {
 
     #[test]
     fn blocks_rounds_up() {
-        assert_eq!(ByteSize::bytes_exact(130).blocks(ByteSize::bytes_exact(64)), 3);
-        assert_eq!(ByteSize::bytes_exact(128).blocks(ByteSize::bytes_exact(64)), 2);
+        assert_eq!(
+            ByteSize::bytes_exact(130).blocks(ByteSize::bytes_exact(64)),
+            3
+        );
+        assert_eq!(
+            ByteSize::bytes_exact(128).blocks(ByteSize::bytes_exact(64)),
+            2
+        );
     }
 
     #[test]

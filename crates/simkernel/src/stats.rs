@@ -321,7 +321,8 @@ impl StatRegistry {
 
     /// Sets the floating point statistic named `name`, replacing any previous value.
     pub fn set_value(&mut self, name: &str, value: f64) {
-        self.entries.insert(name.to_owned(), StatValue::Value(value));
+        self.entries
+            .insert(name.to_owned(), StatValue::Value(value));
     }
 
     /// Adds `value` to the floating point statistic named `name`.
@@ -333,7 +334,8 @@ impl StatRegistry {
                 self.entries.insert(name.to_owned(), StatValue::Value(new));
             }
             None => {
-                self.entries.insert(name.to_owned(), StatValue::Value(value));
+                self.entries
+                    .insert(name.to_owned(), StatValue::Value(value));
             }
         }
     }

@@ -66,7 +66,12 @@ impl SpmAddressMap {
     /// # Panics
     ///
     /// Panics if `cores` is zero or `spm_size` is zero.
-    pub fn with_bases(cores: usize, spm_size: ByteSize, virtual_base: Addr, physical_base: Addr) -> Self {
+    pub fn with_bases(
+        cores: usize,
+        spm_size: ByteSize,
+        virtual_base: Addr,
+        physical_base: Addr,
+    ) -> Self {
         assert!(cores > 0, "need at least one core");
         assert!(spm_size.bytes() > 0, "SPM size must be non-zero");
         SpmAddressMap {
@@ -133,7 +138,10 @@ impl SpmAddressMap {
     ///
     /// Panics if the core or offset is out of range.
     pub fn spm_addr(&self, core: CoreId, offset: u64) -> Addr {
-        assert!(offset < self.spm_size.bytes(), "offset {offset:#x} outside the SPM");
+        assert!(
+            offset < self.spm_size.bytes(),
+            "offset {offset:#x} outside the SPM"
+        );
         self.local_range(core).start() + offset
     }
 
@@ -213,12 +221,20 @@ mod tests {
         let m = map();
         let v = m.spm_addr(CoreId::new(5), 0x40);
         let p = m.translate(v).unwrap();
-        assert_eq!(p - Addr::new(DEFAULT_SPM_PHYSICAL_BASE), v - Addr::new(DEFAULT_SPM_VIRTUAL_BASE));
+        assert_eq!(
+            p - Addr::new(DEFAULT_SPM_PHYSICAL_BASE),
+            v - Addr::new(DEFAULT_SPM_VIRTUAL_BASE)
+        );
     }
 
     #[test]
     fn custom_bases() {
-        let m = SpmAddressMap::with_bases(2, ByteSize::kib(4), Addr::new(0x1_0000), Addr::new(0x9_0000));
+        let m = SpmAddressMap::with_bases(
+            2,
+            ByteSize::kib(4),
+            Addr::new(0x1_0000),
+            Addr::new(0x9_0000),
+        );
         assert_eq!(m.local_range(CoreId::new(1)).start(), Addr::new(0x1_1000));
         assert_eq!(m.translate(Addr::new(0x1_0010)), Some(Addr::new(0x9_0010)));
     }

@@ -270,7 +270,13 @@ mod tests {
         let mut d = dmac();
         // Warm a line into core 1's cache, then dma-put over it.
         let addr = Addr::new(0x20_0000);
-        let _ = m.access(CoreId::new(1), addr, mem::AccessKind::Load, MessageClass::Read, 1);
+        let _ = m.access(
+            CoreId::new(1),
+            addr,
+            mem::AccessKind::Load,
+            MessageClass::Read,
+            1,
+        );
         assert!(m.is_cached(addr.line()));
         let range = AddressRange::new(addr, 64);
         let done = d.dma_put(2, range, Cycle::new(100), &mut m);
@@ -313,8 +319,18 @@ mod tests {
     fn same_tag_accumulates_latest_completion() {
         let mut m = memsys();
         let mut d = dmac();
-        let c1 = d.dma_get(7, AddressRange::new(Addr::new(0x1000), 64), Cycle::ZERO, &mut m);
-        let c2 = d.dma_get(7, AddressRange::new(Addr::new(0x2000), 64), Cycle::ZERO, &mut m);
+        let c1 = d.dma_get(
+            7,
+            AddressRange::new(Addr::new(0x1000), 64),
+            Cycle::ZERO,
+            &mut m,
+        );
+        let c2 = d.dma_get(
+            7,
+            AddressRange::new(Addr::new(0x2000), 64),
+            Cycle::ZERO,
+            &mut m,
+        );
         let done = d.dma_synch(&[7], Cycle::ZERO);
         assert_eq!(done, c1.max(c2));
     }
@@ -330,7 +346,12 @@ mod tests {
             },
         );
         for tag in 0..4 {
-            let _ = d.dma_get(tag, AddressRange::new(Addr::new(0x1000 * (tag as u64 + 1)), 256), Cycle::ZERO, &mut m);
+            let _ = d.dma_get(
+                tag,
+                AddressRange::new(Addr::new(0x1000 * (tag as u64 + 1)), 256),
+                Cycle::ZERO,
+                &mut m,
+            );
         }
         assert!(d.queue_full_stalls() > 0);
     }
@@ -339,7 +360,12 @@ mod tests {
     fn export_stats_names() {
         let mut m = memsys();
         let mut d = dmac();
-        let _ = d.dma_get(1, AddressRange::new(Addr::new(0x1000), 128), Cycle::ZERO, &mut m);
+        let _ = d.dma_get(
+            1,
+            AddressRange::new(Addr::new(0x1000), 128),
+            Cycle::ZERO,
+            &mut m,
+        );
         let mut stats = StatRegistry::new();
         d.export_stats(&mut stats);
         assert_eq!(stats.count("dmac.gets"), 1);

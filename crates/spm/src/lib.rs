@@ -42,5 +42,5 @@ pub mod dmac;
 pub mod scratchpad;
 
 pub use addrmap::SpmAddressMap;
-pub use dmac::{Dmac, DmacConfig, DmaTag};
+pub use dmac::{DmaTag, Dmac, DmacConfig};
 pub use scratchpad::{BufferId, Scratchpad, SpmConfig};

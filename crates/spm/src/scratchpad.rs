@@ -152,7 +152,10 @@ impl Scratchpad {
     ///
     /// Panics if the buffer is outside the current partitioning.
     pub fn buffer_base(&self, buffer: BufferId) -> u64 {
-        assert!(buffer.index() < self.buffers, "buffer {buffer:?} not allocated");
+        assert!(
+            buffer.index() < self.buffers,
+            "buffer {buffer:?} not allocated"
+        );
         self.buffer_size().bytes() * buffer.index() as u64
     }
 

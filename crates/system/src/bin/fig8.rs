@@ -4,5 +4,8 @@
 
 fn main() {
     let options = system::CliOptions::parse(std::env::args().skip(1));
-    print!("{}", system::cli::run_report(system::Report::Fig8, &options));
+    print!(
+        "{}",
+        system::cli::run_report(system::Report::Fig8, &options)
+    );
 }

@@ -62,8 +62,10 @@ impl CliOptions {
                 }
                 "--benchmarks" => {
                     if let Some(list) = args.next() {
-                        let parsed: Vec<NasBenchmark> =
-                            list.split(',').filter_map(NasBenchmark::from_name).collect();
+                        let parsed: Vec<NasBenchmark> = list
+                            .split(',')
+                            .filter_map(NasBenchmark::from_name)
+                            .collect();
                         if !parsed.is_empty() {
                             options.benchmarks = parsed;
                         }
@@ -151,7 +153,7 @@ pub fn run_report(report: Report, options: &CliOptions) -> String {
             }
             if options.json {
                 out.push('\n');
-                out.push_str(&serde_json::to_string_pretty(&suite.summary()).unwrap_or_default());
+                out.push_str(&suite.summary().to_json());
                 out.push('\n');
             }
             out
@@ -176,11 +178,15 @@ fn run_ablations(options: &CliOptions) -> String {
         simkernel::ByteSize::kib(32),
         simkernel::ByteSize::kib(64),
     ];
-    let spm_points = ablations::spm_size_sweep(&config, NasBenchmark::Cg, &spm_sizes, options.scale * 0.5);
+    let spm_points =
+        ablations::spm_size_sweep(&config, NasBenchmark::Cg, &spm_sizes, options.scale * 0.5);
     out.push_str(&ablations::spm_size_table(&spm_points));
     out.push('\n');
-    let intensity_points =
-        ablations::guarded_intensity_sweep(&config, &[0.0, 0.5, 1.0, 2.0, 4.0], options.scale * 0.25);
+    let intensity_points = ablations::guarded_intensity_sweep(
+        &config,
+        &[0.0, 0.5, 1.0, 2.0, 4.0],
+        options.scale * 0.25,
+    );
     out.push_str(&ablations::guarded_intensity_table(&intensity_points));
     out
 }
@@ -196,9 +202,18 @@ mod tests {
         assert_eq!(d.benchmarks.len(), 6);
         assert!(!d.json);
 
-        let args = ["--cores", "8", "--scale", "0.25", "--benchmarks", "cg,is", "--json", "--bogus"]
-            .iter()
-            .map(|s| s.to_string());
+        let args = [
+            "--cores",
+            "8",
+            "--scale",
+            "0.25",
+            "--benchmarks",
+            "cg,is",
+            "--json",
+            "--bogus",
+        ]
+        .iter()
+        .map(|s| s.to_string());
         let o = CliOptions::parse(args);
         assert_eq!(o.cores, 8);
         assert_eq!(o.scale, 0.25);

@@ -197,15 +197,32 @@ mod tests {
     #[test]
     fn memory_for_selects_the_right_l1() {
         let c = SystemConfig::isca2015();
-        assert_eq!(c.memory_for(MachineKind::CacheOnly).l1d.size, ByteSize::kib(64));
-        assert_eq!(c.memory_for(MachineKind::HybridProposed).l1d.size, ByteSize::kib(32));
-        assert_eq!(c.memory_for(MachineKind::HybridIdeal).l1d.size, ByteSize::kib(32));
+        assert_eq!(
+            c.memory_for(MachineKind::CacheOnly).l1d.size,
+            ByteSize::kib(64)
+        );
+        assert_eq!(
+            c.memory_for(MachineKind::HybridProposed).l1d.size,
+            ByteSize::kib(32)
+        );
+        assert_eq!(
+            c.memory_for(MachineKind::HybridIdeal).l1d.size,
+            ByteSize::kib(32)
+        );
     }
 
     #[test]
     fn table1_render_mentions_key_structures() {
         let t = SystemConfig::isca2015().table1();
-        for needle in ["64 cores", "SPMDir", "Filter", "FilterDir", "MOESI", "mesh", "32 KiB"] {
+        for needle in [
+            "64 cores",
+            "SPMDir",
+            "Filter",
+            "FilterDir",
+            "MOESI",
+            "mesh",
+            "32 KiB",
+        ] {
             assert!(t.contains(needle), "table 1 text missing {needle}");
         }
     }

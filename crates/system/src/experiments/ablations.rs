@@ -150,8 +150,8 @@ pub fn guarded_intensity_sweep(
     intensities
         .iter()
         .map(|&intensity| {
-            let mut spec: BenchmarkSpec =
-                NasBenchmark::Cg.spec_scaled(NasBenchmark::Cg.recommended_scale() * scale_multiplier);
+            let mut spec: BenchmarkSpec = NasBenchmark::Cg
+                .spec_scaled(NasBenchmark::Cg.recommended_scale() * scale_multiplier);
             for kernel in &mut spec.kernels {
                 for random in &mut kernel.random_refs {
                     random.accesses_per_iteration = intensity;
@@ -171,12 +171,18 @@ pub fn guarded_intensity_sweep(
 /// Formats a guarded-intensity sweep as a text table.
 pub fn guarded_intensity_table(points: &[GuardedIntensityPoint]) -> String {
     let mut t = TableBuilder::new("Ablation: guarded accesses per iteration vs hybrid speedup");
-    t.columns(&["Guarded / iteration", "Speedup vs cache", "Filter hit ratio"]);
+    t.columns(&[
+        "Guarded / iteration",
+        "Speedup vs cache",
+        "Filter hit ratio",
+    ]);
     for p in points {
         t.row_owned(vec![
             format!("{:.2}", p.guarded_per_iteration),
             fmt_ratio(p.speedup),
-            p.filter_hit_ratio.map(fmt_percent).unwrap_or_else(|| "n/a".into()),
+            p.filter_hit_ratio
+                .map(fmt_percent)
+                .unwrap_or_else(|| "n/a".into()),
         ]);
     }
     t.build()
@@ -206,7 +212,10 @@ mod tests {
         assert_eq!(points.len(), 2);
         for p in &points {
             let sum = p.control_fraction + p.sync_fraction + p.work_fraction;
-            assert!((sum - 1.0).abs() < 0.05, "phase fractions should sum to ~1, got {sum}");
+            assert!(
+                (sum - 1.0).abs() < 0.05,
+                "phase fractions should sum to ~1, got {sum}"
+            );
             assert!(p.speedup > 0.0);
         }
         assert!(spm_size_table(&points).contains("SPM size"));

@@ -86,7 +86,10 @@ pub(super) fn fig7(suite: &ExperimentSuite) -> Fig7Table {
                     ideal.execution_time.as_f64(),
                 ),
                 energy: ratio(proposed.total_energy(), ideal.total_energy()),
-                noc_traffic: ratio(proposed.total_packets() as f64, ideal.total_packets() as f64),
+                noc_traffic: ratio(
+                    proposed.total_packets() as f64,
+                    ideal.total_packets() as f64,
+                ),
             },
         ));
     }
@@ -267,7 +270,15 @@ impl Fig10Table {
             "Figure 10: NoC traffic (packets) per class, cache-based (C) vs hybrid (H)",
         );
         t.columns(&[
-            "Benchmark", "System", "Ifetch", "Read", "Write", "WB-Repl", "DMA", "CohProt", "Total (norm.)",
+            "Benchmark",
+            "System",
+            "Ifetch",
+            "Read",
+            "Write",
+            "WB-Repl",
+            "DMA",
+            "CohProt",
+            "Total (norm.)",
         ]);
         for (name, cache, hybrid, normalized) in &self.rows {
             let total_cache: u64 = cache.iter().sum();
@@ -309,10 +320,7 @@ pub(super) fn fig10(suite: &ExperimentSuite) -> Fig10Table {
         };
         let cache_packets = cache.traffic.packets_by_class();
         let hybrid_packets = hybrid.traffic.packets_by_class();
-        let normalized = ratio(
-            hybrid.total_packets() as f64,
-            cache.total_packets() as f64,
-        );
+        let normalized = ratio(hybrid.total_packets() as f64, cache.total_packets() as f64);
         rows.push((name.clone(), cache_packets, hybrid_packets, normalized));
     }
     Fig10Table { rows }
@@ -397,6 +405,32 @@ pub struct SummaryTable {
 }
 
 impl SummaryTable {
+    /// Renders the summary as a pretty-printed JSON object (hand-rolled so
+    /// the `--json` flag needs no serialization dependency).
+    pub fn to_json(&self) -> String {
+        // `Display` for f64 writes `inf`/`NaN`, which are not JSON tokens;
+        // non-finite values (a zero-denominator ratio) become `null` exactly
+        // as serde_json would serialize them.
+        fn num(v: f64) -> String {
+            if v.is_finite() {
+                v.to_string()
+            } else {
+                "null".to_owned()
+            }
+        }
+        format!(
+            "{{\n  \"average_speedup\": {},\n  \"average_traffic_ratio\": {},\n  \
+             \"average_energy_ratio\": {},\n  \"protocol_time_overhead\": {},\n  \
+             \"protocol_energy_overhead\": {},\n  \"protocol_traffic_overhead\": {}\n}}",
+            num(self.average_speedup),
+            num(self.average_traffic_ratio),
+            num(self.average_energy_ratio),
+            num(self.protocol_time_overhead),
+            num(self.protocol_energy_overhead),
+            num(self.protocol_traffic_overhead),
+        )
+    }
+
     /// Renders the summary as a text table.
     pub fn to_table(&self) -> String {
         let mut t = TableBuilder::new("Headline comparison (cf. paper abstract)");
@@ -484,11 +518,19 @@ mod tests {
             rows: vec![
                 (
                     "A".into(),
-                    Fig7Row { execution_time: 1.02, energy: 1.10, noc_traffic: 1.04 },
+                    Fig7Row {
+                        execution_time: 1.02,
+                        energy: 1.10,
+                        noc_traffic: 1.04,
+                    },
                 ),
                 (
                     "B".into(),
-                    Fig7Row { execution_time: 1.06, energy: 1.06, noc_traffic: 1.12 },
+                    Fig7Row {
+                        execution_time: 1.06,
+                        energy: 1.06,
+                        noc_traffic: 1.12,
+                    },
                 ),
             ],
         };
@@ -550,5 +592,23 @@ mod tests {
     #[test]
     fn message_classes_expose_six_groups() {
         assert_eq!(message_classes().len(), 6);
+    }
+
+    #[test]
+    fn summary_json_stays_valid_for_non_finite_ratios() {
+        let s = SummaryTable {
+            average_speedup: 1.25,
+            average_traffic_ratio: f64::INFINITY,
+            average_energy_ratio: f64::NAN,
+            protocol_time_overhead: 1.0,
+            protocol_energy_overhead: 1.0,
+            protocol_traffic_overhead: 1.0,
+        };
+        let json = s.to_json();
+        assert!(json.contains("\"average_speedup\": 1.25"));
+        assert!(json.contains("\"average_traffic_ratio\": null"));
+        assert!(json.contains("\"average_energy_ratio\": null"));
+        assert!(!json.contains("inf"), "Display's `inf` is not a JSON token");
+        assert!(!json.contains("NaN"), "`NaN` is not a JSON token");
     }
 }

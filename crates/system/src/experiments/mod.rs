@@ -73,7 +73,11 @@ impl ExperimentSuite {
 
     /// A reduced suite (fewer cores and much smaller data sets) used by the
     /// integration tests and criterion benches.
-    pub fn run_quick(config: &SystemConfig, benchmarks: &[NasBenchmark], scale_multiplier: f64) -> Self {
+    pub fn run_quick(
+        config: &SystemConfig,
+        benchmarks: &[NasBenchmark],
+        scale_multiplier: f64,
+    ) -> Self {
         Self::run(config, benchmarks, &MachineKind::ALL, scale_multiplier)
     }
 
@@ -103,7 +107,8 @@ impl ExperimentSuite {
 
     /// Inserts (or replaces) a run, for suites assembled manually.
     pub fn insert(&mut self, benchmark: &str, kind: MachineKind, result: RunResult) {
-        self.runs.retain(|(b, k, _)| !(b == benchmark && *k == kind));
+        self.runs
+            .retain(|(b, k, _)| !(b == benchmark && *k == kind));
         self.runs.push((benchmark.to_owned(), kind, result));
     }
 

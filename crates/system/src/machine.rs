@@ -120,9 +120,12 @@ impl Machine {
             }
             _ => Box::new(IdealCoherence::new(self.config.protocol.clone())),
         };
-        let mut spms: Vec<Scratchpad> = (0..cores).map(|_| Scratchpad::new(self.config.spm)).collect();
-        let mut dmacs: Vec<Dmac> =
-            (0..cores).map(|i| Dmac::new(CoreId::new(i), self.config.dmac)).collect();
+        let mut spms: Vec<Scratchpad> = (0..cores)
+            .map(|_| Scratchpad::new(self.config.spm))
+            .collect();
+        let mut dmacs: Vec<Dmac> = (0..cores)
+            .map(|i| Dmac::new(CoreId::new(i), self.config.dmac))
+            .collect();
         let mut core_models: Vec<CoreTimingModel> = (0..cores)
             .map(|_| CoreTimingModel::new(self.config.core))
             .collect();
@@ -148,11 +151,21 @@ impl Machine {
             // Kernel barrier: every core waits for the slowest one.
             if std::env::var("SPM_DEBUG_CORES").is_ok() {
                 let times: Vec<u64> = core_models.iter().map(|c| c.now().as_u64()).collect();
-                let works: Vec<u64> = core_models.iter().map(|c| c.breakdown().phase(Phase::Work).as_u64()).collect();
+                let works: Vec<u64> = core_models
+                    .iter()
+                    .map(|c| c.breakdown().phase(Phase::Work).as_u64())
+                    .collect();
                 let stalls: Vec<u64> = core_models.iter().map(|c| c.stall_cycles()).collect();
-                eprintln!("kernel {} times={times:?}\n  works={works:?}\n  stalls={stalls:?}", kernel.name);
+                eprintln!(
+                    "kernel {} times={times:?}\n  works={works:?}\n  stalls={stalls:?}",
+                    kernel.name
+                );
             }
-            let barrier = core_models.iter().map(|c| c.now()).max().unwrap_or(Cycle::ZERO);
+            let barrier = core_models
+                .iter()
+                .map(|c| c.now())
+                .max()
+                .unwrap_or(Cycle::ZERO);
             for core in core_models.iter_mut() {
                 core.set_phase(Phase::Sync);
                 core.drain_memory();
@@ -186,7 +199,13 @@ impl Machine {
             let code = mem::AddressRange::new(kernel.code_base, kernel.code_size);
             for (i, line) in code.lines().enumerate() {
                 let core = CoreId::new(i % cores);
-                let _ = memsys.access(core, line.base(), AccessKind::Ifetch, MessageClass::Ifetch, 0);
+                let _ = memsys.access(
+                    core,
+                    line.base(),
+                    AccessKind::Ifetch,
+                    MessageClass::Ifetch,
+                    0,
+                );
             }
         }
     }
@@ -214,7 +233,16 @@ impl Machine {
         // Prologue on every core.
         for (i, exec) in execs.iter_mut().enumerate() {
             let ops = exec.prologue();
-            self.execute_ops(&ops, CoreId::new(i), kernel, memsys, protocol, spms, dmacs, core_models);
+            self.execute_ops(
+                &ops,
+                CoreId::new(i),
+                kernel,
+                memsys,
+                protocol,
+                spms,
+                dmacs,
+                core_models,
+            );
         }
 
         // Tiles are interleaved across cores so the shared L2 and the NoC see
@@ -227,14 +255,32 @@ impl Machine {
                     continue;
                 }
                 let ops = exec.tile(tile);
-                self.execute_ops(&ops, CoreId::new(i), kernel, memsys, protocol, spms, dmacs, core_models);
+                self.execute_ops(
+                    &ops,
+                    CoreId::new(i),
+                    kernel,
+                    memsys,
+                    protocol,
+                    spms,
+                    dmacs,
+                    core_models,
+                );
             }
         }
 
         // Epilogue on every core.
         for (i, exec) in execs.iter_mut().enumerate() {
             let ops = exec.epilogue();
-            self.execute_ops(&ops, CoreId::new(i), kernel, memsys, protocol, spms, dmacs, core_models);
+            self.execute_ops(
+                &ops,
+                CoreId::new(i),
+                kernel,
+                memsys,
+                protocol,
+                spms,
+                dmacs,
+                core_models,
+            );
         }
     }
 
@@ -284,8 +330,16 @@ impl Machine {
                     protocol.on_loop_end(core_id);
                     core_models[c].drain_memory();
                 }
-                TraceOp::Load { addr, class, reference_id }
-                | TraceOp::Store { addr, class, reference_id } => {
+                TraceOp::Load {
+                    addr,
+                    class,
+                    reference_id,
+                }
+                | TraceOp::Store {
+                    addr,
+                    class,
+                    reference_id,
+                } => {
                     let is_store = matches!(op, TraceOp::Store { .. });
                     match class {
                         MemRefClass::SpmStrided { .. } => {
@@ -310,9 +364,18 @@ impl Machine {
                             }
                         }
                         MemRefClass::Gm | MemRefClass::GmStrided | MemRefClass::Stack => {
-                            let kind = if is_store { AccessKind::Store } else { AccessKind::Load };
-                            let msg_class = if is_store { MessageClass::Write } else { MessageClass::Read };
-                            let result = memsys.access(core_id, *addr, kind, msg_class, *reference_id);
+                            let kind = if is_store {
+                                AccessKind::Store
+                            } else {
+                                AccessKind::Load
+                            };
+                            let msg_class = if is_store {
+                                MessageClass::Write
+                            } else {
+                                MessageClass::Read
+                            };
+                            let result =
+                                memsys.access(core_id, *addr, kind, msg_class, *reference_id);
                             // Random (pointer-like) accesses feed dependent
                             // work; strided and stack accesses are
                             // independent and overlap under the MLP window.
@@ -346,7 +409,11 @@ impl Machine {
         core_models: Vec<CoreTimingModel>,
     ) -> RunResult {
         let _ = compiled;
-        let execution_time = core_models.iter().map(|c| c.now()).max().unwrap_or(Cycle::ZERO);
+        let execution_time = core_models
+            .iter()
+            .map(|c| c.now())
+            .max()
+            .unwrap_or(Cycle::ZERO);
 
         // Aggregate statistics from every component.
         let mut stats = StatRegistry::new();
@@ -429,7 +496,10 @@ mod tests {
         let spec = small_spec();
         for kind in MachineKind::ALL {
             let r = Machine::new(kind, config()).run(&spec);
-            assert!(r.execution_time > Cycle::ZERO, "{kind}: zero execution time");
+            assert!(
+                r.execution_time > Cycle::ZERO,
+                "{kind}: zero execution time"
+            );
             assert!(r.instructions > 0);
             assert!(r.total_energy() > 0.0);
             assert!(r.total_packets() > 0);

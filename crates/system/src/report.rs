@@ -53,7 +53,8 @@ impl TableBuilder {
             cells.len(),
             self.header.len()
         );
-        self.rows.push(cells.iter().map(|s| s.to_string()).collect());
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
         self
     }
 

@@ -183,7 +183,8 @@ pub fn compile(spec: &BenchmarkSpec, mode: ExecMode, machine: &MachineParams) ->
     // References with the same name in different kernels are the same array
     // section (SP's solver sweeps re-traverse the same grid), so they share
     // their address region.
-    let mut named_regions: std::collections::HashMap<String, Addr> = std::collections::HashMap::new();
+    let mut named_regions: std::collections::HashMap<String, Addr> =
+        std::collections::HashMap::new();
 
     let kernels = spec
         .kernels
@@ -219,14 +220,21 @@ fn compile_kernel(
     named_regions: &mut std::collections::HashMap<String, Addr>,
 ) -> CompiledKernel {
     let buffer_count = k.spm_refs.len().max(1);
-    let buffer_size = ByteSize::bytes_exact((machine.spm_size.bytes() / buffer_count as u64).max(64));
+    let buffer_size =
+        ByteSize::bytes_exact((machine.spm_size.bytes() / buffer_count as u64).max(64));
     assert!(
         buffer_size.bytes() >= 64,
         "kernel {} needs more buffers than the SPM can provide",
         k.name
     );
 
-    let max_elem = k.spm_refs.iter().map(|r| r.elem_bytes).max().unwrap_or(8).max(1);
+    let max_elem = k
+        .spm_refs
+        .iter()
+        .map(|r| r.elem_bytes)
+        .max()
+        .unwrap_or(8)
+        .max(1);
     let tile_elems = (buffer_size.bytes() / max_elem).max(1);
     let iterations_per_core = (k.iterations_per_traversal() / machine.cores as u64).max(1);
     let tiles_per_traversal = iterations_per_core.div_ceil(tile_elems).max(1);
@@ -391,7 +399,10 @@ mod tests {
         assert!(k.tile_elems > 0);
         assert!(k.tiles_per_traversal * k.tile_elems >= k.iterations_per_core);
         assert!((k.tiles_per_traversal - 1) * k.tile_elems < k.iterations_per_core);
-        assert_eq!(k.total_tiles_per_core(), k.tiles_per_traversal * k.outer_repeats);
+        assert_eq!(
+            k.total_tiles_per_core(),
+            k.tiles_per_traversal * k.outer_repeats
+        );
     }
 
     #[test]

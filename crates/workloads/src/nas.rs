@@ -120,7 +120,12 @@ fn split_bytes(total: ByteSize, parts: usize) -> Vec<ByteSize> {
     out
 }
 
-fn strided_refs(prefix: &str, total: ByteSize, count: usize, written_every: usize) -> Vec<ArrayRef> {
+fn strided_refs(
+    prefix: &str,
+    total: ByteSize,
+    count: usize,
+    written_every: usize,
+) -> Vec<ArrayRef> {
     split_bytes(total, count)
         .into_iter()
         .enumerate()
@@ -144,8 +149,9 @@ fn cg() -> BenchmarkSpec {
         kernels: vec![KernelSpec {
             name: "conj_grad".into(),
             spm_refs: strided_refs("cg_a", ByteSize::mib(109), 5, 3),
-            random_refs: vec![GuardedRef::guarded("x_gather", ByteSize::kib(600), 1.0)
-                .with_locality(0.85, 0.08)],
+            random_refs: vec![
+                GuardedRef::guarded("x_gather", ByteSize::kib(600), 1.0).with_locality(0.85, 0.08)
+            ],
             stack_accesses_per_iteration: 0.8,
             compute_insts_per_iteration: 12,
             outer_repeats: 2,
@@ -196,12 +202,10 @@ fn ft() -> BenchmarkSpec {
         .enumerate()
         .map(|(i, (&refs, bytes))| {
             let random_refs = if i < 4 {
-                vec![GuardedRef::guarded(
-                    &format!("ft_twiddle{i}"),
-                    ByteSize::kib(256),
-                    0.15,
-                )
-                .with_locality(0.92, 0.1)]
+                vec![
+                    GuardedRef::guarded(&format!("ft_twiddle{i}"), ByteSize::kib(256), 0.15)
+                        .with_locality(0.92, 0.1),
+                ]
             } else {
                 Vec::new()
             };
@@ -264,12 +268,8 @@ fn mg() -> BenchmarkSpec {
             spm_refs: strided_refs(&format!("mg_v{i}_"), bytes, refs, 4),
             random_refs: (0..2)
                 .map(|j| {
-                    GuardedRef::guarded(
-                        &format!("mg_bound{i}_{j}"),
-                        guarded_bytes[i * 2 + j],
-                        0.15,
-                    )
-                    .with_locality(1.0, 1.0)
+                    GuardedRef::guarded(&format!("mg_bound{i}_{j}"), guarded_bytes[i * 2 + j], 0.15)
+                        .with_locality(1.0, 1.0)
                 })
                 .collect(),
             stack_accesses_per_iteration: 1.0,
@@ -347,7 +347,10 @@ mod tests {
                 (s.spm_ref_count(), s.guarded_ref_count())
             })
             .collect();
-        assert_eq!(counts, vec![(5, 1), (3, 1), (32, 4), (3, 2), (59, 6), (497, 0)]);
+        assert_eq!(
+            counts,
+            vec![(5, 1), (3, 1), (32, 4), (3, 2), (59, 6), (497, 0)]
+        );
     }
 
     #[test]

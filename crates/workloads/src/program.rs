@@ -43,7 +43,10 @@ impl<'a> KernelExecution<'a> {
     ///
     /// Panics if `core` is outside the machine.
     pub fn new(kernel: &'a CompiledKernel, core: CoreId, cores: usize, seed: u64) -> Self {
-        assert!(core.index() < cores, "core {core} outside a {cores}-core machine");
+        assert!(
+            core.index() < cores,
+            "core {core} outside a {cores}-core machine"
+        );
         let mut root = SimRng::seed_from_u64(seed ^ kernel_seed(kernel));
         let rng = root.fork(core.index() as u64);
         KernelExecution {
@@ -174,7 +177,9 @@ impl<'a> KernelExecution<'a> {
                 };
                 let prev_chunk = self.chunk_of(r.buffer, prev_traversal_tile);
                 if prev_chunk == chunk {
-                    ops.push(TraceOp::Compute { insts: MAP_HIT_INSTS });
+                    ops.push(TraceOp::Compute {
+                        insts: MAP_HIT_INSTS,
+                    });
                     continue;
                 }
                 // Write back the chunk used in the previous tile if the
@@ -297,7 +302,11 @@ fn random_ref_address(r: &CompiledRandomRef, rng: &mut SimRng) -> Addr {
     let hot_bytes = ((r.size as f64 * r.hot_set_fraction) as u64).clamp(8, r.size);
     let in_hot = rng.gen_bool(r.hot_fraction);
     let span = if in_hot { hot_bytes } else { r.size };
-    let offset = if span <= 8 { 0 } else { rng.gen_range(0..span - 8) & !7 };
+    let offset = if span <= 8 {
+        0
+    } else {
+        rng.gen_range(0..span - 8) & !7
+    };
     r.base + offset
 }
 
@@ -336,7 +345,9 @@ mod tests {
         let c = compiled(ExecMode::Hybrid);
         let exec = KernelExecution::new(&c.kernels[0], CoreId::new(0), 4, 42);
         let ops = exec.prologue();
-        assert!(ops.iter().any(|o| matches!(o, TraceOp::AllocateBuffers { count } if *count == 5)));
+        assert!(ops
+            .iter()
+            .any(|o| matches!(o, TraceOp::AllocateBuffers { count } if *count == 5)));
     }
 
     #[test]
@@ -352,15 +363,23 @@ mod tests {
             })
             .collect();
         assert_eq!(phases, vec![Phase::Control, Phase::Sync, Phase::Work]);
-        let gets = ops.iter().filter(|o| matches!(o, TraceOp::DmaGet { .. })).count();
+        let gets = ops
+            .iter()
+            .filter(|o| matches!(o, TraceOp::DmaGet { .. }))
+            .count();
         assert_eq!(gets, 5, "one dma-get per SPM buffer");
         assert!(ops.iter().any(|o| matches!(o, TraceOp::DmaSync { .. })));
         // Work-phase accesses are classified as SPM or guarded, never plain GM
         // for the strided references.
         assert!(ops.iter().any(|o| matches!(
             o,
-            TraceOp::Load { class: MemRefClass::SpmStrided { .. }, .. }
-                | TraceOp::Store { class: MemRefClass::SpmStrided { .. }, .. }
+            TraceOp::Load {
+                class: MemRefClass::SpmStrided { .. },
+                ..
+            } | TraceOp::Store {
+                class: MemRefClass::SpmStrided { .. },
+                ..
+            }
         )));
     }
 
@@ -369,10 +388,19 @@ mod tests {
         let c = compiled(ExecMode::Hybrid);
         let mut exec = KernelExecution::new(&c.kernels[0], CoreId::new(0), 4, 42);
         let first = exec.tile(0);
-        assert_eq!(first.iter().filter(|o| matches!(o, TraceOp::DmaPut { .. })).count(), 0);
+        assert_eq!(
+            first
+                .iter()
+                .filter(|o| matches!(o, TraceOp::DmaPut { .. }))
+                .count(),
+            0
+        );
         if exec.num_tiles() > 1 {
             let second = exec.tile(1);
-            let puts = second.iter().filter(|o| matches!(o, TraceOp::DmaPut { .. })).count();
+            let puts = second
+                .iter()
+                .filter(|o| matches!(o, TraceOp::DmaPut { .. }))
+                .count();
             let written = c.kernels[0].spm_refs.iter().filter(|r| r.written).count();
             assert_eq!(puts, written);
         }
@@ -389,8 +417,13 @@ mod tests {
         )));
         assert!(!ops.iter().any(|o| matches!(
             o,
-            TraceOp::Load { class: MemRefClass::Guarded, .. }
-                | TraceOp::Store { class: MemRefClass::Guarded, .. }
+            TraceOp::Load {
+                class: MemRefClass::Guarded,
+                ..
+            } | TraceOp::Store {
+                class: MemRefClass::Guarded,
+                ..
+            }
         )));
     }
 
@@ -406,8 +439,13 @@ mod tests {
                 .filter(|o| {
                     matches!(
                         o,
-                        TraceOp::Load { class: MemRefClass::Guarded, .. }
-                            | TraceOp::Store { class: MemRefClass::Guarded, .. }
+                        TraceOp::Load {
+                            class: MemRefClass::Guarded,
+                            ..
+                        } | TraceOp::Store {
+                            class: MemRefClass::Guarded,
+                            ..
+                        }
                     )
                 })
                 .count();
@@ -434,8 +472,16 @@ mod tests {
         let addrs_of = |ops: &[TraceOp]| -> Vec<Addr> {
             ops.iter()
                 .filter_map(|o| match o {
-                    TraceOp::Load { addr, class: MemRefClass::GmStrided, reference_id } if *reference_id > 0 => Some(*addr),
-                    TraceOp::Store { addr, class: MemRefClass::GmStrided, reference_id } if *reference_id > 0 => Some(*addr),
+                    TraceOp::Load {
+                        addr,
+                        class: MemRefClass::GmStrided,
+                        reference_id,
+                    } if *reference_id > 0 => Some(*addr),
+                    TraceOp::Store {
+                        addr,
+                        class: MemRefClass::GmStrided,
+                        reference_id,
+                    } if *reference_id > 0 => Some(*addr),
                     _ => None,
                 })
                 .collect()
@@ -445,19 +491,21 @@ mod tests {
         let a_ops = a.tile(0);
         let b_ops = b.tile(0);
         let a_first = a_ops.iter().find_map(|o| match o {
-            TraceOp::Load { addr, reference_id, .. } | TraceOp::Store { addr, reference_id, .. }
-                if *reference_id == ref0 =>
-            {
-                Some(*addr)
+            TraceOp::Load {
+                addr, reference_id, ..
             }
+            | TraceOp::Store {
+                addr, reference_id, ..
+            } if *reference_id == ref0 => Some(*addr),
             _ => None,
         });
         let b_first = b_ops.iter().find_map(|o| match o {
-            TraceOp::Load { addr, reference_id, .. } | TraceOp::Store { addr, reference_id, .. }
-                if *reference_id == ref0 =>
-            {
-                Some(*addr)
+            TraceOp::Load {
+                addr, reference_id, ..
             }
+            | TraceOp::Store {
+                addr, reference_id, ..
+            } if *reference_id == ref0 => Some(*addr),
             _ => None,
         });
         assert_ne!(a_first, b_first);
@@ -472,7 +520,9 @@ mod tests {
         assert!(matches!(ops.last(), Some(TraceOp::LoopEnd)));
         let written = c.kernels[0].spm_refs.iter().filter(|r| r.written).count();
         assert_eq!(
-            ops.iter().filter(|o| matches!(o, TraceOp::DmaPut { .. })).count(),
+            ops.iter()
+                .filter(|o| matches!(o, TraceOp::DmaPut { .. }))
+                .count(),
             written
         );
     }
@@ -482,7 +532,9 @@ mod tests {
         let c = compiled(ExecMode::Hybrid);
         let k = &c.kernels[0];
         let exec = KernelExecution::new(k, CoreId::new(0), 4, 42);
-        let total: u64 = (0..k.tiles_per_traversal).map(|t| exec.tile_iterations(t)).sum();
+        let total: u64 = (0..k.tiles_per_traversal)
+            .map(|t| exec.tile_iterations(t))
+            .sum();
         assert!(total >= k.iterations_per_core);
         assert!(total < k.iterations_per_core + k.tile_elems);
     }

@@ -130,7 +130,10 @@ impl KernelSpec {
 
     /// Number of references the alias analysis could not disambiguate.
     pub fn guarded_ref_count(&self) -> usize {
-        self.random_refs.iter().filter(|r| !r.provably_unaliased).count()
+        self.random_refs
+            .iter()
+            .filter(|r| !r.provably_unaliased)
+            .count()
     }
 
     /// Size of the data set accessed through guarded references.
@@ -189,7 +192,12 @@ impl BenchmarkSpec {
 
     /// Size of the data set accessed by guarded references (Table 2).
     pub fn guarded_data_size(&self) -> ByteSize {
-        ByteSize::bytes_exact(self.kernels.iter().map(|k| k.guarded_data_size().bytes()).sum())
+        ByteSize::bytes_exact(
+            self.kernels
+                .iter()
+                .map(|k| k.guarded_data_size().bytes())
+                .sum(),
+        )
     }
 
     /// Scales every data set and code footprint by `factor` (used to shrink
@@ -200,7 +208,10 @@ impl BenchmarkSpec {
     ///
     /// Panics if `factor` is not finite and positive.
     pub fn scaled(mut self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor > 0.0, "scale factor must be positive");
+        assert!(
+            factor.is_finite() && factor > 0.0,
+            "scale factor must be positive"
+        );
         let scale = |b: ByteSize| {
             let scaled = (b.bytes() as f64 * factor).round() as u64;
             // Keep at least one cache line per reference so traces stay valid.
@@ -282,7 +293,10 @@ mod tests {
         let s = b.clone().scaled(1.0 / 1024.0);
         assert_eq!(s.kernels[0].spm_refs[0].dataset, ByteSize::kib(1));
         // 64 KiB / 1024 = 64 B, the floor.
-        assert_eq!(s.kernels[0].random_refs[0].dataset, ByteSize::bytes_exact(64));
+        assert_eq!(
+            s.kernels[0].random_refs[0].dataset,
+            ByteSize::bytes_exact(64)
+        );
         assert!(s.input.contains("scale"));
         // Identity scaling keeps sizes and label.
         let id = b.clone().scaled(1.0);

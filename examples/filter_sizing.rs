@@ -22,7 +22,10 @@ fn main() {
     let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
     let config = SystemConfig::with_cores(cores);
 
-    println!("machine: {} cores, data-set scale multiplier {scale}\n", cores);
+    println!(
+        "machine: {} cores, data-set scale multiplier {scale}\n",
+        cores
+    );
 
     let filter_points =
         ablations::filter_size_sweep(&config, NasBenchmark::Is, &[4, 8, 16, 32, 48, 96], scale);

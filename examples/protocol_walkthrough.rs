@@ -15,13 +15,18 @@ use spm_manycore::spm::{Scratchpad, SpmConfig};
 fn main() {
     let cores = 16;
     let mut memsys = MemorySystem::new(MemorySystemConfig::isca2015(cores));
-    let mut spms: Vec<Scratchpad> = (0..cores).map(|_| Scratchpad::new(SpmConfig::isca2015())).collect();
+    let mut spms: Vec<Scratchpad> = (0..cores)
+        .map(|_| Scratchpad::new(SpmConfig::isca2015()))
+        .collect();
     let mut protocol = SpmCoherenceProtocol::new(ProtocolConfig::isca2015(cores));
 
     // The runtime library divides the 32 KB SPM into two 16 KB buffers and
     // notifies the hardware, which derives the Base/Offset masks.
     protocol.configure_buffer_size(ByteSize::kib(16));
-    println!("address masks: granularity = {} bytes\n", protocol.masks().granularity());
+    println!(
+        "address masks: granularity = {} bytes\n",
+        protocol.masks().granularity()
+    );
 
     let chunk_a = AddressRange::new(Addr::new(0x1000_0000), 16 * 1024);
     let chunk_b = AddressRange::new(Addr::new(0x2000_0000), 16 * 1024);
@@ -33,7 +38,7 @@ fn main() {
     protocol.on_map(CoreId::new(9), 0, chunk_b, &mut memsys);
     println!("mapped {chunk_a} to core2/buffer0 and {chunk_b} to core9/buffer0\n");
 
-    let mut show = |label: &str, outcome: spm_manycore::coherence::GuardedOutcome| {
+    let show = |label: &str, outcome: spm_manycore::coherence::GuardedOutcome| {
         println!(
             "{label:<52} -> {:?}, latency {}",
             outcome.target, outcome.latency
@@ -41,12 +46,24 @@ fn main() {
     };
 
     // Case (b): guarded access from the owner core hits its own SPMDir.
-    let out = protocol.guarded_access(CoreId::new(2), Addr::new(0x1000_0040), false, &mut memsys, &mut spms);
+    let out = protocol.guarded_access(
+        CoreId::new(2),
+        Addr::new(0x1000_0040),
+        false,
+        &mut memsys,
+        &mut spms,
+    );
     show("case (b): core2 loads data mapped to its own SPM", out);
 
     // Case (d): guarded access from another core reaches the remote SPM after
     // a filterDir broadcast.
-    let out = protocol.guarded_access(CoreId::new(5), Addr::new(0x2000_0100), true, &mut memsys, &mut spms);
+    let out = protocol.guarded_access(
+        CoreId::new(5),
+        Addr::new(0x2000_0100),
+        true,
+        &mut memsys,
+        &mut spms,
+    );
     show("case (d): core5 stores to data mapped in core9's SPM", out);
 
     // Case (c): first access to unmapped data misses the filter, the
@@ -63,14 +80,20 @@ fn main() {
     let newly_mapped = AddressRange::new(Addr::new(0x3000_0000), 16 * 1024);
     protocol.on_map(CoreId::new(5), 1, newly_mapped, &mut memsys);
     let out = protocol.guarded_access(CoreId::new(5), unrelated, false, &mut memsys, &mut spms);
-    show("after dma-get: the same address is now served by the SPM", out);
+    show(
+        "after dma-get: the same address is now served by the SPM",
+        out,
+    );
 
     let stats = protocol.stats();
     println!("\nprotocol statistics:");
     println!("  guarded accesses      {}", stats.guarded_accesses());
     println!("  filter hit ratio      {:?}", stats.filter_hit_ratio());
     println!("  filterDir broadcasts  {}", stats.broadcasts);
-    println!("  filter invalidations  {}", stats.filter_entries_invalidated);
+    println!(
+        "  filter invalidations  {}",
+        stats.filter_entries_invalidated
+    );
     println!(
         "  CohProt NoC packets   {}",
         memsys.noc().traffic().packets(MessageClass::CohProt)

@@ -57,21 +57,32 @@ fn main() {
     };
     let hybrid_code = compile(&spec, ExecMode::Hybrid, &machine_params);
     let kernel = &hybrid_code.kernels[0];
-    println!("compiler classification for `{}` (hybrid mode):", kernel.name);
+    println!(
+        "compiler classification for `{}` (hybrid mode):",
+        kernel.name
+    );
     for r in &kernel.spm_refs {
         println!(
             "  {:<12} -> SPM buffer {} ({} per buffer), {}",
             r.name,
             r.buffer,
             kernel.buffer_size,
-            if r.written { "written back with dma-put" } else { "read-only" }
+            if r.written {
+                "written back with dma-put"
+            } else {
+                "read-only"
+            }
         );
     }
     for r in &kernel.random_refs {
         println!(
             "  {:<12} -> {}",
             r.name,
-            if r.guarded { "GUARDED memory instruction (may alias an SPM chunk)" } else { "plain GM access" }
+            if r.guarded {
+                "GUARDED memory instruction (may alias an SPM chunk)"
+            } else {
+                "plain GM access"
+            }
         );
     }
     println!();

@@ -1,0 +1,39 @@
+//! Smoke test: every example's main path runs to completion.
+//!
+//! Keeps the quickstart in the façade docs honest — an example that compiles
+//! but panics at startup would otherwise go unnoticed.  Each example is run
+//! through the same `cargo` that drives this test, so the build is shared
+//! with the surrounding `cargo test` invocation.
+
+use std::process::Command;
+
+/// Every example target of the façade package (see `Cargo.toml`).
+const EXAMPLES: &[&str] = &[
+    "quickstart",
+    "protocol_walkthrough",
+    "filter_sizing",
+    "spmv_gather",
+];
+
+#[test]
+fn every_example_runs_successfully() {
+    let cargo = env!("CARGO");
+    for example in EXAMPLES {
+        let output = Command::new(cargo)
+            .args(["run", "--quiet", "--example", example])
+            .output()
+            .unwrap_or_else(|e| panic!("failed to spawn cargo for example {example}: {e}"));
+        assert!(
+            output.status.success(),
+            "example {example} exited with {}:\n--- stdout ---\n{}\n--- stderr ---\n{}",
+            output.status,
+            String::from_utf8_lossy(&output.stdout),
+            String::from_utf8_lossy(&output.stderr),
+        );
+        assert!(
+            !output.stdout.is_empty(),
+            "example {example} printed nothing; its walkthrough output is part \
+             of the documentation"
+        );
+    }
+}

@@ -86,10 +86,19 @@ fn protocol_overhead_over_ideal_is_small() {
     let proposed = Machine::new(MachineKind::HybridProposed, config).run(&spec);
     let time_overhead = proposed.execution_time.as_f64() / ideal.execution_time.as_f64();
     let traffic_overhead = proposed.total_packets() as f64 / ideal.total_packets() as f64;
-    assert!(time_overhead >= 1.0, "the protocol can never be faster than the oracle");
-    assert!(time_overhead < 1.25, "execution-time overhead {time_overhead} is not 'low'");
+    assert!(
+        time_overhead >= 1.0,
+        "the protocol can never be faster than the oracle"
+    );
+    assert!(
+        time_overhead < 1.25,
+        "execution-time overhead {time_overhead} is not 'low'"
+    );
     assert!(traffic_overhead >= 1.0);
-    assert!(traffic_overhead < 1.5, "traffic overhead {traffic_overhead} is not 'low'");
+    assert!(
+        traffic_overhead < 1.5,
+        "traffic overhead {traffic_overhead} is not 'low'"
+    );
     // The protocol hardware is the only source of CohProt traffic.
     assert_eq!(ideal.traffic.packets(MessageClass::CohProt), 0);
     assert!(proposed.traffic.packets(MessageClass::CohProt) > 0);
@@ -174,7 +183,9 @@ fn dma_transfers_snoop_dirty_cache_lines() {
     // picked up by a dma-get and invalidated by a dma-put.
     let cores = 4;
     let mut memsys = MemorySystem::new(MemorySystemConfig::small(cores));
-    let mut spms: Vec<Scratchpad> = (0..cores).map(|_| Scratchpad::new(SpmConfig::small())).collect();
+    let mut spms: Vec<Scratchpad> = (0..cores)
+        .map(|_| Scratchpad::new(SpmConfig::small()))
+        .collect();
     let mut protocol = SpmCoherenceProtocol::new(ProtocolConfig::small(cores));
     protocol.configure_buffer_size(ByteSize::kib(4));
 
@@ -192,7 +203,12 @@ fn dma_transfers_snoop_dirty_cache_lines() {
 
     // Mapping the chunk and issuing a guarded access from another core must
     // reach core 0's SPM.
-    protocol.on_map(CoreId::new(0), 0, AddressRange::new(addr, 4096), &mut memsys);
+    protocol.on_map(
+        CoreId::new(0),
+        0,
+        AddressRange::new(addr, 4096),
+        &mut memsys,
+    );
     let outcome = protocol.guarded_access(CoreId::new(1), addr, false, &mut memsys, &mut spms);
     assert!(outcome.diverted_to_spm());
 

@@ -4,8 +4,14 @@
 use proptest::collection::vec;
 use proptest::prelude::*;
 
-use spm_manycore::coherence::{AddressMasks, CoherenceSupport, Filter, FilterDir, ProtocolConfig, SpmCoherenceProtocol, SpmDir};
-use spm_manycore::mem::{Addr, AddressRange, CacheArray, CacheConfig, LineAddr, MemorySystem, MemorySystemConfig};
+use spm_manycore::coherence::{
+    AddressMasks, CoherenceSupport, Filter, FilterDir, ProtocolConfig, SpmCoherenceProtocol, SpmDir,
+};
+use spm_manycore::mem::mshr::{MshrFile, MshrOutcome};
+use spm_manycore::mem::plru::TreePlru;
+use spm_manycore::mem::{
+    Addr, AddressRange, CacheArray, CacheConfig, LineAddr, MemorySystem, MemorySystemConfig,
+};
 use spm_manycore::noc::{MeshTopology, MessageClass, Noc, NocConfig};
 use spm_manycore::simkernel::{ByteSize, CoreId, Cycle, SimRng};
 use spm_manycore::spm::{Scratchpad, SpmAddressMap, SpmConfig};
@@ -202,6 +208,114 @@ proptest! {
             let y = b.gen_range(lo..lo + span);
             prop_assert_eq!(x, y);
             prop_assert!((lo..lo + span).contains(&x));
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// MSHR invariants under arbitrary register/retire sequences, checked
+    /// against a model set: an outcome is `Merged` iff the line was already
+    /// outstanding, `Full` iff the file was at capacity, occupancy never
+    /// exceeds the capacity, and the bookkeeping counters add up.
+    #[test]
+    fn mshr_allocation_and_merge_invariants(
+        capacity in 1usize..=16,
+        ops in vec((0u64..24, 0u64..64, any::<bool>()), 1..200),
+    ) {
+        let mut mshr = MshrFile::new(capacity);
+        let mut model: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+        let mut registers = 0u64;
+        for (line, ready, is_register) in ops {
+            let line_addr = LineAddr::new(line);
+            if is_register {
+                registers += 1;
+                let outcome = mshr.register(line_addr, Cycle::new(ready));
+                let expected = if model.contains(&line) {
+                    MshrOutcome::Merged
+                } else if model.len() >= capacity {
+                    MshrOutcome::Full
+                } else {
+                    model.insert(line);
+                    MshrOutcome::Allocated
+                };
+                prop_assert_eq!(outcome, expected);
+            } else {
+                prop_assert_eq!(mshr.retire(line_addr), model.remove(&line));
+            }
+            prop_assert_eq!(mshr.outstanding(), model.len());
+            prop_assert!(mshr.outstanding() <= capacity);
+            prop_assert_eq!(mshr.is_full(), model.len() >= capacity);
+            for l in &model {
+                prop_assert!(mshr.is_outstanding(LineAddr::new(*l)));
+            }
+        }
+        prop_assert_eq!(mshr.allocations() + mshr.merges() + mshr.full_stalls(), registers);
+        prop_assert!(mshr.allocations() >= mshr.outstanding() as u64);
+    }
+
+    /// Tree-PLRU invariants for every power-of-two associativity: the victim
+    /// is always a currently-resident way (i.e. a valid index into the set),
+    /// and with at least two ways it is never the way that was just touched.
+    #[test]
+    fn plru_victim_is_always_a_resident_way(
+        ways_log2 in 0u32..=5,
+        touches in vec(0usize..32, 1..200),
+    ) {
+        let ways = 1usize << ways_log2;
+        let mut plru = TreePlru::new(ways);
+        prop_assert!(plru.victim() < ways);
+        for t in touches {
+            let way = t % ways;
+            plru.touch(way);
+            let victim = plru.victim();
+            prop_assert!(victim < ways, "victim {victim} outside {ways}-way set");
+            if ways > 1 {
+                prop_assert!(victim != way, "victim must not be the MRU way");
+            }
+        }
+    }
+
+    /// SPM address-map round-trip: `spm_addr` composed with
+    /// `owner_of`/`offset_of` is the identity, physical translation preserves
+    /// the offset within the window, and addresses outside the window are
+    /// rejected by every query.
+    #[test]
+    fn spm_address_map_round_trips(
+        cores in 1usize..=64,
+        spm_kib in 1u64..=64,
+        core_index in 0usize..64,
+        offset in any::<u64>(),
+        outside in any::<u64>(),
+    ) {
+        let spm_size = ByteSize::kib(spm_kib);
+        let map = SpmAddressMap::new(cores, spm_size);
+        let core = CoreId::new(core_index % cores);
+        let offset = offset % spm_size.bytes();
+
+        // Virtual round-trip.
+        let vaddr = map.spm_addr(core, offset);
+        prop_assert!(map.is_spm_addr(vaddr));
+        prop_assert!(map.is_local(core, vaddr));
+        prop_assert_eq!(map.owner_of(vaddr), Some(core));
+        prop_assert_eq!(map.offset_of(vaddr), Some(offset));
+
+        // Physical translation is the direct mapping of Figure 2: the offset
+        // from the window base is preserved exactly.
+        let window_base = map.global_range().start();
+        let phys = map.translate(vaddr).expect("inside the window");
+        let phys_base = map.translate(window_base).expect("window base translates");
+        prop_assert_eq!(phys - phys_base, vaddr - window_base);
+
+        // Addresses outside the reserved window are rejected everywhere.
+        let global = map.global_range();
+        let stray = Addr::new(outside);
+        if !global.contains(stray) {
+            prop_assert!(!map.is_spm_addr(stray));
+            prop_assert_eq!(map.owner_of(stray), None);
+            prop_assert_eq!(map.offset_of(stray), None);
+            prop_assert_eq!(map.translate(stray), None);
         }
     }
 }

@@ -1,0 +1,110 @@
+//! Vendored minimal property-testing harness exposing the subset of the
+//! `proptest` API used by this workspace (the build container has no
+//! crates.io access).
+//!
+//! Supported surface:
+//!
+//! * the [`proptest!`] macro with an optional `#![proptest_config(..)]`
+//!   header and `arg in strategy` parameter lists;
+//! * [`strategy::Strategy`] implemented for integer/`char`-free primitives via
+//!   [`strategy::any`], half-open and inclusive integer ranges, and tuples of
+//!   strategies;
+//! * [`collection::vec`] for variable-length vectors;
+//! * [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`].
+//!
+//! Unlike the real proptest there is no shrinking: a failing case panics with
+//! the ordinary assertion message.  Generation is fully deterministic — case
+//! `i` of every test always sees the same inputs — which suits a simulator
+//! workspace whose own RNG is deterministic by design.
+
+#![warn(missing_docs)]
+
+pub mod strategy;
+
+pub mod collection;
+
+/// Test-runner configuration (subset of `proptest::test_runner`).
+pub mod test_runner {
+    /// Configuration accepted by `#![proptest_config(..)]`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases to run per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A configuration running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+}
+
+/// The `proptest` prelude, mirroring `proptest::prelude`.
+pub mod prelude {
+    pub use crate::strategy::{any, Arbitrary, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ..) { .. }` item
+/// becomes a `#[test]` that samples the strategies `cases` times.
+#[macro_export]
+macro_rules! proptest {
+    // Internal expansion arm — must precede the catch-all arm below.
+    (@cfg ($config:expr)
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            // `$meta` re-emits the `#[test]` attribute the caller wrote, so
+            // none is added here.
+            $(#[$meta])*
+            fn $name() {
+                let config: $crate::test_runner::ProptestConfig = $config;
+                for case in 0..config.cases {
+                    let mut rng = $crate::strategy::TestRng::for_case(case as u64);
+                    $(let $arg = $crate::strategy::Strategy::sample(&($strat), &mut rng);)*
+                    $body
+                }
+            }
+        )*
+    };
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($config) $($rest)*);
+    };
+    (
+        $($rest:tt)*
+    ) => {
+        $crate::proptest!(@cfg ($crate::test_runner::ProptestConfig::default()) $($rest)*);
+    };
+}
+
+/// `assert!` under the name proptest uses inside property bodies.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tokens:tt)*) => { assert!($($tokens)*) };
+}
+
+/// `assert_eq!` under the name proptest uses inside property bodies.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tokens:tt)*) => { assert_eq!($($tokens)*) };
+}
+
+/// `assert_ne!` under the name proptest uses inside property bodies.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tokens:tt)*) => { assert_ne!($($tokens)*) };
+}

@@ -1,0 +1,20 @@
+//! Vendored stand-in for `serde` (the build container has no crates.io
+//! access).
+//!
+//! It provides the two trait names and re-exports the no-op derive macros so
+//! that `use serde::{Deserialize, Serialize};` plus
+//! `#[derive(Serialize, Deserialize)]` compile exactly as they would against
+//! the real crate.  No code in this workspace bounds on the traits or invokes
+//! a serializer, so marker traits are sufficient; swapping in the real serde
+//! is a one-line Cargo.toml change.
+
+#![warn(missing_docs)]
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,23 @@
+//! Vendored stand-in for `serde_derive`.
+//!
+//! The build container has no network access to crates.io, so the workspace
+//! vendors the tiny subset of serde it relies on.  Nothing in this repository
+//! places a `Serialize`/`Deserialize` bound on a generic parameter or calls a
+//! serializer, so the derive macros can expand to nothing: the attribute
+//! `#[derive(Serialize, Deserialize)]` stays valid on every type (documenting
+//! intent and keeping the door open for the real serde) while generating no
+//! code.
+
+use proc_macro::TokenStream;
+
+/// No-op replacement for `serde_derive::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op replacement for `serde_derive::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
