@@ -1,0 +1,153 @@
+//! Vendored minimal benchmark harness exposing the subset of the `criterion`
+//! API used by this workspace (the build container has no crates.io access).
+//!
+//! Each `bench_function` runs a short warm-up, then times `sample_size`
+//! samples of the closure and prints the per-iteration minimum / median /
+//! maximum in nanoseconds.  There is no statistical analysis, HTML report or
+//! baseline comparison — swap in the real criterion for those — but the
+//! timings are real and the macro surface (`criterion_group!`,
+//! `criterion_main!`, benchmark groups, `sample_size`) matches, so every
+//! bench target compiles and runs unmodified.
+
+#![warn(missing_docs)]
+
+use std::time::Instant;
+
+/// Re-export of the standard black box, mirroring `criterion::black_box`.
+pub use std::hint::black_box;
+
+const DEFAULT_SAMPLE_SIZE: usize = 20;
+const WARMUP_ITERS: u32 = 2;
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+#[derive(Debug)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: DEFAULT_SAMPLE_SIZE,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.into(), self.sample_size, f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            sample_size: self.sample_size,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named group of benchmarks (subset of `criterion::BenchmarkGroup`).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    sample_size: usize,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        assert!(n > 0, "sample size must be positive");
+        self.sample_size = n;
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id.into()), self.sample_size, f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility; nothing to flush).
+    pub fn finish(self) {}
+}
+
+/// Passed to every benchmark closure; `iter` does the timing.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<u128>,
+    timing: bool,
+}
+
+impl Bencher {
+    /// Times one sample of `routine` (after warm-up) and records it.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if !self.timing {
+            black_box(routine());
+            return;
+        }
+        let start = Instant::now();
+        black_box(routine());
+        self.samples_ns.push(start.elapsed().as_nanos());
+    }
+}
+
+fn run_one<F>(id: &str, sample_size: usize, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut bencher = Bencher::default();
+    for _ in 0..WARMUP_ITERS {
+        f(&mut bencher);
+    }
+    bencher.timing = true;
+    for _ in 0..sample_size {
+        f(&mut bencher);
+    }
+    let mut samples = bencher.samples_ns;
+    samples.sort_unstable();
+    if samples.is_empty() {
+        println!("{id:<56} (no samples recorded)");
+        return;
+    }
+    let min = samples[0];
+    let median = samples[samples.len() / 2];
+    let max = samples[samples.len() - 1];
+    println!("{id:<56} min {min:>12} ns   median {median:>12} ns   max {max:>12} ns");
+}
+
+/// Collects benchmark functions into a runnable group, mirroring
+/// `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the given groups, mirroring
+/// `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
