@@ -4,17 +4,21 @@
 use bench::{bench_config, BENCH_SCALE};
 use criterion::{criterion_group, criterion_main, Criterion};
 use system::experiments::ablations;
+use system::sweep::RunContext;
 use workloads::nas::NasBenchmark;
 
 fn bench_ablation(c: &mut Criterion) {
     let config = bench_config();
-    let points = ablations::filter_size_sweep(&config, NasBenchmark::Is, &[8, 48], BENCH_SCALE);
+    let ctx = RunContext::serial();
+    let points =
+        ablations::filter_size_sweep(&ctx, &config, NasBenchmark::Is, &[8, 48], BENCH_SCALE);
     println!("{}", ablations::filter_size_table(&points));
     let mut group = c.benchmark_group("ablation_filter_size");
     group.sample_size(10);
     group.bench_function("is_8_vs_48_entries", |b| {
         b.iter(|| {
             std::hint::black_box(ablations::filter_size_sweep(
+                &ctx,
                 &config,
                 NasBenchmark::Is,
                 &[8, 48],

@@ -1,0 +1,71 @@
+//! Campaign throughput: serial vs parallel execution of a small sweep, plus
+//! the cache-hit fast path.
+//!
+//! The sweep is CG + IS on all three machine kinds (six points) on the
+//! scaled-down test machine, which is the smallest campaign whose points
+//! are heavy enough to amortise the executor's thread handling.  On a
+//! multi-core host `jobs=4` should beat `jobs=1` by roughly the core count
+//! (capped at six points); on a single-core host they tie.
+
+use campaign::{Executor, ResultCache, SweepSpec};
+use criterion::{criterion_group, criterion_main, Criterion};
+use system::sweep::{run_points, RunContext};
+
+fn sweep_points() -> Vec<campaign::RunDescriptor> {
+    SweepSpec::new(&["CG", "IS"])
+        .with_cores(&[4])
+        .with_scales(&[1.0 / 256.0])
+        .small()
+        .points()
+}
+
+fn bench_campaign(c: &mut Criterion) {
+    let points = sweep_points();
+    let serial = RunContext::new(Executor::new(1), None);
+    let parallel = RunContext::new(Executor::new(4), None);
+
+    // Report the observed ratio once, outside the timed loops.
+    let time = |ctx: &RunContext| {
+        let start = std::time::Instant::now();
+        std::hint::black_box(run_points(ctx, &points).expect("valid sweep"));
+        start.elapsed()
+    };
+    let t1 = time(&serial);
+    let t4 = time(&parallel);
+    println!(
+        "campaign of {} points: jobs=1 {:.1} ms, jobs=4 {:.1} ms ({:.2}x, {} host cores)",
+        points.len(),
+        t1.as_secs_f64() * 1e3,
+        t4.as_secs_f64() * 1e3,
+        t1.as_secs_f64() / t4.as_secs_f64().max(1e-9),
+        std::thread::available_parallelism().map_or(1, usize::from),
+    );
+
+    let mut group = c.benchmark_group("campaign_throughput");
+    group.sample_size(10);
+    group.bench_function("jobs_1", |b| {
+        b.iter(|| std::hint::black_box(run_points(&serial, &points).expect("valid sweep")))
+    });
+    group.bench_function("jobs_4", |b| {
+        b.iter(|| std::hint::black_box(run_points(&parallel, &points).expect("valid sweep")))
+    });
+
+    // The cache-hit path: every point served from disk, nothing simulated.
+    let cache_dir = std::env::temp_dir().join(format!("campaign-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let cached = RunContext::new(Executor::new(4), Some(ResultCache::new(&cache_dir)));
+    let warmup = run_points(&cached, &points).expect("valid sweep");
+    assert_eq!(warmup.executed, points.len());
+    group.bench_function("jobs_4_all_cache_hits", |b| {
+        b.iter(|| {
+            let report = run_points(&cached, &points).expect("valid sweep");
+            assert_eq!(report.executed, 0);
+            std::hint::black_box(report)
+        })
+    });
+    group.finish();
+    let _ = std::fs::remove_dir_all(&cache_dir);
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

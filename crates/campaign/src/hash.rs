@@ -1,0 +1,120 @@
+//! Stable content hashing for the result cache.
+//!
+//! A [`CacheKey`] identifies one simulation run by the *content* of its
+//! inputs: the key is a 64-bit FNV-1a hash over a canonical rendition of
+//! `name=value` fields.  Canonicalisation sorts the fields by name before
+//! hashing, so the key is independent of the order a caller assembles them
+//! in — reordering struct fields (or the code that lists them) can never
+//! silently invalidate a cache.
+
+use std::fmt;
+
+/// 64-bit FNV-1a over a byte string.
+///
+/// Chosen because it is tiny, dependency-free and stable across platforms
+/// and Rust versions — unlike `std::hash::DefaultHasher`, whose algorithm is
+/// explicitly unspecified and therefore unusable for an on-disk cache.
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = OFFSET;
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash
+}
+
+/// A content-addressed cache key: the stable hash of a set of named fields.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct CacheKey(u64);
+
+impl CacheKey {
+    /// Builds a key from `(name, value)` fields.
+    ///
+    /// The fields are sorted by name (then value) before hashing, so the
+    /// resulting key does not depend on the order they are supplied in.
+    /// Every field contributes `name=value\n`; names therefore must not
+    /// contain `=` or `\n` for the encoding to stay injective (debug builds
+    /// assert this).
+    pub fn from_fields<'a>(fields: impl IntoIterator<Item = (&'a str, String)>) -> CacheKey {
+        let mut fields: Vec<(&str, String)> = fields.into_iter().collect();
+        fields.sort();
+        let mut canonical = String::new();
+        for (name, value) in &fields {
+            debug_assert!(
+                !name.contains('=') && !name.contains('\n'),
+                "field name {name:?} would break the canonical encoding"
+            );
+            canonical.push_str(name);
+            canonical.push('=');
+            canonical.push_str(value);
+            canonical.push('\n');
+        }
+        CacheKey(fnv1a64(canonical.as_bytes()))
+    }
+
+    /// The raw 64-bit hash.
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// The key as a 16-digit lowercase hex string (the cache file stem).
+    pub fn hex(self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl fmt::Display for CacheKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.hex())
+    }
+}
+
+/// Canonical, bit-exact rendition of an `f64` for hashing.
+///
+/// `to_string` would collapse `-0.0` into `0.0` and is locale-adjacent
+/// territory; the raw bit pattern is unambiguous and stable.
+pub fn f64_field(value: f64) -> String {
+    format!("{:016x}", value.to_bits())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn key_is_order_independent() {
+        let a = CacheKey::from_fields([("cores", "16".into()), ("bench", "CG".into())]);
+        let b = CacheKey::from_fields([("bench", "CG".into()), ("cores", "16".into())]);
+        assert_eq!(a, b);
+        assert_eq!(a.hex(), b.to_string());
+        assert_eq!(a.hex().len(), 16);
+    }
+
+    #[test]
+    fn key_depends_on_names_and_values() {
+        let base = CacheKey::from_fields([("cores", "16".into())]);
+        assert_ne!(base, CacheKey::from_fields([("cores", "32".into())]));
+        assert_ne!(base, CacheKey::from_fields([("kores", "16".into())]));
+        assert_ne!(
+            base,
+            CacheKey::from_fields([("cores", "16".into()), ("extra", "1".into())])
+        );
+    }
+
+    #[test]
+    fn f64_fields_distinguish_near_identical_values() {
+        assert_ne!(f64_field(0.1), f64_field(0.1 + f64::EPSILON));
+        assert_ne!(f64_field(0.0), f64_field(-0.0));
+        assert_eq!(f64_field(1.5), f64_field(1.5));
+    }
+}

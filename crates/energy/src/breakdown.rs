@@ -102,6 +102,17 @@ impl EnergyBreakdown {
         }
     }
 
+    /// Per-component joules in [`Component::ALL`] order, for serialization.
+    pub fn joules_by_component(&self) -> [f64; 6] {
+        self.joules
+    }
+
+    /// Reconstructs a breakdown from per-component joules in
+    /// [`Component::ALL`] order.
+    pub fn from_joules(joules: [f64; 6]) -> Self {
+        EnergyBreakdown { joules }
+    }
+
     /// This breakdown normalised so that `reference.total()` is 1.0, which is
     /// how the paper's Figure 11 plots bars.
     pub fn normalized_to(&self, reference: &EnergyBreakdown) -> [f64; 6] {
@@ -207,6 +218,16 @@ mod tests {
         let c = a + b;
         assert_eq!(c.component(Component::Noc), 3.0);
         assert_eq!(c.component(Component::Others), 4.0);
+    }
+
+    #[test]
+    fn joules_round_trip() {
+        let mut b = EnergyBreakdown::new();
+        b.add_energy(Component::Cpus, 1.5);
+        b.add_energy(Component::CohProt, 0.25);
+        let restored = EnergyBreakdown::from_joules(b.joules_by_component());
+        assert_eq!(restored, b);
+        assert_eq!(restored.total(), b.total());
     }
 
     #[test]

@@ -111,6 +111,23 @@ impl TrafficAccountant {
     pub fn packets_by_class(&self) -> [u64; 6] {
         self.packets
     }
+
+    /// The complete internal state as `[packets, flits, flit_hops, bytes]`
+    /// rows (each in [`MessageClass::ALL`] order), for serialization.
+    pub fn snapshot(&self) -> [[u64; 6]; 4] {
+        [self.packets, self.flits, self.flit_hops, self.bytes]
+    }
+
+    /// Reconstructs an accountant from a [`TrafficAccountant::snapshot`].
+    pub fn from_snapshot(snapshot: [[u64; 6]; 4]) -> Self {
+        let [packets, flits, flit_hops, bytes] = snapshot;
+        TrafficAccountant {
+            packets,
+            flits,
+            flit_hops,
+            bytes,
+        }
+    }
 }
 
 impl fmt::Display for TrafficAccountant {
@@ -179,6 +196,20 @@ mod tests {
         assert_eq!(stats.count("noc.wb_repl.packets"), 1);
         assert_eq!(stats.count("noc.total.packets"), 1);
         assert_eq!(stats.count("noc.wb_repl.flits"), 5);
+    }
+
+    #[test]
+    fn snapshot_round_trips_all_counts() {
+        let mut t = TrafficAccountant::new();
+        t.record(MessageClass::Dma, PacketKind::Data, 4);
+        t.record(MessageClass::Read, PacketKind::Control, 2);
+        let restored = TrafficAccountant::from_snapshot(t.snapshot());
+        assert_eq!(restored, t);
+        assert_eq!(restored.total_flit_hops(), t.total_flit_hops());
+        assert_eq!(
+            restored.bytes(MessageClass::Dma),
+            t.bytes(MessageClass::Dma)
+        );
     }
 
     #[test]

@@ -17,6 +17,11 @@
 //!   network, memory and coherence crates.
 //! * [`mem_units`] — byte-quantity helpers (`KiB`, `MiB`) used by
 //!   configuration structures.
+//! * [`json`] — a small hand-rolled JSON tree, parser and emitter used by the
+//!   experiment reports and the campaign result cache (the workspace builds
+//!   offline, so there is no `serde_json`).
+//! * [`table`] — aligned-column plain-text table rendering shared by every
+//!   report layer.
 //!
 //! # Example
 //!
@@ -38,13 +43,17 @@
 pub mod cycles;
 pub mod events;
 pub mod ids;
+pub mod json;
 pub mod mem_units;
 pub mod rng;
 pub mod stats;
+pub mod table;
 
 pub use cycles::{Cycle, Frequency};
 pub use events::EventQueue;
 pub use ids::{CoreId, NodeId};
+pub use json::Json;
 pub use mem_units::ByteSize;
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, RunningStat, StatRegistry};
+pub use table::TableBuilder;

@@ -1,0 +1,139 @@
+//! Plain-text aligned-column table formatting.
+//!
+//! Originally part of the `system` crate's report layer; it lives in the
+//! kernel crate so lower layers (the campaign aggregation, for one) can
+//! render tables without depending on the full system assembly.  `system`
+//! re-exports it, so `system::TableBuilder` keeps working.
+
+use std::fmt::Write as _;
+
+/// A small aligned-column text-table builder used by every experiment report.
+///
+/// # Example
+///
+/// ```
+/// use simkernel::TableBuilder;
+///
+/// let mut t = TableBuilder::new("Filter hit ratio");
+/// t.columns(&["Benchmark", "Hit ratio"]);
+/// t.row(&["CG", "0.99"]);
+/// t.row(&["IS", "0.92"]);
+/// let text = t.build();
+/// assert!(text.contains("Benchmark"));
+/// assert!(text.contains("IS"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct TableBuilder {
+    title: String,
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TableBuilder {
+    /// Creates a table with a title.
+    pub fn new(title: &str) -> Self {
+        TableBuilder {
+            title: title.to_owned(),
+            header: Vec::new(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Sets the column headers.
+    pub fn columns(&mut self, names: &[&str]) -> &mut Self {
+        self.header = names.iter().map(|s| s.to_string()).collect();
+        self
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row does not match the number of columns.
+    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
+        assert_eq!(
+            cells.len(),
+            self.header.len(),
+            "row has {} cells but the table has {} columns",
+            cells.len(),
+            self.header.len()
+        );
+        self.rows
+            .push(cells.iter().map(|s| s.to_string()).collect());
+        self
+    }
+
+    /// Appends one row of already-owned cells.
+    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.header.len());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` if the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table.
+    pub fn build(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                if i < widths.len() {
+                    widths[i] = widths[i].max(cell.len());
+                }
+            }
+        }
+        let mut out = String::new();
+        let _ = writeln!(out, "{}", self.title);
+        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
+        let _ = writeln!(out, "{}", "=".repeat(self.title.len().max(total)));
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            cells
+                .iter()
+                .enumerate()
+                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
+                .collect::<Vec<_>>()
+                .join(" | ")
+        };
+        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
+        let _ = writeln!(out, "{}", "-".repeat(total));
+        for row in &self.rows {
+            let _ = writeln!(out, "{}", fmt_row(row, &widths));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_aligned_table() {
+        let mut t = TableBuilder::new("T");
+        t.columns(&["a", "benchmark"]);
+        t.row(&["1", "CG"]);
+        t.row_owned(vec!["2".into(), "longer".into()]);
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+        let s = t.build();
+        assert!(s.contains("benchmark"));
+        assert!(s.contains("longer"));
+        assert!(s.lines().count() >= 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_row_panics() {
+        let mut t = TableBuilder::new("T");
+        t.columns(&["a", "b"]);
+        t.row(&["only one"]);
+    }
+}

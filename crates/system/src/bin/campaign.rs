@@ -1,0 +1,167 @@
+//! Campaign driver: cross-product parameter sweeps with parallel execution
+//! and content-addressed result caching.
+//!
+//! ```text
+//! cargo run --release -p system --bin campaign -- \
+//!     --cores 8,16,32,64 --benchmarks CG,IS --jobs 4
+//! ```
+//!
+//! Every `--benchmarks × --machines × --cores × --scale × --spm-kib ×
+//! --filters × --filterdirs` combination becomes one simulation point.
+//! Points execute on `--jobs` workers; results are cached under
+//! `--cache-dir` (default `target/campaign-cache`), so a repeated
+//! invocation executes only new or changed points.  The last line printed
+//! is the accounting, e.g. `campaign: 24 points, executed 0, cache hits 24`.
+
+use campaign::{summarize, Executor, ResultCache, SweepSpec};
+use system::sweep::{records_of, run_points, RunContext};
+
+const USAGE: &str = "\
+campaign — parameter-space sweeps over the ISCA'15 machines
+
+options (LIST = comma-separated values):
+  --benchmarks LIST   benchmarks to sweep (default CG,IS; all six: CG,EP,FT,IS,MG,SP)
+  --machines LIST     machine kinds (default cache-only,hybrid-ideal,hybrid-proposed)
+  --cores LIST        core counts (default 64)
+  --scale LIST        extra data-set scale multipliers (default 1.0)
+  --spm-kib LIST      per-core SPM sizes in KiB (default: Table 1)
+  --filters LIST      per-core filter entry counts (default: Table 1)
+  --filterdirs LIST   filterDir entry counts (default: Table 1)
+  --small             use the scaled-down test machine at each core count
+  --jobs N            parallel workers (default: available parallelism)
+  --cache-dir PATH    result-cache directory (default target/campaign-cache)
+  --no-cache          execute every point, read and write no cache
+  --csv PATH          write per-point metrics as CSV ('-' for stdout)
+  --json PATH         write per-point metrics as JSON ('-' for stdout)
+  --quiet             suppress the summary table (accounting still prints)
+  --help              this text
+";
+
+#[derive(Debug)]
+struct Options {
+    spec: SweepSpec,
+    jobs: usize,
+    cache_dir: Option<std::path::PathBuf>,
+    csv: Option<String>,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn parse_list<T: std::str::FromStr>(flag: &str, list: &str) -> Result<Vec<T>, String> {
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("{flag}: cannot parse '{s}'"))
+        })
+        .collect()
+}
+
+fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options {
+        spec: SweepSpec::new(&["CG", "IS"]),
+        jobs: 0,
+        cache_dir: Some(ResultCache::default_dir()),
+        csv: None,
+        json: None,
+        quiet: false,
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--benchmarks" => {
+                options.spec.benchmarks = parse_list("--benchmarks", &value("--benchmarks")?)?
+            }
+            "--machines" => {
+                options.spec.machines = parse_list("--machines", &value("--machines")?)?
+            }
+            "--cores" => options.spec.core_counts = parse_list("--cores", &value("--cores")?)?,
+            "--scale" => {
+                options.spec.scale_multipliers = parse_list("--scale", &value("--scale")?)?
+            }
+            "--spm-kib" => {
+                options.spec = options
+                    .spec
+                    .with_spm_kib(&parse_list("--spm-kib", &value("--spm-kib")?)?)
+            }
+            "--filters" => {
+                options.spec = options
+                    .spec
+                    .with_filter_entries(&parse_list("--filters", &value("--filters")?)?)
+            }
+            "--filterdirs" => {
+                options.spec = options
+                    .spec
+                    .with_filterdir_entries(&parse_list("--filterdirs", &value("--filterdirs")?)?)
+            }
+            "--small" => options.spec.small_machine = true,
+            "--jobs" => {
+                options.jobs = value("--jobs")?
+                    .parse()
+                    .map_err(|_| "--jobs: not a number")?
+            }
+            "--cache-dir" => options.cache_dir = Some(value("--cache-dir")?.into()),
+            "--no-cache" => options.cache_dir = None,
+            "--csv" => options.csv = Some(value("--csv")?),
+            "--json" => options.json = Some(value("--json")?),
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    Ok(options)
+}
+
+fn write_export(target: &str, contents: &str) -> Result<(), String> {
+    if target == "-" {
+        print!("{contents}");
+        Ok(())
+    } else {
+        std::fs::write(target, contents).map_err(|e| format!("cannot write {target}: {e}"))
+    }
+}
+
+fn main() {
+    let options = match parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let points = options.spec.points();
+    let ctx = RunContext::new(
+        Executor::new(options.jobs),
+        options.cache_dir.clone().map(ResultCache::new),
+    );
+    let report = match run_points(&ctx, &points) {
+        Ok(report) => report,
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
+        }
+    };
+
+    let records = records_of(&points, &report.results);
+    if let Some(target) = &options.csv {
+        if let Err(message) = write_export(target, &campaign::aggregate::to_csv(&records)) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(target) = &options.json {
+        if let Err(message) = write_export(target, &campaign::aggregate::to_json(&records)) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+    if !options.quiet {
+        print!("{}", summarize(&records).to_table());
+        if let Some(dir) = &options.cache_dir {
+            println!("cache: {}", dir.display());
+        }
+    }
+    println!("{}", report.accounting());
+}

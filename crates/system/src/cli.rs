@@ -9,13 +9,27 @@
 //!                    benchmark's recommended scale (default 1.0)
 //! --benchmarks LIST  comma-separated subset, e.g. CG,IS (default: all six)
 //! --json             also print the raw results as JSON
+//! --jobs N           parallel simulation workers (default: available
+//!                    parallelism; `--jobs 1` forces serial execution)
+//! --cache            reuse simulation results from the default result
+//!                    cache, `target/campaign-cache`
+//! --cache-dir PATH   like `--cache`, with an explicit directory
 //! ```
+//!
+//! The cache is content-addressed over the complete run inputs, so it only
+//! ever replays *identical* runs; see the README's campaign section for the
+//! invalidation rules (in short: changing simulator code requires deleting
+//! the directory).
 
+use std::path::PathBuf;
+
+use campaign::{Executor, ResultCache};
 use workloads::characterize;
 use workloads::nas::NasBenchmark;
 
 use crate::config::SystemConfig;
 use crate::experiments::{ablations, ExperimentSuite};
+use crate::sweep::RunContext;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
@@ -28,6 +42,10 @@ pub struct CliOptions {
     pub benchmarks: Vec<NasBenchmark>,
     /// Whether to also dump JSON.
     pub json: bool,
+    /// Parallel simulation workers; `0` means available parallelism.
+    pub jobs: usize,
+    /// Result-cache directory, when caching is requested.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for CliOptions {
@@ -37,6 +55,8 @@ impl Default for CliOptions {
             scale: 1.0,
             benchmarks: NasBenchmark::ALL.to_vec(),
             json: false,
+            jobs: 0,
+            cache_dir: None,
         }
     }
 }
@@ -72,6 +92,19 @@ impl CliOptions {
                     }
                 }
                 "--json" => options.json = true,
+                "--jobs" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        options.jobs = v;
+                    }
+                }
+                "--cache" => {
+                    options.cache_dir = Some(ResultCache::default_dir());
+                }
+                "--cache-dir" => {
+                    if let Some(dir) = args.next() {
+                        options.cache_dir = Some(PathBuf::from(dir));
+                    }
+                }
                 _ => {}
             }
         }
@@ -83,13 +116,23 @@ impl CliOptions {
         SystemConfig::with_cores(self.cores)
     }
 
+    /// The execution policy implied by the options: `--jobs` workers and,
+    /// when `--cache`/`--cache-dir` was given, a result cache.
+    pub fn context(&self) -> RunContext {
+        RunContext::new(
+            Executor::new(self.jobs),
+            self.cache_dir.clone().map(ResultCache::new),
+        )
+    }
+
     /// Runs the suite implied by the options.
     pub fn run_suite(&self) -> ExperimentSuite {
-        ExperimentSuite::run(
+        ExperimentSuite::run_with(
             &self.config(),
             &self.benchmarks,
             &crate::config::MachineKind::ALL,
             self.scale,
+            &self.context(),
         )
     }
 }
@@ -163,8 +206,10 @@ pub fn run_report(report: Report, options: &CliOptions) -> String {
 
 fn run_ablations(options: &CliOptions) -> String {
     let config = options.config();
+    let ctx = options.context();
     let mut out = String::new();
     let filter_points = ablations::filter_size_sweep(
+        &ctx,
         &config,
         NasBenchmark::Is,
         &[8, 16, 32, 48, 96],
@@ -178,11 +223,17 @@ fn run_ablations(options: &CliOptions) -> String {
         simkernel::ByteSize::kib(32),
         simkernel::ByteSize::kib(64),
     ];
-    let spm_points =
-        ablations::spm_size_sweep(&config, NasBenchmark::Cg, &spm_sizes, options.scale * 0.5);
+    let spm_points = ablations::spm_size_sweep(
+        &ctx,
+        &config,
+        NasBenchmark::Cg,
+        &spm_sizes,
+        options.scale * 0.5,
+    );
     out.push_str(&ablations::spm_size_table(&spm_points));
     out.push('\n');
     let intensity_points = ablations::guarded_intensity_sweep(
+        &ctx,
         &config,
         &[0.0, 0.5, 1.0, 2.0, 4.0],
         options.scale * 0.25,
@@ -210,6 +261,10 @@ mod tests {
             "--benchmarks",
             "cg,is",
             "--json",
+            "--jobs",
+            "3",
+            "--cache-dir",
+            "target/test-cache",
             "--bogus",
         ]
         .iter()
@@ -220,6 +275,30 @@ mod tests {
         assert_eq!(o.benchmarks, vec![NasBenchmark::Cg, NasBenchmark::Is]);
         assert!(o.json);
         assert_eq!(o.config().cores, 8);
+        assert_eq!(o.jobs, 3);
+        assert_eq!(o.cache_dir, Some(PathBuf::from("target/test-cache")));
+        let ctx = o.context();
+        assert_eq!(ctx.executor.jobs(), 3);
+        assert_eq!(
+            ctx.cache.as_ref().map(|c| c.dir().to_path_buf()),
+            Some(PathBuf::from("target/test-cache"))
+        );
+    }
+
+    #[test]
+    fn default_jobs_use_available_parallelism_and_no_cache() {
+        let o = CliOptions::parse(Vec::<String>::new());
+        assert_eq!(o.jobs, 0);
+        assert_eq!(o.cache_dir, None);
+        let ctx = o.context();
+        assert!(ctx.executor.jobs() >= 1);
+        assert!(ctx.cache.is_none());
+    }
+
+    #[test]
+    fn bare_cache_flag_selects_the_default_directory() {
+        let o = CliOptions::parse(["--cache".to_string()]);
+        assert_eq!(o.cache_dir, Some(ResultCache::default_dir()));
     }
 
     #[test]

@@ -38,6 +38,21 @@ impl MachineKind {
         }
     }
 
+    /// Stable machine identifier used by campaign descriptors and the JSON
+    /// codec (matches [`campaign::MACHINE_IDS`]).
+    pub fn id(self) -> &'static str {
+        match self {
+            MachineKind::CacheOnly => "cache-only",
+            MachineKind::HybridIdeal => "hybrid-ideal",
+            MachineKind::HybridProposed => "hybrid-proposed",
+        }
+    }
+
+    /// Parses a machine identifier (the inverse of [`MachineKind::id`]).
+    pub fn from_id(id: &str) -> Option<MachineKind> {
+        MachineKind::ALL.into_iter().find(|k| k.id() == id)
+    }
+
     /// Returns `true` for the two hybrid machines.
     pub fn has_spms(self) -> bool {
         !matches!(self, MachineKind::CacheOnly)
@@ -233,6 +248,17 @@ mod tests {
         assert!(MachineKind::HybridProposed.has_spms());
         assert!(!MachineKind::CacheOnly.has_spms());
         assert!(MachineKind::CacheOnly.to_string().contains("cache"));
+    }
+
+    #[test]
+    fn machine_ids_round_trip_and_match_campaign() {
+        for kind in MachineKind::ALL {
+            assert_eq!(MachineKind::from_id(kind.id()), Some(kind));
+        }
+        assert_eq!(MachineKind::from_id("bogus"), None);
+        for (kind, id) in MachineKind::ALL.iter().zip(campaign::MACHINE_IDS) {
+            assert_eq!(kind.id(), id);
+        }
     }
 
     #[test]

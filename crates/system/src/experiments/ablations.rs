@@ -20,8 +20,8 @@ use workloads::nas::NasBenchmark;
 use workloads::{BenchmarkSpec, Phase};
 
 use crate::config::{MachineKind, SystemConfig};
-use crate::machine::Machine;
 use crate::report::{fmt_percent, fmt_ratio, TableBuilder};
+use crate::sweep::{LoweredRun, RunContext};
 
 /// One point of the filter-size sweep.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -35,25 +35,33 @@ pub struct FilterSizePoint {
 }
 
 /// Sweeps the per-core filter capacity on `benchmark`.
+///
+/// The ideal-coherence baseline and every filter size are submitted to the
+/// context's executor as one batch, so the whole sweep parallelises (and
+/// caches) like any other campaign.
 pub fn filter_size_sweep(
+    ctx: &RunContext,
     config: &SystemConfig,
     benchmark: NasBenchmark,
     sizes: &[usize],
     scale_multiplier: f64,
 ) -> Vec<FilterSizePoint> {
     let spec = benchmark.spec_scaled(benchmark.recommended_scale() * scale_multiplier);
-    let ideal = Machine::new(MachineKind::HybridIdeal, config.clone()).run(&spec);
+    let mut runs: Vec<LoweredRun> = vec![(config.clone(), spec.clone(), MachineKind::HybridIdeal)];
+    for &entries in sizes {
+        let mut cfg = config.clone();
+        cfg.protocol.filter_entries = entries.max(1);
+        runs.push((cfg, spec.clone(), MachineKind::HybridProposed));
+    }
+    let results = ctx.run_lowered(&runs).results;
+    let ideal_time = results[0].execution_time.as_f64().max(1.0);
     sizes
         .iter()
-        .map(|&entries| {
-            let mut cfg = config.clone();
-            cfg.protocol.filter_entries = entries.max(1);
-            let run = Machine::new(MachineKind::HybridProposed, cfg).run(&spec);
-            FilterSizePoint {
-                filter_entries: entries,
-                hit_ratio: run.filter_hit_ratio.unwrap_or(0.0),
-                time_overhead: run.execution_time.as_f64() / ideal.execution_time.as_f64().max(1.0),
-            }
+        .zip(&results[1..])
+        .map(|(&entries, run)| FilterSizePoint {
+            filter_entries: entries,
+            hit_ratio: run.filter_hit_ratio.unwrap_or(0.0),
+            time_overhead: run.execution_time.as_f64() / ideal_time,
         })
         .collect()
 }
@@ -89,27 +97,31 @@ pub struct SpmSizePoint {
 
 /// Sweeps the scratchpad size (and therefore the tile size) on `benchmark`.
 pub fn spm_size_sweep(
+    ctx: &RunContext,
     config: &SystemConfig,
     benchmark: NasBenchmark,
     sizes: &[ByteSize],
     scale_multiplier: f64,
 ) -> Vec<SpmSizePoint> {
     let spec = benchmark.spec_scaled(benchmark.recommended_scale() * scale_multiplier);
-    let cache = Machine::new(MachineKind::CacheOnly, config.clone()).run(&spec);
+    let mut runs: Vec<LoweredRun> = vec![(config.clone(), spec.clone(), MachineKind::CacheOnly)];
+    for &size in sizes {
+        let mut cfg = config.clone();
+        cfg.spm.size = size;
+        cfg.protocol.spm_size = size;
+        runs.push((cfg, spec.clone(), MachineKind::HybridProposed));
+    }
+    let results = ctx.run_lowered(&runs).results;
+    let cache_time = results[0].execution_time.as_f64();
     sizes
         .iter()
-        .map(|&size| {
-            let mut cfg = config.clone();
-            cfg.spm.size = size;
-            cfg.protocol.spm_size = size;
-            let run = Machine::new(MachineKind::HybridProposed, cfg).run(&spec);
-            SpmSizePoint {
-                spm_size: size,
-                control_fraction: run.phase_fraction(Phase::Control),
-                sync_fraction: run.phase_fraction(Phase::Sync),
-                work_fraction: run.phase_fraction(Phase::Work),
-                speedup: cache.execution_time.as_f64() / run.execution_time.as_f64().max(1.0),
-            }
+        .zip(&results[1..])
+        .map(|(&size, run)| SpmSizePoint {
+            spm_size: size,
+            control_fraction: run.phase_fraction(Phase::Control),
+            sync_fraction: run.phase_fraction(Phase::Sync),
+            work_fraction: run.phase_fraction(Phase::Work),
+            speedup: cache_time / run.execution_time.as_f64().max(1.0),
         })
         .collect()
 }
@@ -143,22 +155,29 @@ pub struct GuardedIntensityPoint {
 
 /// Sweeps the number of guarded accesses per iteration of a CG-like kernel.
 pub fn guarded_intensity_sweep(
+    ctx: &RunContext,
     config: &SystemConfig,
     intensities: &[f64],
     scale_multiplier: f64,
 ) -> Vec<GuardedIntensityPoint> {
+    let mut runs: Vec<LoweredRun> = Vec::with_capacity(intensities.len() * 2);
+    for &intensity in intensities {
+        let mut spec: BenchmarkSpec =
+            NasBenchmark::Cg.spec_scaled(NasBenchmark::Cg.recommended_scale() * scale_multiplier);
+        for kernel in &mut spec.kernels {
+            for random in &mut kernel.random_refs {
+                random.accesses_per_iteration = intensity;
+            }
+        }
+        runs.push((config.clone(), spec.clone(), MachineKind::CacheOnly));
+        runs.push((config.clone(), spec, MachineKind::HybridProposed));
+    }
+    let results = ctx.run_lowered(&runs).results;
     intensities
         .iter()
-        .map(|&intensity| {
-            let mut spec: BenchmarkSpec = NasBenchmark::Cg
-                .spec_scaled(NasBenchmark::Cg.recommended_scale() * scale_multiplier);
-            for kernel in &mut spec.kernels {
-                for random in &mut kernel.random_refs {
-                    random.accesses_per_iteration = intensity;
-                }
-            }
-            let cache = Machine::new(MachineKind::CacheOnly, config.clone()).run(&spec);
-            let hybrid = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+        .zip(results.chunks_exact(2))
+        .map(|(&intensity, pair)| {
+            let (cache, hybrid) = (&pair[0], &pair[1]);
             GuardedIntensityPoint {
                 guarded_per_iteration: intensity,
                 speedup: cache.execution_time.as_f64() / hybrid.execution_time.as_f64().max(1.0),
@@ -198,7 +217,13 @@ mod tests {
 
     #[test]
     fn filter_sweep_hit_ratio_grows_with_capacity() {
-        let points = filter_size_sweep(&config(), NasBenchmark::Is, &[2, 48], 1.0 / 256.0);
+        let points = filter_size_sweep(
+            &RunContext::serial(),
+            &config(),
+            NasBenchmark::Is,
+            &[2, 48],
+            1.0 / 256.0,
+        );
         assert_eq!(points.len(), 2);
         assert!(points[1].hit_ratio >= points[0].hit_ratio);
         assert!(points[0].time_overhead >= 0.99);
@@ -208,7 +233,13 @@ mod tests {
     #[test]
     fn spm_sweep_reports_phase_fractions() {
         let sizes = [ByteSize::kib(4), ByteSize::kib(8)];
-        let points = spm_size_sweep(&config(), NasBenchmark::Cg, &sizes, 1.0 / 512.0);
+        let points = spm_size_sweep(
+            &RunContext::serial(),
+            &config(),
+            NasBenchmark::Cg,
+            &sizes,
+            1.0 / 512.0,
+        );
         assert_eq!(points.len(), 2);
         for p in &points {
             let sum = p.control_fraction + p.sync_fraction + p.work_fraction;
@@ -222,8 +253,19 @@ mod tests {
     }
 
     #[test]
+    fn sweeps_are_executor_invariant() {
+        let parallel = RunContext::new(campaign::Executor::new(3), None);
+        let serial = RunContext::serial();
+        let sizes = [2usize, 8];
+        let a = filter_size_sweep(&serial, &config(), NasBenchmark::Is, &sizes, 1.0 / 512.0);
+        let b = filter_size_sweep(&parallel, &config(), NasBenchmark::Is, &sizes, 1.0 / 512.0);
+        assert_eq!(a, b);
+    }
+
+    #[test]
     fn guarded_intensity_sweep_runs() {
-        let points = guarded_intensity_sweep(&config(), &[0.0, 2.0], 1.0 / 512.0);
+        let points =
+            guarded_intensity_sweep(&RunContext::serial(), &config(), &[0.0, 2.0], 1.0 / 512.0);
         assert_eq!(points.len(), 2);
         assert!(points[0].speedup > 0.0);
         assert!(guarded_intensity_table(&points).contains("Guarded"));

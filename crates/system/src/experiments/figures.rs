@@ -405,30 +405,63 @@ pub struct SummaryTable {
 }
 
 impl SummaryTable {
-    /// Renders the summary as a pretty-printed JSON object (hand-rolled so
-    /// the `--json` flag needs no serialization dependency).
+    /// Renders the summary as a pretty-printed JSON object.
+    ///
+    /// Non-finite values (a zero-denominator ratio) become `null` exactly as
+    /// serde_json would serialize them — `Display`'s `inf`/`NaN` are not
+    /// JSON tokens — so the output always survives a parse → emit cycle
+    /// (see [`SummaryTable::from_json`]).
     pub fn to_json(&self) -> String {
-        // `Display` for f64 writes `inf`/`NaN`, which are not JSON tokens;
-        // non-finite values (a zero-denominator ratio) become `null` exactly
-        // as serde_json would serialize them.
-        fn num(v: f64) -> String {
-            if v.is_finite() {
-                v.to_string()
-            } else {
-                "null".to_owned()
+        simkernel::Json::obj([
+            (
+                "average_speedup",
+                simkernel::Json::from(self.average_speedup),
+            ),
+            (
+                "average_traffic_ratio",
+                simkernel::Json::from(self.average_traffic_ratio),
+            ),
+            (
+                "average_energy_ratio",
+                simkernel::Json::from(self.average_energy_ratio),
+            ),
+            (
+                "protocol_time_overhead",
+                simkernel::Json::from(self.protocol_time_overhead),
+            ),
+            (
+                "protocol_energy_overhead",
+                simkernel::Json::from(self.protocol_energy_overhead),
+            ),
+            (
+                "protocol_traffic_overhead",
+                simkernel::Json::from(self.protocol_traffic_overhead),
+            ),
+        ])
+        .pretty()
+    }
+
+    /// Parses a summary emitted by [`SummaryTable::to_json`].
+    ///
+    /// `null` fields (emitted for non-finite ratios) come back as NaN, so
+    /// `from_json(to_json(s))` followed by another `to_json` is a fixed
+    /// point even for degenerate summaries.
+    pub fn from_json(text: &str) -> Option<SummaryTable> {
+        let v = simkernel::Json::parse(text).ok()?;
+        let field = |name: &str| -> Option<f64> {
+            match v.get(name)? {
+                simkernel::Json::Null => Some(f64::NAN),
+                other => other.as_f64(),
             }
-        }
-        format!(
-            "{{\n  \"average_speedup\": {},\n  \"average_traffic_ratio\": {},\n  \
-             \"average_energy_ratio\": {},\n  \"protocol_time_overhead\": {},\n  \
-             \"protocol_energy_overhead\": {},\n  \"protocol_traffic_overhead\": {}\n}}",
-            num(self.average_speedup),
-            num(self.average_traffic_ratio),
-            num(self.average_energy_ratio),
-            num(self.protocol_time_overhead),
-            num(self.protocol_energy_overhead),
-            num(self.protocol_traffic_overhead),
-        )
+        };
+        Some(SummaryTable {
+            average_speedup: field("average_speedup")?,
+            average_traffic_ratio: field("average_traffic_ratio")?,
+            average_energy_ratio: field("average_energy_ratio")?,
+            protocol_time_overhead: field("protocol_time_overhead")?,
+            protocol_energy_overhead: field("protocol_energy_overhead")?,
+            protocol_traffic_overhead: field("protocol_traffic_overhead")?,
+        })
     }
 
     /// Renders the summary as a text table.
@@ -610,5 +643,46 @@ mod tests {
         assert!(json.contains("\"average_energy_ratio\": null"));
         assert!(!json.contains("inf"), "Display's `inf` is not a JSON token");
         assert!(!json.contains("NaN"), "`NaN` is not a JSON token");
+    }
+
+    #[test]
+    fn summary_json_round_trips() {
+        let s = SummaryTable {
+            average_speedup: 1.14,
+            average_traffic_ratio: 0.71,
+            average_energy_ratio: 0.83,
+            protocol_time_overhead: 1.04,
+            protocol_energy_overhead: 1.09,
+            protocol_traffic_overhead: 1.08,
+        };
+        let restored = SummaryTable::from_json(&s.to_json()).expect("decodes");
+        assert_eq!(restored, s);
+    }
+
+    #[test]
+    fn summary_json_parse_emit_cycle_is_stable_for_non_finite_values() {
+        let s = SummaryTable {
+            average_speedup: 1.25,
+            average_traffic_ratio: f64::INFINITY,
+            average_energy_ratio: f64::NAN,
+            protocol_time_overhead: 1.0,
+            protocol_energy_overhead: 1.0,
+            protocol_traffic_overhead: 1.0,
+        };
+        let once = s.to_json();
+        let restored = SummaryTable::from_json(&once).expect("nulls parse back");
+        assert!(restored.average_traffic_ratio.is_nan());
+        assert!(restored.average_energy_ratio.is_nan());
+        assert_eq!(restored.average_speedup, 1.25);
+        // The cycle is a fixed point: emit(parse(emit(s))) == emit(s).
+        assert_eq!(restored.to_json(), once);
+    }
+
+    #[test]
+    fn summary_from_json_rejects_malformed_input() {
+        assert!(SummaryTable::from_json("").is_none());
+        assert!(SummaryTable::from_json("{}").is_none());
+        assert!(SummaryTable::from_json("{\"average_speedup\": 1.0}").is_none());
+        assert!(SummaryTable::from_json("{\"average_speedup\": \"x\"}").is_none());
     }
 }

@@ -22,7 +22,8 @@ use serde::{Deserialize, Serialize};
 use workloads::nas::NasBenchmark;
 
 use crate::config::{MachineKind, SystemConfig};
-use crate::machine::{Machine, RunResult};
+use crate::machine::RunResult;
+use crate::sweep::{LoweredRun, RunContext};
 
 pub use figures::{
     Fig10Table, Fig11Table, Fig7Row, Fig7Table, Fig8Table, Fig9Row, Fig9Table, SummaryTable,
@@ -43,25 +44,58 @@ pub struct ExperimentSuite {
 impl ExperimentSuite {
     /// Runs `benchmarks` on `kinds`, scaling each benchmark's data sets by
     /// its recommended scale times `scale_multiplier`.
+    ///
+    /// Runs execute through the default [`RunContext`] — all available
+    /// cores, no result cache.  Use [`ExperimentSuite::run_with`] to control
+    /// the worker count or enable caching.
     pub fn run(
         config: &SystemConfig,
         benchmarks: &[NasBenchmark],
         kinds: &[MachineKind],
         scale_multiplier: f64,
     ) -> Self {
-        let mut runs = Vec::new();
+        Self::run_with(
+            config,
+            benchmarks,
+            kinds,
+            scale_multiplier,
+            &RunContext::default(),
+        )
+    }
+
+    /// [`ExperimentSuite::run`] with explicit execution policy: the
+    /// context's executor shards the benchmark × machine runs across its
+    /// workers, and its cache (when present) serves repeated runs without
+    /// simulating them.
+    ///
+    /// Every run is a pure function of `(config, spec, kind)`, so the suite
+    /// is bit-identical for any worker count.
+    pub fn run_with(
+        config: &SystemConfig,
+        benchmarks: &[NasBenchmark],
+        kinds: &[MachineKind],
+        scale_multiplier: f64,
+        ctx: &RunContext,
+    ) -> Self {
+        let mut labels = Vec::new();
+        let mut lowered: Vec<LoweredRun> = Vec::new();
         for &benchmark in benchmarks {
             let scale = benchmark.recommended_scale() * scale_multiplier;
             let spec = benchmark.spec_scaled(scale);
             for &kind in kinds {
-                let result = Machine::new(kind, config.clone()).run(&spec);
-                runs.push((benchmark.name().to_owned(), kind, result));
+                labels.push((benchmark.name().to_owned(), kind));
+                lowered.push((config.clone(), spec.clone(), kind));
             }
         }
+        let report = ctx.run_lowered(&lowered);
         ExperimentSuite {
             config_label: format!("{} cores", config.cores),
             scale_multiplier,
-            runs,
+            runs: labels
+                .into_iter()
+                .zip(report.results)
+                .map(|((name, kind), result)| (name, kind, result))
+                .collect(),
         }
     }
 
@@ -157,6 +191,7 @@ impl ExperimentSuite {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::machine::Machine;
 
     fn quick_suite() -> ExperimentSuite {
         let config = SystemConfig::small(4);
@@ -187,6 +222,32 @@ mod tests {
         let summary = suite.summary();
         assert!(summary.average_speedup > 0.5);
         assert!(!summary.to_table().is_empty());
+    }
+
+    #[test]
+    fn serial_and_parallel_suites_are_bit_identical() {
+        let config = SystemConfig::small(4);
+        let benchmarks = [NasBenchmark::Cg, NasBenchmark::Is];
+        let scale = 1.0 / 64.0;
+        let serial = ExperimentSuite::run_with(
+            &config,
+            &benchmarks,
+            &MachineKind::ALL,
+            scale,
+            &RunContext::serial(),
+        );
+        let parallel = ExperimentSuite::run_with(
+            &config,
+            &benchmarks,
+            &MachineKind::ALL,
+            scale,
+            &RunContext::new(campaign::Executor::new(4), None),
+        );
+        assert_eq!(serial.len(), parallel.len());
+        for (name, kind, result) in &serial.runs {
+            let other = parallel.result(name, *kind).expect("same combinations");
+            assert_eq!(result.to_json(), other.to_json(), "{name} on {kind}");
+        }
     }
 
     #[test]

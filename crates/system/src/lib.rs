@@ -29,9 +29,12 @@ pub mod config;
 pub mod experiments;
 pub mod machine;
 pub mod report;
+pub mod resultio;
+pub mod sweep;
 
 pub use cli::{CliOptions, Report};
 pub use config::{MachineKind, SystemConfig};
 pub use experiments::ExperimentSuite;
 pub use machine::{Machine, RunResult};
 pub use report::TableBuilder;
+pub use resultio::run_result_codec;

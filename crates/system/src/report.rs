@@ -1,110 +1,12 @@
 //! Plain-text table formatting for the experiment reports.
+//!
+//! The aligned-column [`TableBuilder`] itself lives in
+//! [`simkernel::table`] (so the campaign aggregation layer can use it
+//! without depending on this crate); this module re-exports it alongside the
+//! number-formatting helpers the reports share.
 
-use std::fmt::Write as _;
-
-/// A small aligned-column text-table builder used by every experiment report.
-///
-/// # Example
-///
-/// ```
-/// use system::TableBuilder;
-///
-/// let mut t = TableBuilder::new("Filter hit ratio");
-/// t.columns(&["Benchmark", "Hit ratio"]);
-/// t.row(&["CG", "0.99"]);
-/// t.row(&["IS", "0.92"]);
-/// let text = t.build();
-/// assert!(text.contains("Benchmark"));
-/// assert!(text.contains("IS"));
-/// ```
-#[derive(Debug, Clone)]
-pub struct TableBuilder {
-    title: String,
-    header: Vec<String>,
-    rows: Vec<Vec<String>>,
-}
-
-impl TableBuilder {
-    /// Creates a table with a title.
-    pub fn new(title: &str) -> Self {
-        TableBuilder {
-            title: title.to_owned(),
-            header: Vec::new(),
-            rows: Vec::new(),
-        }
-    }
-
-    /// Sets the column headers.
-    pub fn columns(&mut self, names: &[&str]) -> &mut Self {
-        self.header = names.iter().map(|s| s.to_string()).collect();
-        self
-    }
-
-    /// Appends one row.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the row does not match the number of columns.
-    pub fn row(&mut self, cells: &[&str]) -> &mut Self {
-        assert_eq!(
-            cells.len(),
-            self.header.len(),
-            "row has {} cells but the table has {} columns",
-            cells.len(),
-            self.header.len()
-        );
-        self.rows
-            .push(cells.iter().map(|s| s.to_string()).collect());
-        self
-    }
-
-    /// Appends one row of already-owned cells.
-    pub fn row_owned(&mut self, cells: Vec<String>) -> &mut Self {
-        assert_eq!(cells.len(), self.header.len());
-        self.rows.push(cells);
-        self
-    }
-
-    /// Number of data rows.
-    pub fn len(&self) -> usize {
-        self.rows.len()
-    }
-
-    /// Returns `true` if the table has no data rows.
-    pub fn is_empty(&self) -> bool {
-        self.rows.is_empty()
-    }
-
-    /// Renders the table.
-    pub fn build(&self) -> String {
-        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
-        for row in &self.rows {
-            for (i, cell) in row.iter().enumerate() {
-                if i < widths.len() {
-                    widths[i] = widths[i].max(cell.len());
-                }
-            }
-        }
-        let mut out = String::new();
-        let _ = writeln!(out, "{}", self.title);
-        let total: usize = widths.iter().sum::<usize>() + 3 * widths.len().saturating_sub(1);
-        let _ = writeln!(out, "{}", "=".repeat(self.title.len().max(total)));
-        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
-            cells
-                .iter()
-                .enumerate()
-                .map(|(i, c)| format!("{:<width$}", c, width = widths[i]))
-                .collect::<Vec<_>>()
-                .join(" | ")
-        };
-        let _ = writeln!(out, "{}", fmt_row(&self.header, &widths));
-        let _ = writeln!(out, "{}", "-".repeat(total));
-        for row in &self.rows {
-            let _ = writeln!(out, "{}", fmt_row(row, &widths));
-        }
-        out
-    }
-}
+/// Re-export of the aligned-column table builder (see [`simkernel::table`]).
+pub use simkernel::TableBuilder;
 
 /// Formats a ratio as `1.23x`.
 pub fn fmt_ratio(value: f64) -> String {
@@ -126,17 +28,13 @@ mod tests {
     use super::*;
 
     #[test]
-    fn builds_aligned_table() {
+    fn table_builder_is_reexported() {
         let mut t = TableBuilder::new("T");
         t.columns(&["a", "benchmark"]);
         t.row(&["1", "CG"]);
-        t.row_owned(vec!["2".into(), "longer".into()]);
-        assert_eq!(t.len(), 2);
-        assert!(!t.is_empty());
         let s = t.build();
         assert!(s.contains("benchmark"));
-        assert!(s.contains("longer"));
-        assert!(s.lines().count() >= 5);
+        assert_eq!(t.len(), 1);
     }
 
     #[test]
@@ -145,13 +43,5 @@ mod tests {
         assert_eq!(fmt_percent_delta(1.042), "+4.2 %");
         assert_eq!(fmt_percent_delta(0.96), "-4.0 %");
         assert_eq!(fmt_percent(0.921), "92.1 %");
-    }
-
-    #[test]
-    #[should_panic]
-    fn mismatched_row_panics() {
-        let mut t = TableBuilder::new("T");
-        t.columns(&["a", "b"]);
-        t.row(&["only one"]);
     }
 }

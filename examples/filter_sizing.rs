@@ -13,6 +13,7 @@
 
 use simkernel::ByteSize;
 use spm_manycore::system::experiments::ablations;
+use spm_manycore::system::sweep::RunContext;
 use spm_manycore::system::SystemConfig;
 use spm_manycore::workloads::nas::NasBenchmark;
 
@@ -21,17 +22,27 @@ fn main() {
     let cores: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(16);
     let scale: f64 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(0.25);
     let config = SystemConfig::with_cores(cores);
+    // All sweep points run through the campaign executor on every available
+    // core (see the `campaign` example for caching on top of this).
+    let ctx = RunContext::default();
 
     println!(
-        "machine: {} cores, data-set scale multiplier {scale}\n",
-        cores
+        "machine: {} cores, data-set scale multiplier {scale}, {} workers\n",
+        cores,
+        ctx.executor.jobs()
     );
 
-    let filter_points =
-        ablations::filter_size_sweep(&config, NasBenchmark::Is, &[4, 8, 16, 32, 48, 96], scale);
+    let filter_points = ablations::filter_size_sweep(
+        &ctx,
+        &config,
+        NasBenchmark::Is,
+        &[4, 8, 16, 32, 48, 96],
+        scale,
+    );
     println!("{}", ablations::filter_size_table(&filter_points));
 
     let spm_points = ablations::spm_size_sweep(
+        &ctx,
         &config,
         NasBenchmark::Cg,
         &[
@@ -44,7 +55,11 @@ fn main() {
     );
     println!("{}", ablations::spm_size_table(&spm_points));
 
-    let intensity_points =
-        ablations::guarded_intensity_sweep(&config, &[0.0, 0.5, 1.0, 2.0, 4.0, 8.0], scale * 0.5);
+    let intensity_points = ablations::guarded_intensity_sweep(
+        &ctx,
+        &config,
+        &[0.0, 0.5, 1.0, 2.0, 4.0, 8.0],
+        scale * 0.5,
+    );
     println!("{}", ablations::guarded_intensity_table(&intensity_points));
 }

@@ -20,6 +20,8 @@
 //!   runtime-library tiling model.
 //! * [`system`] — full 64-core system assembly and the experiment drivers
 //!   that regenerate every table and figure of the paper.
+//! * [`campaign`] — parallel sweep engine with a content-addressed result
+//!   cache, driving parameter-space studies across all of the above.
 //!
 //! # Quick start
 //!
@@ -38,6 +40,7 @@
 //! assert!(cache.execution_time.as_u64() > 0);
 //! ```
 
+pub use campaign;
 pub use cpu;
 pub use energy;
 pub use mem;

@@ -1,0 +1,131 @@
+//! Integration tests for the campaign subsystem: cache-key stability,
+//! serial/parallel determinism across all three machine kinds, and the
+//! executes-zero-points-on-repeat cache guarantee.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+use spm_manycore::campaign::{CacheKey, Executor, ResultCache, SweepSpec};
+use spm_manycore::system::sweep::{run_points, RunContext};
+use spm_manycore::system::RunResult;
+
+/// The three-machine sweep the determinism tests run: one benchmark on the
+/// scaled-down test machine, small enough for the test suite.
+fn three_machine_points() -> Vec<spm_manycore::campaign::RunDescriptor> {
+    SweepSpec::new(&["CG"])
+        .with_cores(&[4])
+        .with_scales(&[1.0 / 512.0])
+        .small()
+        .points()
+}
+
+fn scratch_dir(name: &str) -> std::path::PathBuf {
+    // CARGO_TARGET_TMPDIR is provided to integration tests by cargo and
+    // lives under `target/`, so scratch caches never escape the build tree.
+    std::path::Path::new(env!("CARGO_TARGET_TMPDIR")).join(name)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The cache key is invariant under any rotation/reversal of the field
+    /// list — reordering struct fields can never invalidate a cache.
+    #[test]
+    fn cache_key_is_stable_across_field_reordering(
+        values in vec(any::<u64>(), 2..9),
+        rotation in 0usize..8,
+        reverse in any::<bool>(),
+    ) {
+        let fields: Vec<(String, String)> = values
+            .iter()
+            .enumerate()
+            .map(|(i, v)| (format!("field_{i}"), v.to_string()))
+            .collect();
+        let mut reordered = fields.clone();
+        reordered.rotate_left(rotation % fields.len().max(1));
+        if reverse {
+            reordered.reverse();
+        }
+        let key = |fields: &[(String, String)]| {
+            CacheKey::from_fields(fields.iter().map(|(n, v)| (n.as_str(), v.clone())))
+        };
+        prop_assert_eq!(key(&fields), key(&reordered));
+    }
+
+    /// Distinct field values produce distinct keys (no trivial collisions).
+    #[test]
+    fn cache_key_tracks_values(a in any::<u64>(), b in any::<u64>()) {
+        let key = |v: u64| CacheKey::from_fields([("x", v.to_string())]);
+        prop_assert_eq!(key(a) == key(b), a == b);
+    }
+}
+
+#[test]
+fn parallel_and_serial_campaigns_are_bit_identical_on_all_machine_kinds() {
+    let points = three_machine_points();
+    assert_eq!(points.len(), 3, "one point per machine kind");
+    let serial = run_points(&RunContext::new(Executor::new(1), None), &points).unwrap();
+    let parallel = run_points(&RunContext::new(Executor::new(4), None), &points).unwrap();
+    assert_eq!(serial.executed, 3);
+    assert_eq!(parallel.executed, 3);
+    for ((point, a), b) in points.iter().zip(&serial.results).zip(&parallel.results) {
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "jobs=1 vs jobs=4 diverged on {}",
+            point.label()
+        );
+    }
+}
+
+#[test]
+fn repeated_campaign_executes_zero_points() {
+    let cache = ResultCache::new(scratch_dir("repeat-campaign-cache"));
+    let _ = std::fs::remove_dir_all(cache.dir());
+    let ctx = RunContext::new(Executor::new(2), Some(cache.clone()));
+    let points = three_machine_points();
+
+    let first = run_points(&ctx, &points).unwrap();
+    assert_eq!(first.executed, points.len());
+    assert_eq!(first.cache_hits, 0);
+    assert_eq!(cache.len(), points.len());
+
+    let second = run_points(&ctx, &points).unwrap();
+    assert_eq!(second.executed, 0, "{}", second.accounting());
+    assert_eq!(second.cache_hits, points.len());
+    for (a, b) in first.results.iter().zip(&second.results) {
+        assert_eq!(a.to_json(), b.to_json(), "cached replay drifted");
+    }
+
+    // A new point executes; the old ones still hit.
+    let mut grown = points.clone();
+    let mut extra = grown[0].clone();
+    extra.benchmark = "IS".into();
+    grown.push(extra);
+    let third = run_points(&ctx, &grown).unwrap();
+    assert_eq!(third.executed, 1);
+    assert_eq!(third.cache_hits, points.len());
+
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
+fn cached_blobs_are_valid_run_result_json() {
+    let cache = ResultCache::new(scratch_dir("blob-format-cache"));
+    let _ = std::fs::remove_dir_all(cache.dir());
+    let ctx = RunContext::new(Executor::new(1), Some(cache.clone()));
+    let points = &three_machine_points()[..1];
+    run_points(&ctx, points).unwrap();
+
+    let entries: Vec<_> = std::fs::read_dir(cache.dir())
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .collect();
+    assert_eq!(entries.len(), 1);
+    let blob = std::fs::read_to_string(&entries[0]).unwrap();
+    let parsed = RunResult::from_json(&blob).expect("cache blob is RunResult JSON");
+    assert_eq!(parsed.benchmark, "CG");
+    assert_eq!(parsed.to_json(), blob, "encoding is a fixed point");
+
+    let _ = std::fs::remove_dir_all(cache.dir());
+}

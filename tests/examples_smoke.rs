@@ -13,6 +13,7 @@ const EXAMPLES: &[&str] = &[
     "protocol_walkthrough",
     "filter_sizing",
     "spmv_gather",
+    "campaign",
 ];
 
 #[test]
