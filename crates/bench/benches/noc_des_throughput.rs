@@ -1,0 +1,60 @@
+//! Discrete-event NoC throughput: packets simulated per second.
+//!
+//! Drives both backends with the same synthetic stream on the paper's 8×8
+//! mesh so the cost of measuring contention (DES) versus assuming it
+//! (analytic) is visible, plus the hop-by-hop `send` path the memory
+//! hierarchy exercises during a machine run.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc::{run_synthetic, MessageClass, Noc, NocConfig, NocModel, SyntheticTraffic};
+use simkernel::{Cycle, NodeId};
+
+fn bench_noc_des(c: &mut Criterion) {
+    let traffic = SyntheticTraffic::uniform(0.05, 2_000, 42);
+
+    // Report the stream size once so the throughput numbers have a scale.
+    let mut probe = Noc::new(NocConfig::isca2015(64).with_model(NocModel::DiscreteEvent));
+    let report = run_synthetic(&mut probe, &traffic);
+    println!(
+        "noc_des_throughput: {} packets per iteration on an 8x8 mesh \
+         (mean latency {:.1} cycles, max link utilization {:.3})",
+        report.delivered, report.mean_latency, report.max_link_utilization
+    );
+
+    let mut group = c.benchmark_group("noc_des_throughput");
+    group.sample_size(10);
+    group.bench_function("des_synthetic_8x8", |b| {
+        b.iter(|| {
+            let mut noc = Noc::new(NocConfig::isca2015(64).with_model(NocModel::DiscreteEvent));
+            std::hint::black_box(run_synthetic(&mut noc, &traffic))
+        })
+    });
+    group.bench_function("analytic_synthetic_8x8", |b| {
+        b.iter(|| {
+            let mut noc = Noc::new(NocConfig::isca2015(64));
+            std::hint::black_box(run_synthetic(&mut noc, &traffic))
+        })
+    });
+    // The `send` path a machine run exercises: one drained packet per call,
+    // clock advancing as a core would.
+    group.bench_function("des_send_path", |b| {
+        b.iter(|| {
+            let mut noc = Noc::new(NocConfig::isca2015(64).with_model(NocModel::DiscreteEvent));
+            let mut total = Cycle::ZERO;
+            for i in 0..1_000u64 {
+                noc.advance_to(Cycle::new(i * 3));
+                total += noc.send(
+                    NodeId::new((i % 64) as usize),
+                    NodeId::new(((i * 13 + 7) % 64) as usize),
+                    MessageClass::Read,
+                    if i % 2 == 0 { 8 } else { 64 },
+                );
+            }
+            std::hint::black_box(total)
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_noc_des);
+criterion_main!(benches);

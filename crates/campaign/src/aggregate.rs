@@ -167,7 +167,7 @@ pub fn summarize(records: &[PointRecord]) -> CampaignSummary {
 }
 
 /// The CSV column order used by [`to_csv`].
-pub const CSV_COLUMNS: [&str; 13] = [
+pub const CSV_COLUMNS: [&str; 14] = [
     "benchmark",
     "machine",
     "cores",
@@ -175,6 +175,7 @@ pub const CSV_COLUMNS: [&str; 13] = [
     "spm_kib",
     "filter_entries",
     "filterdir_entries",
+    "noc_model",
     "small_machine",
     "execution_cycles",
     "total_packets",
@@ -194,7 +195,7 @@ pub fn to_csv(records: &[PointRecord]) -> String {
         let d = &r.descriptor;
         let m = &r.metrics;
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             d.benchmark,
             d.machine,
             d.cores,
@@ -202,6 +203,7 @@ pub fn to_csv(records: &[PointRecord]) -> String {
             opt(&d.spm_kib),
             opt(&d.filter_entries),
             opt(&d.filterdir_entries),
+            opt(&d.noc_model),
             d.small_machine,
             m.execution_cycles,
             m.total_packets,
@@ -247,6 +249,10 @@ pub fn to_json(records: &[PointRecord]) -> String {
                         (
                             "filterdir_entries",
                             opt_num(d.filterdir_entries.map(|v| v as u64)),
+                        ),
+                        (
+                            "noc_model",
+                            d.noc_model.as_deref().map_or(Json::Null, Json::str),
                         ),
                         ("small_machine", Json::Bool(d.small_machine)),
                     ]),

@@ -17,6 +17,12 @@ use crate::hash::{f64_field, CacheKey};
 /// maps them onto its `MachineKind` enum.
 pub const MACHINE_IDS: [&str; 3] = ["cache-only", "hybrid-ideal", "hybrid-proposed"];
 
+/// Canonical NoC-model identifiers.
+///
+/// These are the strings a descriptor's `noc_model` field uses; `system`
+/// maps them onto the `noc::NocModel` enum.
+pub const NOC_MODEL_IDS: [&str; 2] = ["analytic", "discrete-event"];
+
 /// One point of a campaign: everything needed to reproduce one simulation
 /// run, as plain data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -36,6 +42,8 @@ pub struct RunDescriptor {
     pub filter_entries: Option<usize>,
     /// filterDir entry-count override (`None` = the Table 1 default).
     pub filterdir_entries: Option<usize>,
+    /// NoC model override (one of [`NOC_MODEL_IDS`]; `None` = analytic).
+    pub noc_model: Option<String>,
     /// Use the scaled-down test machine (`SystemConfig::small`) instead of
     /// the Table 1 machine — for quick campaigns, tests and CI.
     pub small_machine: bool,
@@ -53,6 +61,7 @@ impl RunDescriptor {
             spm_kib: None,
             filter_entries: None,
             filterdir_entries: None,
+            noc_model: None,
             small_machine: false,
         }
     }
@@ -75,6 +84,7 @@ impl RunDescriptor {
             ("spm_kib", opt(&self.spm_kib)),
             ("filter_entries", opt(&self.filter_entries)),
             ("filterdir_entries", opt(&self.filterdir_entries)),
+            ("noc_model", opt(&self.noc_model)),
             ("small_machine", self.small_machine.to_string()),
         ]
     }
@@ -83,12 +93,16 @@ impl RunDescriptor {
     ///
     /// Derived purely from the descriptor's content — never from the worker
     /// that happens to execute the point — so serial and parallel campaign
-    /// runs are bit-identical.  The machine axis is deliberately excluded:
-    /// the three machine kinds of one sweep point must stream the *same*
-    /// addresses for their comparison (speedup, protocol overhead) to be
+    /// runs are bit-identical.  The machine and NoC-model axes are
+    /// deliberately excluded: the machine kinds (and NoC backends) of one
+    /// sweep point must stream the *same* addresses for their comparison
+    /// (speedup, protocol overhead, analytic-vs-measured contention) to be
     /// apples-to-apples, exactly as the paper runs one workload per machine.
     pub fn seed(&self) -> u64 {
-        let fields = self.fields().into_iter().filter(|(n, _)| *n != "machine");
+        let fields = self
+            .fields()
+            .into_iter()
+            .filter(|(n, _)| *n != "machine" && *n != "noc_model");
         CacheKey::from_fields(fields).as_u64()
     }
 
@@ -106,6 +120,9 @@ impl RunDescriptor {
         }
         if let Some(n) = self.filterdir_entries {
             label.push_str(&format!("/fdir{n}"));
+        }
+        if let Some(model) = &self.noc_model {
+            label.push_str(&format!("/{model}"));
         }
         label
     }
@@ -140,6 +157,8 @@ pub struct SweepSpec {
     pub filter_entries: Vec<Option<usize>>,
     /// filterDir entry counts to sweep; `None` uses the Table 1 default.
     pub filterdir_entries: Vec<Option<usize>>,
+    /// NoC models to sweep (one of [`NOC_MODEL_IDS`]; `None` = analytic).
+    pub noc_models: Vec<Option<String>>,
     /// Lower every point onto the scaled-down test machine.
     pub small_machine: bool,
 }
@@ -155,6 +174,7 @@ impl SweepSpec {
             spm_kib: vec![None],
             filter_entries: vec![None],
             filterdir_entries: vec![None],
+            noc_models: vec![None],
             small_machine: false,
         }
     }
@@ -195,6 +215,12 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the NoC-model axis (identifiers from [`NOC_MODEL_IDS`]).
+    pub fn with_noc_models(mut self, models: &[&str]) -> Self {
+        self.noc_models = models.iter().map(|m| Some(m.to_string())).collect();
+        self
+    }
+
     /// Lowers every point onto the scaled-down test machine.
     pub fn small(mut self) -> Self {
         self.small_machine = true;
@@ -210,6 +236,7 @@ impl SweepSpec {
             * self.spm_kib.len()
             * self.filter_entries.len()
             * self.filterdir_entries.len()
+            * self.noc_models.len()
     }
 
     /// Returns `true` when the cross-product is empty.
@@ -218,7 +245,7 @@ impl SweepSpec {
     }
 
     /// Enumerates the cross-product, in a deterministic nested order
-    /// (benchmark-major, filterDir-size-minor).
+    /// (benchmark-major, NoC-model-minor).
     pub fn points(&self) -> Vec<RunDescriptor> {
         let mut points = Vec::with_capacity(self.len());
         for benchmark in &self.benchmarks {
@@ -228,16 +255,19 @@ impl SweepSpec {
                         for &spm in &self.spm_kib {
                             for &filter in &self.filter_entries {
                                 for &filterdir in &self.filterdir_entries {
-                                    points.push(RunDescriptor {
-                                        benchmark: benchmark.clone(),
-                                        machine: machine.clone(),
-                                        cores,
-                                        scale_multiplier: scale,
-                                        spm_kib: spm,
-                                        filter_entries: filter,
-                                        filterdir_entries: filterdir,
-                                        small_machine: self.small_machine,
-                                    });
+                                    for noc_model in &self.noc_models {
+                                        points.push(RunDescriptor {
+                                            benchmark: benchmark.clone(),
+                                            machine: machine.clone(),
+                                            cores,
+                                            scale_multiplier: scale,
+                                            spm_kib: spm,
+                                            filter_entries: filter,
+                                            filterdir_entries: filterdir,
+                                            noc_model: noc_model.clone(),
+                                            small_machine: self.small_machine,
+                                        });
+                                    }
                                 }
                             }
                         }
@@ -300,6 +330,30 @@ mod tests {
         let mut d = a.clone();
         d.spm_kib = Some(32);
         assert_ne!(a.seed(), d.seed());
+    }
+
+    #[test]
+    fn noc_models_of_one_point_share_a_seed() {
+        // The analytic-vs-measured comparison runs one workload per backend.
+        let base = RunDescriptor::new("CG", "hybrid-proposed", 16);
+        let mut des = base.clone();
+        des.noc_model = Some("discrete-event".into());
+        assert_eq!(base.seed(), des.seed());
+        // ...but the descriptors remain distinct content.
+        assert_ne!(base.fields(), des.fields());
+        assert!(des.label().contains("discrete-event"), "{}", des.label());
+    }
+
+    #[test]
+    fn noc_model_axis_multiplies_the_cross_product() {
+        let spec = SweepSpec::new(&["CG"])
+            .with_cores(&[8])
+            .with_machines(&["hybrid-proposed"])
+            .with_noc_models(&NOC_MODEL_IDS);
+        assert_eq!(spec.len(), 2);
+        let points = spec.points();
+        assert_eq!(points[0].noc_model.as_deref(), Some("analytic"));
+        assert_eq!(points[1].noc_model.as_deref(), Some("discrete-event"));
     }
 
     #[test]

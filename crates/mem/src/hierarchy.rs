@@ -241,6 +241,15 @@ impl MemorySystem {
         &mut self.noc
     }
 
+    /// Advances the network's clock to `now` (monotonic).
+    ///
+    /// The machine driver calls this with the issuing core's cycle before
+    /// each trace operation so the discrete-event NoC backend queues packets
+    /// in simulation time; the analytic backend ignores it.
+    pub fn advance_noc(&mut self, now: Cycle) {
+        self.noc.advance_to(now);
+    }
+
     /// Aggregate counters for reports and the energy model.
     pub fn counters(&self) -> &HierarchyCounters {
         &self.counters

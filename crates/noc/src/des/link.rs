@@ -1,0 +1,146 @@
+//! Per-link state of the discrete-event mesh.
+//!
+//! Every node owns four outgoing directed links (east, west, south, north);
+//! a link exists only when its far endpoint is inside the mesh.  Each link
+//! keeps one busy-until cycle per virtual channel — the FIFO occupancy the
+//! analytic model folds into a single global ρ — plus the accumulated busy
+//! cycles that turn into the measured per-link utilisation.
+
+use simkernel::{Cycle, NodeId};
+
+use crate::packet::NUM_VIRTUAL_CHANNELS;
+use crate::topology::MeshTopology;
+
+/// Outgoing directions of a mesh router, in link-index order.
+const EAST: usize = 0;
+const WEST: usize = 1;
+const SOUTH: usize = 2;
+const NORTH: usize = 3;
+
+/// One directed link: per-virtual-channel busy-until cycles plus counters.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LinkState {
+    /// The cycle from which each virtual channel can accept a new head flit.
+    pub free_at: [Cycle; NUM_VIRTUAL_CHANNELS],
+    /// Cycles the link input was occupied by flits, over all channels.
+    pub busy_cycles: u64,
+    /// Packets that traversed the link.
+    pub packets: u64,
+}
+
+/// The directed links of a mesh, indexed `node × 4 + direction`.
+#[derive(Debug, Clone)]
+pub(crate) struct LinkGrid {
+    topology: MeshTopology,
+    links: Vec<LinkState>,
+}
+
+impl LinkGrid {
+    pub(crate) fn new(topology: MeshTopology) -> Self {
+        LinkGrid {
+            topology,
+            links: vec![LinkState::default(); topology.nodes() * 4],
+        }
+    }
+
+    /// The index of the directed link from `from` to the adjacent node `to`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the nodes are not mesh neighbours (XY routes only ever
+    /// traverse neighbouring tiles).
+    pub(crate) fn index_between(&self, from: NodeId, to: NodeId) -> usize {
+        let (fc, fr) = self.topology.coords(from);
+        let (tc, tr) = self.topology.coords(to);
+        let dir = match (tc as isize - fc as isize, tr as isize - fr as isize) {
+            (1, 0) => EAST,
+            (-1, 0) => WEST,
+            (0, 1) => SOUTH,
+            (0, -1) => NORTH,
+            _ => panic!("nodes {from} and {to} are not mesh neighbours"),
+        };
+        from.index() * 4 + dir
+    }
+
+    pub(crate) fn state_mut(&mut self, index: usize) -> &mut LinkState {
+        &mut self.links[index]
+    }
+
+    /// Number of directed links that physically exist in the mesh.
+    pub(crate) fn physical_links(&self) -> usize {
+        self.topology.directed_links()
+    }
+
+    /// Utilisation of every directed link over `elapsed` cycles, in link
+    /// index order (links outside the mesh stay at zero forever).
+    pub(crate) fn utilizations(&self, elapsed: Cycle) -> impl Iterator<Item = f64> + '_ {
+        let denom = elapsed.as_u64().max(1) as f64;
+        self.links.iter().map(move |l| l.busy_cycles as f64 / denom)
+    }
+
+    /// Total busy cycles over all links.
+    pub(crate) fn total_busy_cycles(&self) -> u64 {
+        self.links.iter().map(|l| l.busy_cycles).sum()
+    }
+
+    /// Total packets over all links (one count per link traversed).
+    pub(crate) fn total_link_traversals(&self) -> u64 {
+        self.links.iter().map(|l| l.packets).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn neighbour_links_have_distinct_indices() {
+        let mesh = MeshTopology::new(3, 3);
+        let grid = LinkGrid::new(mesh);
+        let center = mesh.node_at(1, 1);
+        let mut seen = std::collections::BTreeSet::new();
+        for neighbour in [
+            mesh.node_at(2, 1),
+            mesh.node_at(0, 1),
+            mesh.node_at(1, 2),
+            mesh.node_at(1, 0),
+        ] {
+            assert!(seen.insert(grid.index_between(center, neighbour)));
+        }
+        // The reverse direction is a different link.
+        assert_ne!(
+            grid.index_between(center, mesh.node_at(2, 1)),
+            grid.index_between(mesh.node_at(2, 1), center)
+        );
+    }
+
+    #[test]
+    #[should_panic]
+    fn non_neighbours_panic() {
+        let mesh = MeshTopology::new(3, 3);
+        LinkGrid::new(mesh).index_between(mesh.node_at(0, 0), mesh.node_at(2, 0));
+    }
+
+    #[test]
+    fn physical_link_count_matches_mesh() {
+        assert_eq!(LinkGrid::new(MeshTopology::new(2, 2)).physical_links(), 8);
+        assert_eq!(
+            LinkGrid::new(MeshTopology::new(8, 8)).physical_links(),
+            2 * (7 * 8 + 8 * 7)
+        );
+        assert_eq!(LinkGrid::new(MeshTopology::new(1, 1)).physical_links(), 0);
+    }
+
+    #[test]
+    fn utilization_reflects_busy_cycles() {
+        let mesh = MeshTopology::new(2, 1);
+        let mut grid = LinkGrid::new(mesh);
+        let east = grid.index_between(mesh.node_at(0, 0), mesh.node_at(1, 0));
+        grid.state_mut(east).busy_cycles = 50;
+        grid.state_mut(east).packets = 10;
+        let utils: Vec<f64> = grid.utilizations(Cycle::new(100)).collect();
+        assert_eq!(utils[east], 0.5);
+        assert_eq!(grid.total_busy_cycles(), 50);
+        assert_eq!(grid.total_link_traversals(), 10);
+    }
+}

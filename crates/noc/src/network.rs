@@ -1,11 +1,79 @@
 //! The network model proper: latency computation and traffic recording.
+//!
+//! Two backends implement [`NocBackend`](crate::NocBackend):
+//!
+//! * [`AnalyticNoc`] — the closed-form model: XY hop count times per-hop
+//!   latency plus a utilisation-driven M/M/1-style contention penalty fed by
+//!   one hand-set utilisation scalar;
+//! * [`DesNoc`](crate::des::DesNoc) — the discrete-event model: every packet
+//!   is routed hop by hop over per-link, per-virtual-channel FIFOs, so
+//!   contention is *measured* instead of assumed.
+//!
+//! [`Noc`] is the facade the memory hierarchy and the coherence protocol
+//! talk to; [`NocConfig::model`] selects which backend it instantiates.
 
 use serde::{Deserialize, Serialize};
 use simkernel::{Cycle, NodeId, StatRegistry};
 
+use crate::backend::NocBackend;
+use crate::des::DesNoc;
 use crate::packet::{MessageClass, PacketKind};
 use crate::topology::MeshTopology;
 use crate::traffic::TrafficAccountant;
+
+/// Largest link utilisation the analytic contention formula accepts.
+///
+/// The M/M/1-style queueing term `contention_factor · ρ² / (1 − ρ)` diverges
+/// as ρ → 1; clamping at this value bounds the per-hop penalty at
+/// `contention_factor · 18.05` cycles, which is already far beyond the regime
+/// where the closed-form model is trustworthy.  Callers that hit the clamp
+/// are counted (see `noc.utilization.clamp_events` in the exported stats) so
+/// a saturated analytic model is visible in every report instead of silently
+/// under-predicting — the discrete-event backend is the right tool there.
+pub const MAX_UTILIZATION: f64 = 0.95;
+
+/// Which network model a [`Noc`] instantiates.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum NocModel {
+    /// Closed-form latency: hops × per-hop latency + serialization + a
+    /// global utilisation-driven contention term.  Fast, memoryless, and
+    /// blind to hotspots by construction.
+    #[default]
+    Analytic,
+    /// Message-level discrete-event simulation: XY routing over per-link,
+    /// per-virtual-channel FIFOs with injection/ejection queues.  Measures
+    /// per-link utilisation and per-node queueing instead of assuming them.
+    DiscreteEvent,
+}
+
+impl NocModel {
+    /// Both models, analytic first.
+    pub const ALL: [NocModel; 2] = [NocModel::Analytic, NocModel::DiscreteEvent];
+
+    /// Stable identifier used by campaign descriptors and CLI flags.
+    pub fn id(self) -> &'static str {
+        match self {
+            NocModel::Analytic => "analytic",
+            NocModel::DiscreteEvent => "discrete-event",
+        }
+    }
+
+    /// Parses a model identifier (the inverse of [`NocModel::id`]; the
+    /// shorthand `des` is accepted for the discrete-event model).
+    pub fn from_id(id: &str) -> Option<NocModel> {
+        match id {
+            "analytic" => Some(NocModel::Analytic),
+            "discrete-event" | "des" => Some(NocModel::DiscreteEvent),
+            _ => None,
+        }
+    }
+}
+
+impl std::fmt::Display for NocModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
 
 /// Configuration of the on-chip network.
 ///
@@ -26,8 +94,10 @@ pub struct NocConfig {
     /// utilisation estimate fed through [`Noc::set_utilization`].  With the
     /// paper's workloads ρ stays low, so the penalty is small — exactly the
     /// behaviour the paper reports ("contention in the filterDir is very
-    /// low").
+    /// low").  Only the analytic backend uses this knob.
     pub contention_factor: f64,
+    /// Which backend a [`Noc`] built from this configuration uses.
+    pub model: NocModel,
 }
 
 impl NocConfig {
@@ -38,7 +108,33 @@ impl NocConfig {
             link_latency: Cycle::new(1),
             router_latency: Cycle::new(1),
             contention_factor: 4.0,
+            model: NocModel::Analytic,
         }
+    }
+
+    /// The same configuration with the model replaced.
+    pub fn with_model(mut self, model: NocModel) -> Self {
+        self.model = model;
+        self
+    }
+
+    /// Cycles for one hop: one link traversal plus one router traversal.
+    pub fn hop_latency(&self) -> u64 {
+        self.link_latency.as_u64() + self.router_latency.as_u64()
+    }
+
+    /// The latency of a packet on an otherwise idle network.
+    ///
+    /// `hops × (link + router)` for the head flit plus one cycle per
+    /// additional flit of the packet.  Local (same-tile) messages still pay
+    /// one hop for the router loopback.  Both backends agree on this value
+    /// by construction, which is what the model-equivalence tests pin.
+    pub fn zero_load_latency(&self, from: NodeId, to: NodeId, payload_bytes: u64) -> Cycle {
+        let hops = self.topology.hops(from, to).max(1);
+        let serialization = PacketKind::for_payload(payload_bytes)
+            .flits()
+            .saturating_sub(1);
+        Cycle::new(hops * self.hop_latency() + serialization)
     }
 }
 
@@ -48,50 +144,36 @@ impl Default for NocConfig {
     }
 }
 
-/// The on-chip network: computes message latencies and accounts traffic.
-///
-/// # Example
-///
-/// ```
-/// use noc::{MessageClass, Noc, NocConfig};
-/// use simkernel::NodeId;
-///
-/// let mut noc = Noc::new(NocConfig::isca2015(16));
-/// let lat = noc.send(NodeId::new(0), NodeId::new(15), MessageClass::Write, 64);
-/// assert!(lat.as_u64() > 0);
-/// ```
+/// The closed-form network model: latency formula plus traffic accounting.
 #[derive(Debug, Clone)]
-pub struct Noc {
+pub struct AnalyticNoc {
     config: NocConfig,
     traffic: TrafficAccountant,
     utilization: f64,
+    clamp_events: u64,
 }
 
-impl Noc {
-    /// Creates a network with the given configuration.
+impl AnalyticNoc {
+    /// Creates an analytic network with the given configuration.
     pub fn new(config: NocConfig) -> Self {
-        Noc {
+        AnalyticNoc {
             config,
             traffic: TrafficAccountant::new(),
             utilization: 0.0,
+            clamp_events: 0,
         }
-    }
-
-    /// Returns the network configuration.
-    pub fn config(&self) -> &NocConfig {
-        &self.config
-    }
-
-    /// Returns the topology.
-    pub fn topology(&self) -> &MeshTopology {
-        &self.config.topology
     }
 
     /// Updates the link-utilisation estimate ρ used by the contention model.
     ///
-    /// The value is clamped to `[0, 0.95]` so the queueing term stays finite.
+    /// The value is clamped to `[0, MAX_UTILIZATION]` so the queueing term
+    /// stays finite; every call that actually hits the upper clamp is
+    /// counted in the `noc.utilization.clamp_events` statistic.
     pub fn set_utilization(&mut self, rho: f64) {
-        self.utilization = rho.clamp(0.0, 0.95);
+        if rho > MAX_UTILIZATION {
+            self.clamp_events += 1;
+        }
+        self.utilization = rho.clamp(0.0, MAX_UTILIZATION);
     }
 
     /// Current link-utilisation estimate.
@@ -99,16 +181,9 @@ impl Noc {
         self.utilization
     }
 
-    fn packet_kind(payload_bytes: u64) -> PacketKind {
-        if payload_bytes >= 32 {
-            PacketKind::Data
-        } else {
-            PacketKind::Control
-        }
-    }
-
-    fn hop_latency(&self) -> u64 {
-        self.config.link_latency.as_u64() + self.config.router_latency.as_u64()
+    /// How many [`AnalyticNoc::set_utilization`] calls saturated the clamp.
+    pub fn clamp_events(&self) -> u64 {
+        self.clamp_events
     }
 
     fn contention_delay_per_hop(&self) -> f64 {
@@ -119,17 +194,182 @@ impl Noc {
             self.config.contention_factor * rho * rho / (1.0 - rho)
         }
     }
+}
+
+impl NocBackend for AnalyticNoc {
+    fn config(&self) -> &NocConfig {
+        &self.config
+    }
+
+    fn advance_to(&mut self, _now: Cycle) {
+        // The analytic model is memoryless.
+    }
+
+    fn latency(&self, from: NodeId, to: NodeId, payload_bytes: u64) -> Cycle {
+        let hops = self.config.topology.hops(from, to).max(1);
+        let contention = (self.contention_delay_per_hop() * hops as f64).round() as u64;
+        self.config.zero_load_latency(from, to, payload_bytes) + Cycle::new(contention)
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, class: MessageClass, payload_bytes: u64) -> Cycle {
+        let hops = self.config.topology.hops(from, to).max(1);
+        let kind = PacketKind::for_payload(payload_bytes);
+        self.traffic.record(class, kind, hops);
+        self.latency(from, to, payload_bytes)
+    }
+
+    fn traffic(&self) -> &TrafficAccountant {
+        &self.traffic
+    }
+
+    fn take_traffic(&mut self) -> TrafficAccountant {
+        std::mem::take(&mut self.traffic)
+    }
+
+    fn export_stats(&self, stats: &mut StatRegistry) {
+        self.traffic.export(stats);
+        stats.set_value("noc.utilization", self.utilization);
+        stats.add_count("noc.utilization.clamp_events", self.clamp_events);
+    }
+}
+
+/// The backend a [`Noc`] dispatches to.
+// One `Noc` exists per `MemorySystem`, never in bulk collections, so the
+// size asymmetry between the two backends is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+enum NocEngine {
+    Analytic(AnalyticNoc),
+    DiscreteEvent(DesNoc),
+}
+
+/// The on-chip network: computes message latencies and accounts traffic.
+///
+/// A facade over the backend selected by [`NocConfig::model`]; the memory
+/// hierarchy and the coherence protocol are oblivious to which model runs
+/// underneath.
+///
+/// # Example
+///
+/// ```
+/// use noc::{MessageClass, Noc, NocConfig, NocModel};
+/// use simkernel::NodeId;
+///
+/// let mut noc = Noc::new(NocConfig::isca2015(16));
+/// let lat = noc.send(NodeId::new(0), NodeId::new(15), MessageClass::Write, 64);
+/// assert!(lat.as_u64() > 0);
+///
+/// // The same experiment under the discrete-event backend:
+/// let mut des = Noc::new(NocConfig::isca2015(16).with_model(NocModel::DiscreteEvent));
+/// let idle = des.send(NodeId::new(0), NodeId::new(15), MessageClass::Write, 64);
+/// assert_eq!(idle, lat, "idle DES latency equals the analytic zero-load latency");
+/// ```
+#[derive(Debug, Clone)]
+pub struct Noc {
+    engine: NocEngine,
+}
+
+impl Noc {
+    /// Creates a network with the given configuration, instantiating the
+    /// backend named by [`NocConfig::model`].
+    pub fn new(config: NocConfig) -> Self {
+        let engine = match config.model {
+            NocModel::Analytic => NocEngine::Analytic(AnalyticNoc::new(config)),
+            NocModel::DiscreteEvent => NocEngine::DiscreteEvent(DesNoc::new(config)),
+        };
+        Noc { engine }
+    }
+
+    fn backend(&self) -> &dyn NocBackend {
+        match &self.engine {
+            NocEngine::Analytic(a) => a,
+            NocEngine::DiscreteEvent(d) => d,
+        }
+    }
+
+    fn backend_mut(&mut self) -> &mut dyn NocBackend {
+        match &mut self.engine {
+            NocEngine::Analytic(a) => a,
+            NocEngine::DiscreteEvent(d) => d,
+        }
+    }
+
+    /// Returns the network configuration.
+    pub fn config(&self) -> &NocConfig {
+        self.backend().config()
+    }
+
+    /// The model this network runs.
+    pub fn model(&self) -> NocModel {
+        self.config().model
+    }
+
+    /// Returns the topology.
+    pub fn topology(&self) -> &MeshTopology {
+        &self.backend().config().topology
+    }
+
+    /// The discrete-event backend, when that is the active model.
+    ///
+    /// Grants access to the measured per-link utilisations and per-node
+    /// queueing counters that have no analytic counterpart.
+    pub fn des(&self) -> Option<&DesNoc> {
+        match &self.engine {
+            NocEngine::DiscreteEvent(d) => Some(d),
+            NocEngine::Analytic(_) => None,
+        }
+    }
+
+    /// Mutable access to the discrete-event backend, when that is the
+    /// active model — the batch-injection entry point for synthetic
+    /// traffic drivers.
+    pub fn des_mut(&mut self) -> Option<&mut DesNoc> {
+        match &mut self.engine {
+            NocEngine::DiscreteEvent(d) => Some(d),
+            NocEngine::Analytic(_) => None,
+        }
+    }
+
+    /// Updates the link-utilisation estimate ρ used by the analytic
+    /// contention model.
+    ///
+    /// The value is clamped to `[0, MAX_UTILIZATION]` so the queueing term
+    /// stays finite (saturating calls are counted in the exported
+    /// `noc.utilization.clamp_events` statistic).  The discrete-event
+    /// backend measures utilisation instead of assuming it, so the call is
+    /// a no-op there.
+    pub fn set_utilization(&mut self, rho: f64) {
+        if let NocEngine::Analytic(a) = &mut self.engine {
+            a.set_utilization(rho);
+        }
+    }
+
+    /// Current link-utilisation estimate: the hand-set ρ under the analytic
+    /// model, the measured maximum per-link utilisation under the
+    /// discrete-event model.
+    pub fn utilization(&self) -> f64 {
+        match &self.engine {
+            NocEngine::Analytic(a) => a.utilization(),
+            NocEngine::DiscreteEvent(d) => d.max_link_utilization(),
+        }
+    }
+
+    /// Advances the network's notion of the current cycle (monotonic).
+    ///
+    /// The machine driver calls this with each core's clock before issuing
+    /// that core's memory traffic, so discrete-event queueing happens in
+    /// simulation time rather than piling every packet onto cycle zero.
+    pub fn advance_to(&mut self, now: Cycle) {
+        self.backend_mut().advance_to(now);
+    }
 
     /// Latency of a packet between two nodes *without* recording traffic.
     ///
     /// Useful for "ideal" oracle models that must not perturb the traffic
-    /// statistics.
+    /// statistics; under the discrete-event model this is the zero-load
+    /// latency, since an unsent packet occupies no links.
     pub fn latency(&self, from: NodeId, to: NodeId, payload_bytes: u64) -> Cycle {
-        let hops = self.config.topology.hops(from, to).max(1);
-        let kind = Self::packet_kind(payload_bytes);
-        let serialization = kind.flits().saturating_sub(1);
-        let contention = (self.contention_delay_per_hop() * hops as f64).round() as u64;
-        Cycle::new(hops * self.hop_latency() + serialization + contention)
+        self.backend().latency(from, to, payload_bytes)
     }
 
     /// Sends one packet and returns its latency, recording the traffic.
@@ -143,10 +383,7 @@ impl Noc {
         class: MessageClass,
         payload_bytes: u64,
     ) -> Cycle {
-        let hops = self.config.topology.hops(from, to).max(1);
-        let kind = Self::packet_kind(payload_bytes);
-        self.traffic.record(class, kind, hops);
-        self.latency(from, to, payload_bytes)
+        self.backend_mut().send(from, to, class, payload_bytes)
     }
 
     /// Sends a request/response pair and returns the round-trip latency.
@@ -158,9 +395,8 @@ impl Noc {
         request_bytes: u64,
         response_bytes: u64,
     ) -> Cycle {
-        let there = self.send(from, to, class, request_bytes);
-        let back = self.send(to, from, class, response_bytes);
-        there + back
+        self.backend_mut()
+            .round_trip(from, to, class, request_bytes, response_bytes)
     }
 
     /// Broadcasts a control packet from `from` to every other node and
@@ -174,38 +410,55 @@ impl Noc {
         class: MessageClass,
         payload_bytes: u64,
     ) -> Cycle {
-        let nodes = self.config.topology.nodes();
-        let mut worst = Cycle::ZERO;
-        for i in 0..nodes {
-            let to = NodeId::new(i);
-            if to == from {
-                continue;
-            }
-            let out = self.send(from, to, class, payload_bytes);
-            let back = self.send(to, from, class, CONTROL_RESPONSE_BYTES);
-            worst = worst.max(out + back);
-        }
-        worst
+        self.backend_mut()
+            .broadcast_collect(from, class, payload_bytes)
     }
 
     /// Read access to the accumulated traffic.
     pub fn traffic(&self) -> &TrafficAccountant {
-        &self.traffic
+        self.backend().traffic()
     }
 
     /// Drains the accumulated traffic, leaving the accountant empty.
     pub fn take_traffic(&mut self) -> TrafficAccountant {
-        std::mem::take(&mut self.traffic)
+        self.backend_mut().take_traffic()
     }
 
     /// Exports the traffic counters into a [`StatRegistry`].
     pub fn export_stats(&self, stats: &mut StatRegistry) {
-        self.traffic.export(stats);
-        stats.set_value("noc.utilization", self.utilization);
+        self.backend().export_stats(stats);
     }
 }
 
-const CONTROL_RESPONSE_BYTES: u64 = 8;
+impl NocBackend for Noc {
+    fn config(&self) -> &NocConfig {
+        Noc::config(self)
+    }
+
+    fn advance_to(&mut self, now: Cycle) {
+        Noc::advance_to(self, now);
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, class: MessageClass, payload_bytes: u64) -> Cycle {
+        Noc::send(self, from, to, class, payload_bytes)
+    }
+
+    fn latency(&self, from: NodeId, to: NodeId, payload_bytes: u64) -> Cycle {
+        Noc::latency(self, from, to, payload_bytes)
+    }
+
+    fn traffic(&self) -> &TrafficAccountant {
+        Noc::traffic(self)
+    }
+
+    fn take_traffic(&mut self) -> TrafficAccountant {
+        Noc::take_traffic(self)
+    }
+
+    fn export_stats(&self, stats: &mut StatRegistry) {
+        Noc::export_stats(self, stats);
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -217,6 +470,28 @@ mod tests {
         assert_eq!(c.topology.nodes(), 64);
         assert_eq!(c.link_latency, Cycle::new(1));
         assert_eq!(c.router_latency, Cycle::new(1));
+        assert_eq!(c.model, NocModel::Analytic);
+    }
+
+    #[test]
+    fn model_ids_round_trip() {
+        for model in NocModel::ALL {
+            assert_eq!(NocModel::from_id(model.id()), Some(model));
+        }
+        assert_eq!(NocModel::from_id("des"), Some(NocModel::DiscreteEvent));
+        assert_eq!(NocModel::from_id("quantum"), None);
+        assert_eq!(NocModel::DiscreteEvent.to_string(), "discrete-event");
+        assert_eq!(NocModel::default(), NocModel::Analytic);
+    }
+
+    #[test]
+    fn with_model_selects_the_backend() {
+        let analytic = Noc::new(NocConfig::isca2015(16));
+        assert_eq!(analytic.model(), NocModel::Analytic);
+        assert!(analytic.des().is_none());
+        let des = Noc::new(NocConfig::isca2015(16).with_model(NocModel::DiscreteEvent));
+        assert_eq!(des.model(), NocModel::DiscreteEvent);
+        assert!(des.des().is_some());
     }
 
     #[test]
@@ -283,7 +558,24 @@ mod tests {
         let busy = noc.latency(NodeId::new(0), NodeId::new(63), 8);
         assert!(busy > idle);
         noc.set_utilization(2.0);
-        assert!(noc.utilization() <= 0.95);
+        assert!(noc.utilization() <= MAX_UTILIZATION);
+    }
+
+    #[test]
+    fn clamped_utilization_is_counted() {
+        let mut noc = AnalyticNoc::new(NocConfig::isca2015(16));
+        noc.set_utilization(0.5);
+        assert_eq!(noc.clamp_events(), 0);
+        noc.set_utilization(1.7);
+        noc.set_utilization(2.0);
+        assert_eq!(noc.clamp_events(), 2);
+        assert_eq!(noc.utilization(), MAX_UTILIZATION);
+        // Exactly MAX_UTILIZATION is representable, not a saturation.
+        noc.set_utilization(MAX_UTILIZATION);
+        assert_eq!(noc.clamp_events(), 2);
+        let mut stats = StatRegistry::new();
+        noc.export_stats(&mut stats);
+        assert_eq!(stats.count("noc.utilization.clamp_events"), 2);
     }
 
     #[test]
@@ -303,5 +595,17 @@ mod tests {
         noc.export_stats(&mut stats);
         assert_eq!(stats.count("noc.total.packets"), 1);
         assert!(stats.contains("noc.utilization"));
+    }
+
+    #[test]
+    fn facade_implements_the_backend_trait() {
+        fn exercise<B: NocBackend>(noc: &mut B) -> Cycle {
+            noc.round_trip(NodeId::new(0), NodeId::new(3), MessageClass::Read, 8, 64)
+        }
+        for model in NocModel::ALL {
+            let mut noc = Noc::new(NocConfig::isca2015(4).with_model(model));
+            assert!(exercise(&mut noc) > Cycle::ZERO, "{model}");
+            assert_eq!(noc.traffic().total_packets(), 2, "{model}");
+        }
     }
 }

@@ -90,6 +90,16 @@ pub enum PacketKind {
 }
 
 impl PacketKind {
+    /// The kind implied by a payload size: anything shorter than half a cache
+    /// line is a control packet, everything else carries data.
+    pub fn for_payload(payload_bytes: u64) -> Self {
+        if payload_bytes >= 32 {
+            PacketKind::Data
+        } else {
+            PacketKind::Control
+        }
+    }
+
     /// Packet size in bytes.
     pub fn bytes(self) -> u64 {
         match self {
@@ -110,6 +120,70 @@ impl fmt::Display for PacketKind {
             PacketKind::Control => f.write_str("control"),
             PacketKind::Data => f.write_str("data"),
         }
+    }
+}
+
+/// Number of virtual channels of the discrete-event NoC.
+pub const NUM_VIRTUAL_CHANNELS: usize = 3;
+
+/// Virtual channels of the discrete-event NoC.
+///
+/// Directory protocols deadlock if requests, responses and write-backs share
+/// one buffer class (a stalled request FIFO can then block the very response
+/// that would unstall it), so real coherence NoCs separate them — BedRock's
+/// three-channel LCE/CCE transport is the canonical example.  The
+/// discrete-event backend gives each channel its own per-link FIFO so the
+/// classes cannot deadlock-couple; the analytic backend needs no channels
+/// because it never queues.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum VirtualChannel {
+    /// Requests, acknowledgements and invalidations (control packets).
+    Request,
+    /// Data-bearing responses (cache lines, SPM transfers).
+    Response,
+    /// Write-backs and replacements, which must drain independently.
+    Writeback,
+}
+
+impl VirtualChannel {
+    /// All virtual channels, in index order.
+    pub const ALL: [VirtualChannel; NUM_VIRTUAL_CHANNELS] = [
+        VirtualChannel::Request,
+        VirtualChannel::Response,
+        VirtualChannel::Writeback,
+    ];
+
+    /// The channel a packet travels on, from its traffic class and kind.
+    pub fn for_packet(class: MessageClass, kind: PacketKind) -> Self {
+        match (class, kind) {
+            (MessageClass::WbRepl, _) => VirtualChannel::Writeback,
+            (_, PacketKind::Data) => VirtualChannel::Response,
+            (_, PacketKind::Control) => VirtualChannel::Request,
+        }
+    }
+
+    /// Stable index of the channel (position in [`VirtualChannel::ALL`]).
+    pub fn index(self) -> usize {
+        match self {
+            VirtualChannel::Request => 0,
+            VirtualChannel::Response => 1,
+            VirtualChannel::Writeback => 2,
+        }
+    }
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            VirtualChannel::Request => "req",
+            VirtualChannel::Response => "resp",
+            VirtualChannel::Writeback => "wb",
+        }
+    }
+}
+
+impl fmt::Display for VirtualChannel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
     }
 }
 
@@ -138,5 +212,35 @@ mod tests {
         assert_eq!(PacketKind::Control.flits(), 1);
         assert_eq!(PacketKind::Data.flits(), 5);
         assert_eq!(PacketKind::Data.to_string(), "data");
+        assert_eq!(PacketKind::for_payload(8), PacketKind::Control);
+        assert_eq!(PacketKind::for_payload(64), PacketKind::Data);
+    }
+
+    #[test]
+    fn virtual_channel_mapping_separates_classes() {
+        // Write-backs never share a channel with anything else.
+        assert_eq!(
+            VirtualChannel::for_packet(MessageClass::WbRepl, PacketKind::Control),
+            VirtualChannel::Writeback
+        );
+        assert_eq!(
+            VirtualChannel::for_packet(MessageClass::WbRepl, PacketKind::Data),
+            VirtualChannel::Writeback
+        );
+        // Requests and responses split on the packet kind.
+        assert_eq!(
+            VirtualChannel::for_packet(MessageClass::Read, PacketKind::Control),
+            VirtualChannel::Request
+        );
+        assert_eq!(
+            VirtualChannel::for_packet(MessageClass::Read, PacketKind::Data),
+            VirtualChannel::Response
+        );
+        for (i, vc) in VirtualChannel::ALL.iter().enumerate() {
+            assert_eq!(vc.index(), i);
+            assert!(!vc.label().is_empty());
+        }
+        assert_eq!(VirtualChannel::ALL.len(), NUM_VIRTUAL_CHANNELS);
+        assert_eq!(VirtualChannel::Writeback.to_string(), "wb");
     }
 }

@@ -146,6 +146,17 @@ impl MeshTopology {
     pub fn diameter(&self) -> u64 {
         (self.cols - 1 + self.rows - 1) as u64
     }
+
+    /// Number of directed links of the mesh: each of the
+    /// `(cols−1)·rows` horizontal and `cols·(rows−1)` vertical neighbour
+    /// pairs carries one link per direction.
+    ///
+    /// This is the capacity denominator shared by the discrete-event
+    /// backend's measured utilisation and the synthetic-traffic ρ estimate
+    /// fed to the analytic model.
+    pub fn directed_links(&self) -> usize {
+        2 * ((self.cols - 1) * self.rows + self.cols * (self.rows - 1))
+    }
 }
 
 #[cfg(test)]
@@ -226,5 +237,53 @@ mod tests {
     #[should_panic]
     fn out_of_range_node_panics() {
         MeshTopology::new(2, 2).coords(NodeId::new(4));
+    }
+
+    mod properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            /// On every mesh from 2×2 to 8×8, the XY route between any two
+            /// nodes has exactly the Manhattan-distance hop count, the hop
+            /// count is symmetric, and the route moves one hop at a time.
+            #[test]
+            fn xy_route_is_manhattan_and_symmetric(cols in 2usize..=8, rows in 2usize..=8) {
+                let mesh = MeshTopology::new(cols, rows);
+                for from in 0..mesh.nodes() {
+                    for to in 0..mesh.nodes() {
+                        let (from, to) = (NodeId::new(from), NodeId::new(to));
+                        let (fc, fr) = mesh.coords(from);
+                        let (tc, tr) = mesh.coords(to);
+                        let manhattan = (fc.abs_diff(tc) + fr.abs_diff(tr)) as u64;
+                        prop_assert_eq!(mesh.hops(from, to), manhattan);
+                        prop_assert_eq!(mesh.hops(to, from), manhattan, "hops must be symmetric");
+                        let route = mesh.route(from, to);
+                        prop_assert_eq!(route.len() as u64, manhattan + 1);
+                        prop_assert_eq!(route.first(), Some(&from));
+                        prop_assert_eq!(route.last(), Some(&to));
+                        for pair in route.windows(2) {
+                            prop_assert_eq!(mesh.hops(pair[0], pair[1]), 1);
+                        }
+                    }
+                }
+            }
+
+            /// Hop counts never exceed the diameter, and the diameter is
+            /// attained by the opposite corners.
+            #[test]
+            fn diameter_bounds_every_pair(cols in 2usize..=8, rows in 2usize..=8) {
+                let mesh = MeshTopology::new(cols, rows);
+                for from in 0..mesh.nodes() {
+                    for to in 0..mesh.nodes() {
+                        prop_assert!(mesh.hops(NodeId::new(from), NodeId::new(to)) <= mesh.diameter());
+                    }
+                }
+                let far = mesh.node_at(cols - 1, rows - 1);
+                prop_assert_eq!(mesh.hops(mesh.node_at(0, 0), far), mesh.diameter());
+            }
+        }
     }
 }

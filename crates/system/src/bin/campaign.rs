@@ -14,6 +14,7 @@
 //! is the accounting, e.g. `campaign: 24 points, executed 0, cache hits 24`.
 
 use campaign::{summarize, Executor, ResultCache, SweepSpec};
+use system::cli::{parse_list, write_export};
 use system::sweep::{records_of, run_points, RunContext};
 
 const USAGE: &str = "\
@@ -27,6 +28,7 @@ options (LIST = comma-separated values):
   --spm-kib LIST      per-core SPM sizes in KiB (default: Table 1)
   --filters LIST      per-core filter entry counts (default: Table 1)
   --filterdirs LIST   filterDir entry counts (default: Table 1)
+  --noc-models LIST   NoC models: analytic, discrete-event (default analytic)
   --small             use the scaled-down test machine at each core count
   --jobs N            parallel workers (default: available parallelism)
   --cache-dir PATH    result-cache directory (default target/campaign-cache)
@@ -45,17 +47,6 @@ struct Options {
     csv: Option<String>,
     json: Option<String>,
     quiet: bool,
-}
-
-fn parse_list<T: std::str::FromStr>(flag: &str, list: &str) -> Result<Vec<T>, String> {
-    list.split(',')
-        .filter(|s| !s.is_empty())
-        .map(|s| {
-            s.trim()
-                .parse()
-                .map_err(|_| format!("{flag}: cannot parse '{s}'"))
-        })
-        .collect()
 }
 
 fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
@@ -96,6 +87,10 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
                     .spec
                     .with_filterdir_entries(&parse_list("--filterdirs", &value("--filterdirs")?)?)
             }
+            "--noc-models" => {
+                let models: Vec<String> = parse_list("--noc-models", &value("--noc-models")?)?;
+                options.spec.noc_models = models.into_iter().map(Some).collect();
+            }
             "--small" => options.spec.small_machine = true,
             "--jobs" => {
                 options.jobs = value("--jobs")?
@@ -112,15 +107,6 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
         }
     }
     Ok(options)
-}
-
-fn write_export(target: &str, contents: &str) -> Result<(), String> {
-    if target == "-" {
-        print!("{contents}");
-        Ok(())
-    } else {
-        std::fs::write(target, contents).map_err(|e| format!("cannot write {target}: {e}"))
-    }
 }
 
 fn main() {

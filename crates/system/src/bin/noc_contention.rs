@@ -1,0 +1,107 @@
+//! NoC contention ablation: analytic formula vs discrete-event measurement.
+//!
+//! ```text
+//! cargo run --release -p system --bin noc_contention -- \
+//!     --meshes 16,64 --rates 0.02,0.05,0.1,0.2 --duration 10000 \
+//!     --csv target/noc-contention.csv
+//! ```
+//!
+//! Every `--meshes × --rates` cell drives both NoC models with the same
+//! seeded synthetic packet stream and reports mean latency, per-link
+//! maximum utilisation and per-home-node ejection queueing — the numbers
+//! that test the paper's "contention in the filterDir is very low" claim
+//! instead of assuming it.
+
+use system::cli::{parse_list, write_export};
+use system::experiments::ablations::{
+    noc_contention_csv, noc_contention_json, noc_contention_sweep, noc_contention_table,
+};
+
+const USAGE: &str = "\
+noc_contention — injection-rate × mesh-size × model contention sweep
+
+options (LIST = comma-separated values):
+  --meshes LIST     mesh sizes in tiles (default 16,64)
+  --rates LIST      injection rates in packets/node/cycle (default 0.02,0.05,0.1,0.2)
+  --duration N      injection window in cycles (default 10000)
+  --csv PATH        write per-point metrics as CSV ('-' for stdout)
+  --json PATH       write per-point metrics as JSON ('-' for stdout)
+  --quiet           suppress the summary table
+  --help            this text
+";
+
+#[derive(Debug)]
+struct Options {
+    meshes: Vec<usize>,
+    rates: Vec<f64>,
+    duration: u64,
+    csv: Option<String>,
+    json: Option<String>,
+    quiet: bool,
+}
+
+fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
+    let mut options = Options {
+        meshes: vec![16, 64],
+        rates: vec![0.02, 0.05, 0.1, 0.2],
+        duration: 10_000,
+        csv: None,
+        json: None,
+        quiet: false,
+    };
+    let mut args = args.into_iter();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--meshes" => options.meshes = parse_list("--meshes", &value("--meshes")?)?,
+            "--rates" => options.rates = parse_list("--rates", &value("--rates")?)?,
+            "--duration" => {
+                options.duration = value("--duration")?
+                    .parse()
+                    .map_err(|_| "--duration: not a number")?
+            }
+            "--csv" => options.csv = Some(value("--csv")?),
+            "--json" => options.json = Some(value("--json")?),
+            "--quiet" => options.quiet = true,
+            "--help" | "-h" => return Err(USAGE.to_owned()),
+            other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
+        }
+    }
+    if options.meshes.contains(&0) {
+        return Err("--meshes: mesh sizes must be at least 1".into());
+    }
+    Ok(options)
+}
+
+fn main() {
+    let options = match parse(std::env::args().skip(1)) {
+        Ok(options) => options,
+        Err(message) => {
+            eprintln!("{message}");
+            std::process::exit(2);
+        }
+    };
+    let points = noc_contention_sweep(&options.meshes, &options.rates, options.duration);
+    if let Some(target) = &options.csv {
+        if let Err(message) = write_export(target, &noc_contention_csv(&points)) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+    if let Some(target) = &options.json {
+        if let Err(message) = write_export(target, &noc_contention_json(&points)) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
+    if !options.quiet {
+        print!("{}", noc_contention_table(&points));
+    }
+    println!(
+        "noc_contention: {} points ({} meshes x {} rates x 2 models), {} cycles each",
+        points.len(),
+        options.meshes.len(),
+        options.rates.len(),
+        options.duration
+    );
+}

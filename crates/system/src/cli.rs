@@ -14,6 +14,9 @@
 //! --cache            reuse simulation results from the default result
 //!                    cache, `target/campaign-cache`
 //! --cache-dir PATH   like `--cache`, with an explicit directory
+//! --noc-model NAME   network model: `analytic` (default) or
+//!                    `discrete-event` (alias `des`) — see the README's
+//!                    "NoC models" section
 //! ```
 //!
 //! The cache is content-addressed over the complete run inputs, so it only
@@ -31,6 +34,32 @@ use crate::config::SystemConfig;
 use crate::experiments::{ablations, ExperimentSuite};
 use crate::sweep::RunContext;
 
+/// Parses a comma-separated value list for a CLI axis flag.
+///
+/// Empty segments are skipped; the first unparsable segment fails the whole
+/// flag with a message naming it.  Shared by the strict-parsing binaries
+/// (`campaign`, `noc_contention`).
+pub fn parse_list<T: std::str::FromStr>(flag: &str, list: &str) -> Result<Vec<T>, String> {
+    list.split(',')
+        .filter(|s| !s.is_empty())
+        .map(|s| {
+            s.trim()
+                .parse()
+                .map_err(|_| format!("{flag}: cannot parse '{s}'"))
+        })
+        .collect()
+}
+
+/// Writes an export to a file, or to stdout when `target` is `-`.
+pub fn write_export(target: &str, contents: &str) -> Result<(), String> {
+    if target == "-" {
+        print!("{contents}");
+        Ok(())
+    } else {
+        std::fs::write(target, contents).map_err(|e| format!("cannot write {target}: {e}"))
+    }
+}
+
 /// Parsed command-line options.
 #[derive(Debug, Clone)]
 pub struct CliOptions {
@@ -46,6 +75,8 @@ pub struct CliOptions {
     pub jobs: usize,
     /// Result-cache directory, when caching is requested.
     pub cache_dir: Option<PathBuf>,
+    /// Which NoC model the simulations run under.
+    pub noc_model: noc::NocModel,
 }
 
 impl Default for CliOptions {
@@ -57,6 +88,7 @@ impl Default for CliOptions {
             json: false,
             jobs: 0,
             cache_dir: None,
+            noc_model: noc::NocModel::Analytic,
         }
     }
 }
@@ -105,6 +137,11 @@ impl CliOptions {
                         options.cache_dir = Some(PathBuf::from(dir));
                     }
                 }
+                "--noc-model" => {
+                    if let Some(model) = args.next().and_then(|m| noc::NocModel::from_id(&m)) {
+                        options.noc_model = model;
+                    }
+                }
                 _ => {}
             }
         }
@@ -113,7 +150,9 @@ impl CliOptions {
 
     /// The system configuration implied by the options.
     pub fn config(&self) -> SystemConfig {
-        SystemConfig::with_cores(self.cores)
+        let mut config = SystemConfig::with_cores(self.cores);
+        config.set_noc_model(self.noc_model);
+        config
     }
 
     /// The execution policy implied by the options: `--jobs` workers and,
@@ -239,6 +278,13 @@ fn run_ablations(options: &CliOptions) -> String {
         options.scale * 0.25,
     );
     out.push_str(&ablations::guarded_intensity_table(&intensity_points));
+    out.push('\n');
+    let mut meshes = vec![16, options.cores];
+    meshes.sort_unstable();
+    meshes.dedup();
+    let contention_points =
+        ablations::noc_contention_sweep(&meshes, &[0.02, 0.05, 0.1, 0.2], 10_000);
+    out.push_str(&ablations::noc_contention_table(&contention_points));
     out
 }
 
@@ -299,6 +345,21 @@ mod tests {
     fn bare_cache_flag_selects_the_default_directory() {
         let o = CliOptions::parse(["--cache".to_string()]);
         assert_eq!(o.cache_dir, Some(ResultCache::default_dir()));
+    }
+
+    #[test]
+    fn noc_model_flag_threads_into_the_configuration() {
+        let o = CliOptions::parse(Vec::<String>::new());
+        assert_eq!(o.noc_model, noc::NocModel::Analytic);
+        assert_eq!(o.config().noc_model(), noc::NocModel::Analytic);
+        for flag in ["discrete-event", "des"] {
+            let o = CliOptions::parse(["--noc-model".to_string(), flag.to_string()]);
+            assert_eq!(o.noc_model, noc::NocModel::DiscreteEvent, "{flag}");
+            assert_eq!(o.config().noc_model(), noc::NocModel::DiscreteEvent);
+        }
+        // Unknown model names are ignored, like every other malformed flag.
+        let o = CliOptions::parse(["--noc-model".to_string(), "warp".to_string()]);
+        assert_eq!(o.noc_model, noc::NocModel::Analytic);
     }
 
     #[test]

@@ -136,6 +136,18 @@ impl SystemConfig {
         }
     }
 
+    /// Selects the NoC model (analytic or discrete-event) for every machine
+    /// kind this configuration can instantiate.
+    pub fn set_noc_model(&mut self, model: noc::NocModel) {
+        self.memory.noc.model = model;
+        self.memory_cache_baseline.noc.model = model;
+    }
+
+    /// The NoC model in use.
+    pub fn noc_model(&self) -> noc::NocModel {
+        self.memory.noc.model
+    }
+
     /// A human-readable rendition of Table 1.
     pub fn table1(&self) -> String {
         let m = &self.memory;

@@ -11,11 +11,18 @@
 //!   control/sync/work split of the hybrid system;
 //! * [`guarded_intensity_sweep`] — how many guarded accesses per iteration
 //!   the hybrid system tolerates before losing its advantage over the
-//!   cache-based baseline.
+//!   cache-based baseline;
+//! * [`noc_contention_sweep`] — injection-rate × mesh-size × NoC-model grid
+//!   that quantifies where the analytic contention formula diverges from
+//!   the measured discrete-event behaviour, and how much queueing the
+//!   filterDir home tiles actually see (the paper *claims* "contention in
+//!   the filterDir is very low"; this sweep measures it).
 
 use serde::{Deserialize, Serialize};
+use simkernel::json::Json;
 use simkernel::ByteSize;
 
+use noc::{run_synthetic, Noc, NocConfig, NocModel, SyntheticTraffic};
 use workloads::nas::NasBenchmark;
 use workloads::{BenchmarkSpec, Phase};
 
@@ -207,6 +214,199 @@ pub fn guarded_intensity_table(points: &[GuardedIntensityPoint]) -> String {
     t.build()
 }
 
+/// One point of the NoC contention sweep: one mesh size, one injection
+/// rate, one model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NocContentionPoint {
+    /// Tiles in the mesh.
+    pub cores: usize,
+    /// Offered load in packets per node per cycle.
+    pub injection_rate: f64,
+    /// The model that produced this point.
+    pub model: NocModel,
+    /// Packets delivered.
+    pub delivered: u64,
+    /// Mean packet latency in cycles.
+    pub mean_latency: f64,
+    /// Worst packet latency in cycles.
+    pub max_latency: f64,
+    /// Mean zero-load latency of the same stream (the shared floor).
+    pub zero_load_latency: f64,
+    /// Worst per-link utilisation: measured (DES) or the ρ estimate fed to
+    /// the closed-form term (analytic).
+    pub max_link_utilization: f64,
+    /// Total ejection-queue cycles over all home nodes (DES only) — the
+    /// filterDir home-node pressure figure.
+    pub home_queue_cycles: u64,
+    /// Worst single home node's ejection-queue cycles (DES only).
+    pub max_node_queue_cycles: u64,
+    /// The node with that worst queue.
+    pub hottest_node: usize,
+}
+
+/// The seed of the contention sweep's synthetic streams.  One fixed value:
+/// the sweep compares models on *identical* traffic, so the seed is part of
+/// the experiment definition, not an axis.
+pub const NOC_CONTENTION_SEED: u64 = 0x15CA_2015;
+
+/// Runs the injection-rate × mesh-size × model grid on synthetic traffic.
+///
+/// Every `(mesh, rate)` cell runs the *same* seeded packet stream under
+/// both backends — the analytic model with its load-derived ρ estimate and
+/// the discrete-event model measuring per-link FIFOs — so adjacent points
+/// quantify exactly where the closed-form contention term diverges.
+pub fn noc_contention_sweep(
+    meshes: &[usize],
+    rates: &[f64],
+    duration: u64,
+) -> Vec<NocContentionPoint> {
+    let mut points = Vec::with_capacity(meshes.len() * rates.len() * NocModel::ALL.len());
+    for &cores in meshes {
+        for &rate in rates {
+            let traffic = SyntheticTraffic::uniform(rate, duration, NOC_CONTENTION_SEED);
+            for model in NocModel::ALL {
+                let mut noc = Noc::new(NocConfig::isca2015(cores).with_model(model));
+                let report = run_synthetic(&mut noc, &traffic);
+                points.push(NocContentionPoint {
+                    cores,
+                    injection_rate: rate,
+                    model,
+                    delivered: report.delivered,
+                    mean_latency: report.mean_latency,
+                    max_latency: report.max_latency,
+                    zero_load_latency: report.mean_zero_load_latency,
+                    max_link_utilization: report.max_link_utilization,
+                    home_queue_cycles: report.total_eject_wait_cycles,
+                    max_node_queue_cycles: report.max_node_eject_wait_cycles,
+                    hottest_node: report.hottest_node,
+                });
+            }
+        }
+    }
+    points
+}
+
+/// Formats the contention sweep as a text table, pairing the two models of
+/// each `(mesh, rate)` cell so the divergence column is explicit.
+pub fn noc_contention_table(points: &[NocContentionPoint]) -> String {
+    let mut t = TableBuilder::new(
+        "Ablation: NoC contention — analytic formula vs discrete-event measurement",
+    );
+    t.columns(&[
+        "Mesh",
+        "Inj rate",
+        "Analytic lat",
+        "DES lat",
+        "DES/analytic",
+        "Max link util",
+        "Home queue cyc",
+        "Worst node (cyc)",
+    ]);
+    // Group by (mesh, rate) cell rather than relying on generator order, so
+    // filtered or re-sorted point lists still render every cell they cover.
+    type Cell<'a> = (
+        Option<&'a NocContentionPoint>,
+        Option<&'a NocContentionPoint>,
+    );
+    let mut cells: Vec<((usize, u64), Cell<'_>)> = Vec::new();
+    for p in points {
+        let key = (p.cores, p.injection_rate.to_bits());
+        let cell = match cells.iter_mut().find(|(k, _)| *k == key) {
+            Some((_, cell)) => cell,
+            None => {
+                cells.push((key, (None, None)));
+                &mut cells.last_mut().expect("just pushed").1
+            }
+        };
+        match p.model {
+            NocModel::Analytic => cell.0 = Some(p),
+            NocModel::DiscreteEvent => cell.1 = Some(p),
+        }
+    }
+    for (_, (analytic, des)) in &cells {
+        let any = analytic.or(*des).expect("cell holds at least one point");
+        let opt = |v: Option<String>| v.unwrap_or_else(|| "n/a".into());
+        t.row_owned(vec![
+            format!("{}", any.cores),
+            format!("{:.3}", any.injection_rate),
+            opt(analytic.map(|a| format!("{:.1}", a.mean_latency))),
+            opt(des.map(|d| format!("{:.1}", d.mean_latency))),
+            opt(analytic.zip(*des).map(|(a, d)| {
+                fmt_ratio(if a.mean_latency > 0.0 {
+                    d.mean_latency / a.mean_latency
+                } else {
+                    1.0
+                })
+            })),
+            opt(des.map(|d| format!("{:.3}", d.max_link_utilization))),
+            opt(des.map(|d| d.home_queue_cycles.to_string())),
+            opt(des.map(|d| format!("node{} ({})", d.hottest_node, d.max_node_queue_cycles))),
+        ]);
+    }
+    t.build()
+}
+
+/// The CSV column order used by [`noc_contention_csv`].
+pub const NOC_CONTENTION_CSV_COLUMNS: [&str; 11] = [
+    "cores",
+    "injection_rate",
+    "model",
+    "delivered",
+    "mean_latency",
+    "max_latency",
+    "zero_load_latency",
+    "max_link_utilization",
+    "home_queue_cycles",
+    "max_node_queue_cycles",
+    "hottest_node",
+];
+
+/// Exports the contention sweep as CSV, one row per point.
+pub fn noc_contention_csv(points: &[NocContentionPoint]) -> String {
+    let mut out = NOC_CONTENTION_CSV_COLUMNS.join(",");
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{},{},{}\n",
+            p.cores,
+            p.injection_rate,
+            p.model,
+            p.delivered,
+            p.mean_latency,
+            p.max_latency,
+            p.zero_load_latency,
+            p.max_link_utilization,
+            p.home_queue_cycles,
+            p.max_node_queue_cycles,
+            p.hottest_node,
+        ));
+    }
+    out
+}
+
+/// Exports the contention sweep as a JSON array of point objects.
+pub fn noc_contention_json(points: &[NocContentionPoint]) -> String {
+    let array: Vec<Json> = points
+        .iter()
+        .map(|p| {
+            Json::obj([
+                ("cores", Json::from(p.cores as u64)),
+                ("injection_rate", Json::from(p.injection_rate)),
+                ("model", Json::str(p.model.id())),
+                ("delivered", Json::from(p.delivered)),
+                ("mean_latency", Json::from(p.mean_latency)),
+                ("max_latency", Json::from(p.max_latency)),
+                ("zero_load_latency", Json::from(p.zero_load_latency)),
+                ("max_link_utilization", Json::from(p.max_link_utilization)),
+                ("home_queue_cycles", Json::from(p.home_queue_cycles)),
+                ("max_node_queue_cycles", Json::from(p.max_node_queue_cycles)),
+                ("hottest_node", Json::from(p.hottest_node as u64)),
+            ])
+        })
+        .collect();
+    Json::Arr(array).pretty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -269,5 +469,45 @@ mod tests {
         assert_eq!(points.len(), 2);
         assert!(points[0].speedup > 0.0);
         assert!(guarded_intensity_table(&points).contains("Guarded"));
+    }
+
+    #[test]
+    fn noc_contention_sweep_covers_the_grid_and_is_deterministic() {
+        let points = noc_contention_sweep(&[4, 16], &[0.02, 0.2], 1_000);
+        assert_eq!(points.len(), 2 * 2 * 2);
+        assert_eq!(points, noc_contention_sweep(&[4, 16], &[0.02, 0.2], 1_000));
+        // Each (mesh, rate) cell holds one point per model, on the same stream.
+        for pair in points.chunks(2) {
+            assert_eq!(pair[0].model, NocModel::Analytic);
+            assert_eq!(pair[1].model, NocModel::DiscreteEvent);
+            assert_eq!(pair[0].delivered, pair[1].delivered);
+            assert_eq!(pair[0].zero_load_latency, pair[1].zero_load_latency);
+        }
+        // At high load the DES model must see real home-node queueing the
+        // analytic model cannot express.
+        let hot = points
+            .iter()
+            .find(|p| p.model == NocModel::DiscreteEvent && p.injection_rate > 0.1)
+            .unwrap();
+        assert!(hot.home_queue_cycles > 0);
+        assert!(hot.max_link_utilization > 0.0);
+    }
+
+    #[test]
+    fn noc_contention_exports_render() {
+        let points = noc_contention_sweep(&[4], &[0.05], 500);
+        let table = noc_contention_table(&points);
+        assert!(table.contains("DES/analytic"), "{table}");
+        assert!(table.contains("Home queue cyc"), "{table}");
+        let csv = noc_contention_csv(&points);
+        assert_eq!(csv.lines().count(), 1 + points.len());
+        assert!(csv.starts_with("cores,injection_rate,model"));
+        assert!(csv.contains("discrete-event"));
+        let json = noc_contention_json(&points);
+        let parsed = Json::parse(&json).expect("valid JSON");
+        assert_eq!(parsed.as_array().unwrap().len(), points.len());
+        assert!(parsed.as_array().unwrap()[0]
+            .get("home_queue_cycles")
+            .is_some());
     }
 }

@@ -297,7 +297,15 @@ impl Machine {
         core_models: &mut [CoreTimingModel],
     ) {
         let c = core_id.index();
+        // Only the discrete-event NoC has a clock to keep in step with the
+        // issuing core; skip the per-op call entirely on the (default)
+        // analytic backend — this is the simulator's hottest loop.
+        let track_noc_clock = memsys.config().noc.model == noc::NocModel::DiscreteEvent;
         for op in ops {
+            if track_noc_clock {
+                // Queue this core's packets in simulation time.
+                memsys.advance_noc(core_models[c].now());
+            }
             match op {
                 TraceOp::Compute { insts } => core_models[c].execute_compute(*insts),
                 TraceOp::SetPhase(phase) => {
@@ -544,6 +552,41 @@ mod tests {
         // The cache-based run only leaves the work phase at the kernel-end
         // barrier (load imbalance), so essentially all time is work.
         assert!(cache.phase_fraction(Phase::Work) > 0.9);
+    }
+
+    #[test]
+    fn discrete_event_noc_runs_all_three_machines() {
+        let spec = small_spec();
+        let mut des_config = config();
+        des_config.set_noc_model(noc::NocModel::DiscreteEvent);
+        for kind in MachineKind::ALL {
+            let analytic = Machine::new(kind, config()).run(&spec);
+            let des = Machine::new(kind, des_config.clone()).run(&spec);
+            assert!(des.execution_time > Cycle::ZERO, "{kind}");
+            assert!(des.instructions > 0, "{kind}");
+            // The two backends inject identical protocol traffic — only the
+            // latencies (and therefore the timing) differ.
+            assert_eq!(des.traffic, analytic.traffic, "{kind}");
+            assert_eq!(des.instructions, analytic.instructions, "{kind}");
+            // The DES backend measures link and home-node pressure.
+            assert!(
+                des.stats.contains("noc.des.links.max_utilization"),
+                "{kind}"
+            );
+            assert!(des.stats.count("noc.des.packets.delivered") > 0, "{kind}");
+            assert!(!analytic.stats.contains("noc.des.links.max_utilization"));
+        }
+    }
+
+    #[test]
+    fn discrete_event_runs_are_deterministic() {
+        let spec = small_spec();
+        let mut des_config = config();
+        des_config.set_noc_model(noc::NocModel::DiscreteEvent);
+        let a = Machine::new(MachineKind::HybridProposed, des_config.clone()).run(&spec);
+        let b = Machine::new(MachineKind::HybridProposed, des_config).run(&spec);
+        assert_eq!(a.execution_time, b.execution_time);
+        assert_eq!(a.stats, b.stats);
     }
 
     #[test]

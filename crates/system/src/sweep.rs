@@ -62,6 +62,11 @@ pub fn lower_descriptor(
     if let Some(entries) = d.filterdir_entries {
         config.protocol.filterdir_entries = entries.max(1);
     }
+    if let Some(model) = &d.noc_model {
+        let model =
+            noc::NocModel::from_id(model).ok_or_else(|| format!("unknown NoC model '{model}'"))?;
+        config.set_noc_model(model);
+    }
     config.trace_seed = d.seed();
     let spec = benchmark.spec_scaled(benchmark.recommended_scale() * d.scale_multiplier);
     Ok((config, spec, kind))
@@ -194,6 +199,7 @@ mod tests {
         d.spm_kib = Some(16);
         d.filter_entries = Some(8);
         d.filterdir_entries = Some(256);
+        d.noc_model = Some("discrete-event".into());
         let (config, spec, kind) = lower_descriptor(&d).unwrap();
         assert_eq!(kind, MachineKind::HybridProposed);
         assert_eq!(config.cores, 4);
@@ -201,9 +207,24 @@ mod tests {
         assert_eq!(config.protocol.spm_size, ByteSize::kib(16));
         assert_eq!(config.protocol.filter_entries, 8);
         assert_eq!(config.protocol.filterdir_entries, 256);
+        assert_eq!(config.noc_model(), noc::NocModel::DiscreteEvent);
+        assert_eq!(
+            config.memory_cache_baseline.noc.model,
+            noc::NocModel::DiscreteEvent
+        );
         assert_eq!(config.trace_seed, d.seed());
         assert_eq!(spec.name, "CG");
         assert!(spec.input.contains("scale"));
+    }
+
+    #[test]
+    fn lowering_defaults_to_the_analytic_noc_and_rejects_unknown_models() {
+        let (config, _, _) = lower_descriptor(&quick_point()).unwrap();
+        assert_eq!(config.noc_model(), noc::NocModel::Analytic);
+        let mut d = quick_point();
+        d.noc_model = Some("wormhole".into());
+        let err = lower_descriptor(&d).unwrap_err();
+        assert!(err.contains("wormhole"), "{err}");
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Integration tests for the campaign subsystem: cache-key stability,
-//! serial/parallel determinism across all three machine kinds, and the
+//! serial/parallel determinism across all three machine kinds (under both
+//! NoC models), NoC model equivalence at zero load, and the
 //! executes-zero-points-on-repeat cache guarantee.
 
 use proptest::collection::vec;
 use proptest::prelude::*;
 
 use spm_manycore::campaign::{CacheKey, Executor, ResultCache, SweepSpec};
+use spm_manycore::noc::{MessageClass, Noc, NocConfig, NocModel};
+use spm_manycore::simkernel::{Cycle, NodeId};
 use spm_manycore::system::sweep::{run_points, RunContext};
 use spm_manycore::system::RunResult;
 
@@ -61,6 +64,35 @@ proptest! {
 }
 
 #[test]
+fn des_latency_equals_analytic_zero_load_for_every_pair() {
+    // Model equivalence: at (near-)zero injection the discrete-event NoC
+    // must reproduce the analytic zero-load latency exactly, for every
+    // src/dst pair and both packet kinds.
+    for cores in [4, 16, 64] {
+        let config = NocConfig::isca2015(cores).with_model(NocModel::DiscreteEvent);
+        let analytic = Noc::new(NocConfig::isca2015(cores));
+        let mut des = Noc::new(config);
+        let mut epoch = Cycle::ZERO;
+        for from in 0..cores {
+            for to in 0..cores {
+                for bytes in [8u64, 64] {
+                    // Leap far ahead so every queue has drained: each probe
+                    // sees an idle network.
+                    epoch += Cycle::new(100_000);
+                    des.advance_to(epoch);
+                    let (from, to) = (NodeId::new(from), NodeId::new(to));
+                    assert_eq!(
+                        des.send(from, to, MessageClass::Read, bytes),
+                        analytic.latency(from, to, bytes),
+                        "{cores} cores, {from}->{to}, {bytes}B"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn parallel_and_serial_campaigns_are_bit_identical_on_all_machine_kinds() {
     let points = three_machine_points();
     assert_eq!(points.len(), 3, "one point per machine kind");
@@ -73,6 +105,32 @@ fn parallel_and_serial_campaigns_are_bit_identical_on_all_machine_kinds() {
             a.to_json(),
             b.to_json(),
             "jobs=1 vs jobs=4 diverged on {}",
+            point.label()
+        );
+    }
+}
+
+#[test]
+fn discrete_event_campaigns_are_bit_identical_across_job_counts() {
+    let points: Vec<_> = three_machine_points()
+        .into_iter()
+        .map(|mut p| {
+            p.noc_model = Some("discrete-event".into());
+            p
+        })
+        .collect();
+    let serial = run_points(&RunContext::new(Executor::new(1), None), &points).unwrap();
+    let parallel = run_points(&RunContext::new(Executor::new(4), None), &points).unwrap();
+    for ((point, a), b) in points.iter().zip(&serial.results).zip(&parallel.results) {
+        assert_eq!(
+            a.to_json(),
+            b.to_json(),
+            "DES backend: jobs=1 vs jobs=4 diverged on {}",
+            point.label()
+        );
+        assert!(
+            a.stats.contains("noc.des.links.max_utilization"),
+            "{}: DES stats missing",
             point.label()
         );
     }
