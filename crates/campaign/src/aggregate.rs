@@ -167,7 +167,7 @@ pub fn summarize(records: &[PointRecord]) -> CampaignSummary {
 }
 
 /// The CSV column order used by [`to_csv`].
-pub const CSV_COLUMNS: [&str; 14] = [
+pub const CSV_COLUMNS: [&str; 15] = [
     "benchmark",
     "machine",
     "cores",
@@ -176,6 +176,7 @@ pub const CSV_COLUMNS: [&str; 14] = [
     "filter_entries",
     "filterdir_entries",
     "noc_model",
+    "engine",
     "small_machine",
     "execution_cycles",
     "total_packets",
@@ -195,7 +196,7 @@ pub fn to_csv(records: &[PointRecord]) -> String {
         let d = &r.descriptor;
         let m = &r.metrics;
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
             d.benchmark,
             d.machine,
             d.cores,
@@ -204,6 +205,7 @@ pub fn to_csv(records: &[PointRecord]) -> String {
             opt(&d.filter_entries),
             opt(&d.filterdir_entries),
             opt(&d.noc_model),
+            opt(&d.engine),
             d.small_machine,
             m.execution_cycles,
             m.total_packets,
@@ -254,6 +256,7 @@ pub fn to_json(records: &[PointRecord]) -> String {
                             "noc_model",
                             d.noc_model.as_deref().map_or(Json::Null, Json::str),
                         ),
+                        ("engine", d.engine.as_deref().map_or(Json::Null, Json::str)),
                         ("small_machine", Json::Bool(d.small_machine)),
                     ]),
                 ),

@@ -23,6 +23,12 @@ pub const MACHINE_IDS: [&str; 3] = ["cache-only", "hybrid-ideal", "hybrid-propos
 /// maps them onto the `noc::NocModel` enum.
 pub const NOC_MODEL_IDS: [&str; 2] = ["analytic", "discrete-event"];
 
+/// Canonical execution-engine identifiers.
+///
+/// These are the strings a descriptor's `engine` field uses; `system` maps
+/// them onto its `ExecutionEngine` enum.
+pub const ENGINE_IDS: [&str; 2] = ["legacy", "interleaved"];
+
 /// One point of a campaign: everything needed to reproduce one simulation
 /// run, as plain data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -44,6 +50,8 @@ pub struct RunDescriptor {
     pub filterdir_entries: Option<usize>,
     /// NoC model override (one of [`NOC_MODEL_IDS`]; `None` = analytic).
     pub noc_model: Option<String>,
+    /// Execution-engine override (one of [`ENGINE_IDS`]; `None` = legacy).
+    pub engine: Option<String>,
     /// Use the scaled-down test machine (`SystemConfig::small`) instead of
     /// the Table 1 machine — for quick campaigns, tests and CI.
     pub small_machine: bool,
@@ -62,6 +70,7 @@ impl RunDescriptor {
             filter_entries: None,
             filterdir_entries: None,
             noc_model: None,
+            engine: None,
             small_machine: false,
         }
     }
@@ -85,6 +94,7 @@ impl RunDescriptor {
             ("filter_entries", opt(&self.filter_entries)),
             ("filterdir_entries", opt(&self.filterdir_entries)),
             ("noc_model", opt(&self.noc_model)),
+            ("engine", opt(&self.engine)),
             ("small_machine", self.small_machine.to_string()),
         ]
     }
@@ -93,16 +103,17 @@ impl RunDescriptor {
     ///
     /// Derived purely from the descriptor's content — never from the worker
     /// that happens to execute the point — so serial and parallel campaign
-    /// runs are bit-identical.  The machine and NoC-model axes are
-    /// deliberately excluded: the machine kinds (and NoC backends) of one
-    /// sweep point must stream the *same* addresses for their comparison
-    /// (speedup, protocol overhead, analytic-vs-measured contention) to be
-    /// apples-to-apples, exactly as the paper runs one workload per machine.
+    /// runs are bit-identical.  The machine, NoC-model and engine axes are
+    /// deliberately excluded: the machine kinds (NoC backends, execution
+    /// engines) of one sweep point must stream the *same* addresses for
+    /// their comparison (speedup, protocol overhead, analytic-vs-measured
+    /// contention, the replay-ordering artifact) to be apples-to-apples,
+    /// exactly as the paper runs one workload per machine.
     pub fn seed(&self) -> u64 {
         let fields = self
             .fields()
             .into_iter()
-            .filter(|(n, _)| *n != "machine" && *n != "noc_model");
+            .filter(|(n, _)| *n != "machine" && *n != "noc_model" && *n != "engine");
         CacheKey::from_fields(fields).as_u64()
     }
 
@@ -123,6 +134,9 @@ impl RunDescriptor {
         }
         if let Some(model) = &self.noc_model {
             label.push_str(&format!("/{model}"));
+        }
+        if let Some(engine) = &self.engine {
+            label.push_str(&format!("/{engine}"));
         }
         label
     }
@@ -159,6 +173,8 @@ pub struct SweepSpec {
     pub filterdir_entries: Vec<Option<usize>>,
     /// NoC models to sweep (one of [`NOC_MODEL_IDS`]; `None` = analytic).
     pub noc_models: Vec<Option<String>>,
+    /// Execution engines to sweep (one of [`ENGINE_IDS`]; `None` = legacy).
+    pub engines: Vec<Option<String>>,
     /// Lower every point onto the scaled-down test machine.
     pub small_machine: bool,
 }
@@ -175,6 +191,7 @@ impl SweepSpec {
             filter_entries: vec![None],
             filterdir_entries: vec![None],
             noc_models: vec![None],
+            engines: vec![None],
             small_machine: false,
         }
     }
@@ -221,6 +238,12 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the execution-engine axis (identifiers from [`ENGINE_IDS`]).
+    pub fn with_engines(mut self, engines: &[&str]) -> Self {
+        self.engines = engines.iter().map(|e| Some(e.to_string())).collect();
+        self
+    }
+
     /// Lowers every point onto the scaled-down test machine.
     pub fn small(mut self) -> Self {
         self.small_machine = true;
@@ -237,6 +260,7 @@ impl SweepSpec {
             * self.filter_entries.len()
             * self.filterdir_entries.len()
             * self.noc_models.len()
+            * self.engines.len()
     }
 
     /// Returns `true` when the cross-product is empty.
@@ -245,7 +269,7 @@ impl SweepSpec {
     }
 
     /// Enumerates the cross-product, in a deterministic nested order
-    /// (benchmark-major, NoC-model-minor).
+    /// (benchmark-major, engine-minor).
     pub fn points(&self) -> Vec<RunDescriptor> {
         let mut points = Vec::with_capacity(self.len());
         for benchmark in &self.benchmarks {
@@ -256,17 +280,20 @@ impl SweepSpec {
                             for &filter in &self.filter_entries {
                                 for &filterdir in &self.filterdir_entries {
                                     for noc_model in &self.noc_models {
-                                        points.push(RunDescriptor {
-                                            benchmark: benchmark.clone(),
-                                            machine: machine.clone(),
-                                            cores,
-                                            scale_multiplier: scale,
-                                            spm_kib: spm,
-                                            filter_entries: filter,
-                                            filterdir_entries: filterdir,
-                                            noc_model: noc_model.clone(),
-                                            small_machine: self.small_machine,
-                                        });
+                                        for engine in &self.engines {
+                                            points.push(RunDescriptor {
+                                                benchmark: benchmark.clone(),
+                                                machine: machine.clone(),
+                                                cores,
+                                                scale_multiplier: scale,
+                                                spm_kib: spm,
+                                                filter_entries: filter,
+                                                filterdir_entries: filterdir,
+                                                noc_model: noc_model.clone(),
+                                                engine: engine.clone(),
+                                                small_machine: self.small_machine,
+                                            });
+                                        }
                                     }
                                 }
                             }
@@ -354,6 +381,34 @@ mod tests {
         let points = spec.points();
         assert_eq!(points[0].noc_model.as_deref(), Some("analytic"));
         assert_eq!(points[1].noc_model.as_deref(), Some("discrete-event"));
+    }
+
+    #[test]
+    fn engines_of_one_point_share_a_seed() {
+        // The ordering-artifact comparison runs one workload per engine.
+        let base = RunDescriptor::new("CG", "hybrid-proposed", 16);
+        let mut interleaved = base.clone();
+        interleaved.engine = Some("interleaved".into());
+        assert_eq!(base.seed(), interleaved.seed());
+        // ...but the descriptors remain distinct content.
+        assert_ne!(base.fields(), interleaved.fields());
+        assert!(
+            interleaved.label().contains("interleaved"),
+            "{}",
+            interleaved.label()
+        );
+    }
+
+    #[test]
+    fn engine_axis_multiplies_the_cross_product() {
+        let spec = SweepSpec::new(&["CG"])
+            .with_cores(&[8])
+            .with_machines(&["hybrid-proposed"])
+            .with_engines(&ENGINE_IDS);
+        assert_eq!(spec.len(), 2);
+        let points = spec.points();
+        assert_eq!(points[0].engine.as_deref(), Some("legacy"));
+        assert_eq!(points[1].engine.as_deref(), Some("interleaved"));
     }
 
     #[test]

@@ -93,6 +93,9 @@ pub struct CoreTimingModel {
     code_cursor: u64,
     /// Completion times of in-flight long-latency misses (MLP window).
     outstanding: VecDeque<Cycle>,
+    /// When parked, the cycle an external event wakes the core.
+    parked_until: Option<Cycle>,
+    parks: u64,
     lsq: LoadStoreQueue,
 }
 
@@ -114,6 +117,8 @@ impl CoreTimingModel {
             fetch_bytes_accum: 0,
             code_cursor: 0,
             outstanding: VecDeque::new(),
+            parked_until: None,
+            parks: 0,
         }
     }
 
@@ -254,6 +259,48 @@ impl CoreTimingModel {
         if cycle > self.now {
             let wait = cycle - self.now;
             self.advance(wait, true);
+        }
+    }
+
+    /// Parks the core until an external event at `wake` (a `dma-synch`
+    /// completion, a barrier release).
+    ///
+    /// A parked core must not execute further ops; a scheduler keeps it out
+    /// of its run queue until `wake` and then calls [`CoreTimingModel::resume`].
+    /// Parking does not advance the clock — the stall is accounted on
+    /// resume, so a park-then-resume pair is timing-identical to an inline
+    /// [`CoreTimingModel::stall_until`].
+    ///
+    /// # Panics
+    ///
+    /// Panics (in debug builds) if the core is already parked.
+    pub fn park_until(&mut self, wake: Cycle) {
+        debug_assert!(self.parked_until.is_none(), "core parked twice");
+        self.parks += 1;
+        self.parked_until = Some(wake);
+    }
+
+    /// Returns `true` while the core waits for an external wake event.
+    pub fn is_parked(&self) -> bool {
+        self.parked_until.is_some()
+    }
+
+    /// The earliest cycle the core can execute its next op: the wake time
+    /// when parked, the local clock otherwise.
+    pub fn runnable_at(&self) -> Cycle {
+        self.parked_until.unwrap_or(self.now)
+    }
+
+    /// Number of times the core was parked.
+    pub fn parks(&self) -> u64 {
+        self.parks
+    }
+
+    /// Wakes a parked core, stalling it to its wake cycle; a no-op on a
+    /// running core.
+    pub fn resume(&mut self) {
+        if let Some(wake) = self.parked_until.take() {
+            self.stall_until(wake);
         }
     }
 
@@ -421,6 +468,37 @@ mod tests {
         assert_eq!(b.phase(Phase::Sync), Cycle::new(50));
         assert!(b.phase(Phase::Work) > b.phase(Phase::Control));
         assert_eq!(b.total(), c.now());
+    }
+
+    #[test]
+    fn park_then_resume_is_timing_identical_to_inline_stall() {
+        let mut inline = core();
+        inline.set_phase(Phase::Sync);
+        inline.execute_compute(60);
+        let wake = inline.now() + Cycle::new(500);
+        inline.stall_until(wake);
+
+        let mut parked = core();
+        parked.set_phase(Phase::Sync);
+        parked.execute_compute(60);
+        assert!(!parked.is_parked());
+        parked.park_until(wake);
+        assert!(parked.is_parked());
+        assert_eq!(parked.runnable_at(), wake);
+        // The clock has not moved yet: the stall is paid on resume.
+        assert!(parked.now() < wake);
+        parked.resume();
+        assert!(!parked.is_parked());
+        assert_eq!(parked.parks(), 1);
+
+        assert_eq!(parked.now(), inline.now());
+        assert_eq!(parked.stall_cycles(), inline.stall_cycles());
+        assert_eq!(parked.breakdown(), inline.breakdown());
+        assert_eq!(parked.runnable_at(), parked.now());
+        // Resuming a running core is a no-op.
+        let t = parked.now();
+        parked.resume();
+        assert_eq!(parked.now(), t);
     }
 
     #[test]

@@ -319,6 +319,23 @@ impl StatRegistry {
         }
     }
 
+    /// Raises the counter named `name` to `n` if `n` is larger, creating it
+    /// if necessary.
+    ///
+    /// This is the export primitive for high-water-mark counters (queue
+    /// occupancies, outstanding-transfer peaks): when several components
+    /// export the same mark — one DMA controller per core, say — the
+    /// registry keeps the overall maximum instead of a meaningless sum.
+    pub fn record_max(&mut self, name: &str, n: u64) {
+        match self.entries.get_mut(name) {
+            Some(StatValue::Count(c)) => *c = (*c).max(n),
+            Some(StatValue::Value(v)) => *v = v.max(n as f64),
+            None => {
+                self.entries.insert(name.to_owned(), StatValue::Count(n));
+            }
+        }
+    }
+
     /// Sets the floating point statistic named `name`, replacing any previous value.
     pub fn set_value(&mut self, name: &str, value: f64) {
         self.entries
@@ -482,6 +499,21 @@ mod tests {
         let h = Histogram::new();
         assert_eq!(h.percentile(0.5), 0);
         assert_eq!(h.mean(), 0.0);
+    }
+
+    #[test]
+    fn record_max_keeps_the_high_water_mark() {
+        let mut r = StatRegistry::new();
+        r.record_max("dmac.peak", 3);
+        r.record_max("dmac.peak", 7);
+        r.record_max("dmac.peak", 5);
+        assert_eq!(r.count("dmac.peak"), 7);
+        // Against a float entry the maximum is kept as a float.
+        r.set_value("occ.ratio", 0.5);
+        r.record_max("occ.ratio", 2);
+        assert_eq!(r.value("occ.ratio"), 2.0);
+        r.record_max("occ.ratio", 1);
+        assert_eq!(r.value("occ.ratio"), 2.0);
     }
 
     #[test]

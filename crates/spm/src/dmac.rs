@@ -78,6 +78,7 @@ pub struct Dmac {
     lines_transferred: u64,
     bytes_transferred: u64,
     queue_full_stalls: u64,
+    queue_occupancy_max: u64,
 }
 
 impl Dmac {
@@ -94,6 +95,7 @@ impl Dmac {
             lines_transferred: 0,
             bytes_transferred: 0,
             queue_full_stalls: 0,
+            queue_occupancy_max: 0,
         }
     }
 
@@ -174,6 +176,7 @@ impl Dmac {
 
         let entry = self.pending.entry(tag).or_insert(Cycle::ZERO);
         *entry = (*entry).max(completion);
+        self.queue_occupancy_max = self.queue_occupancy_max.max(self.pending.len() as u64);
         completion
     }
 
@@ -226,6 +229,16 @@ impl Dmac {
         self.queue_full_stalls
     }
 
+    /// High-water mark of simultaneously outstanding tagged transfers.
+    ///
+    /// `queue_full_stalls` only fires once the command queue overflows;
+    /// this mark shows how close a workload actually gets, so
+    /// [`DmacConfig::command_queue_entries`] can be validated (and trimmed)
+    /// against real occupancy instead of guessed.
+    pub fn queue_occupancy_max(&self) -> u64 {
+        self.queue_occupancy_max
+    }
+
     /// Exports the DMAC counters under `dmac.*` names.
     pub fn export_stats(&self, stats: &mut StatRegistry) {
         stats.add_count("dmac.commands", self.commands);
@@ -234,6 +247,9 @@ impl Dmac {
         stats.add_count("dmac.lines", self.lines_transferred);
         stats.add_count("dmac.bytes", self.bytes_transferred);
         stats.add_count("dmac.queue_full_stalls", self.queue_full_stalls);
+        // Max-merged: with one DMAC per core the registry keeps the chip-wide
+        // peak, not the sum of per-core peaks.
+        stats.record_max("dmac.queue_occupancy_max", self.queue_occupancy_max);
     }
 }
 
@@ -370,5 +386,47 @@ mod tests {
         d.export_stats(&mut stats);
         assert_eq!(stats.count("dmac.gets"), 1);
         assert_eq!(stats.count("dmac.lines"), 2);
+        assert_eq!(stats.count("dmac.queue_occupancy_max"), 1);
+    }
+
+    #[test]
+    fn queue_occupancy_high_water_mark_tracks_outstanding_peak() {
+        let mut m = memsys();
+        let mut d = dmac();
+        assert_eq!(d.queue_occupancy_max(), 0);
+        for tag in 0..3 {
+            let _ = d.dma_get(
+                tag,
+                AddressRange::new(Addr::new(0x1000 * (tag as u64 + 1)), 64),
+                Cycle::ZERO,
+                &mut m,
+            );
+        }
+        assert_eq!(d.queue_occupancy_max(), 3);
+        // Draining does not lower the mark...
+        let _ = d.dma_synch(&[0, 1, 2], Cycle::ZERO);
+        assert_eq!(d.outstanding(), 0);
+        assert_eq!(d.queue_occupancy_max(), 3);
+        // ...and a smaller later burst does not raise it.
+        let _ = d.dma_get(
+            9,
+            AddressRange::new(Addr::new(0x9000), 64),
+            Cycle::ZERO,
+            &mut m,
+        );
+        assert_eq!(d.queue_occupancy_max(), 3);
+
+        // The chip-wide export max-merges rather than sums per-core peaks.
+        let mut stats = StatRegistry::new();
+        d.export_stats(&mut stats);
+        let mut other = Dmac::new(CoreId::new(1), DmacConfig::isca2015());
+        let _ = other.dma_get(
+            1,
+            AddressRange::new(Addr::new(0x2000), 64),
+            Cycle::ZERO,
+            &mut m,
+        );
+        other.export_stats(&mut stats);
+        assert_eq!(stats.count("dmac.queue_occupancy_max"), 3);
     }
 }

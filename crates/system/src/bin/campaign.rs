@@ -29,6 +29,7 @@ options (LIST = comma-separated values):
   --filters LIST      per-core filter entry counts (default: Table 1)
   --filterdirs LIST   filterDir entry counts (default: Table 1)
   --noc-models LIST   NoC models: analytic, discrete-event (default analytic)
+  --engines LIST      execution engines: legacy, interleaved (default legacy)
   --small             use the scaled-down test machine at each core count
   --jobs N            parallel workers (default: available parallelism)
   --cache-dir PATH    result-cache directory (default target/campaign-cache)
@@ -90,6 +91,10 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
             "--noc-models" => {
                 let models: Vec<String> = parse_list("--noc-models", &value("--noc-models")?)?;
                 options.spec.noc_models = models.into_iter().map(Some).collect();
+            }
+            "--engines" => {
+                let engines: Vec<String> = parse_list("--engines", &value("--engines")?)?;
+                options.spec.engines = engines.into_iter().map(Some).collect();
             }
             "--small" => options.spec.small_machine = true,
             "--jobs" => {

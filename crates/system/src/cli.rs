@@ -17,6 +17,12 @@
 //! --noc-model NAME   network model: `analytic` (default) or
 //!                    `discrete-event` (alias `des`) — see the README's
 //!                    "NoC models" section
+//! --engine NAME      execution engine: `legacy` (default, tile-serialized
+//!                    replay) or `interleaved` (cycle-interleaved min-clock
+//!                    scheduler) — see the README's "Execution engines"
+//!                    section
+//! --debug-cores      print per-core clock/work/stall figures after every
+//!                    kernel (to stderr)
 //! ```
 //!
 //! The cache is content-addressed over the complete run inputs, so it only
@@ -30,7 +36,7 @@ use campaign::{Executor, ResultCache};
 use workloads::characterize;
 use workloads::nas::NasBenchmark;
 
-use crate::config::SystemConfig;
+use crate::config::{ExecutionEngine, SystemConfig};
 use crate::experiments::{ablations, ExperimentSuite};
 use crate::sweep::RunContext;
 
@@ -77,6 +83,10 @@ pub struct CliOptions {
     pub cache_dir: Option<PathBuf>,
     /// Which NoC model the simulations run under.
     pub noc_model: noc::NocModel,
+    /// Which execution engine drives the cores.
+    pub engine: ExecutionEngine,
+    /// Print per-core clock/work/stall figures after every kernel.
+    pub debug_cores: bool,
 }
 
 impl Default for CliOptions {
@@ -89,6 +99,8 @@ impl Default for CliOptions {
             jobs: 0,
             cache_dir: None,
             noc_model: noc::NocModel::Analytic,
+            engine: ExecutionEngine::Legacy,
+            debug_cores: false,
         }
     }
 }
@@ -142,6 +154,12 @@ impl CliOptions {
                         options.noc_model = model;
                     }
                 }
+                "--engine" => {
+                    if let Some(engine) = args.next().and_then(|e| ExecutionEngine::from_id(&e)) {
+                        options.engine = engine;
+                    }
+                }
+                "--debug-cores" => options.debug_cores = true,
                 _ => {}
             }
         }
@@ -152,6 +170,8 @@ impl CliOptions {
     pub fn config(&self) -> SystemConfig {
         let mut config = SystemConfig::with_cores(self.cores);
         config.set_noc_model(self.noc_model);
+        config.engine = self.engine;
+        config.debug_cores = self.debug_cores;
         config
     }
 
@@ -360,6 +380,25 @@ mod tests {
         // Unknown model names are ignored, like every other malformed flag.
         let o = CliOptions::parse(["--noc-model".to_string(), "warp".to_string()]);
         assert_eq!(o.noc_model, noc::NocModel::Analytic);
+    }
+
+    #[test]
+    fn engine_flag_threads_into_the_configuration() {
+        let o = CliOptions::parse(Vec::<String>::new());
+        assert_eq!(o.engine, ExecutionEngine::Legacy);
+        assert!(!o.debug_cores);
+        let o = CliOptions::parse(
+            ["--engine", "interleaved", "--debug-cores"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
+        assert_eq!(o.engine, ExecutionEngine::Interleaved);
+        assert!(o.debug_cores);
+        assert_eq!(o.config().engine, ExecutionEngine::Interleaved);
+        assert!(o.config().debug_cores);
+        // Unknown engine names are ignored, like every other malformed flag.
+        let o = CliOptions::parse(["--engine".to_string(), "warp".to_string()]);
+        assert_eq!(o.engine, ExecutionEngine::Legacy);
     }
 
     #[test]

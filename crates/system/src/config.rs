@@ -65,6 +65,54 @@ impl std::fmt::Display for MachineKind {
     }
 }
 
+/// How the machine drives its cores through a kernel.
+///
+/// Both engines interpret the same per-core op streams through the same
+/// hardware models; they differ only in the *order* cores' operations reach
+/// the shared state (L2, coherence protocol, NoC).  With a single core the
+/// two are bit-identical; with many cores the interleaved engine is the
+/// faithful one, and the difference between them measures the ordering
+/// artifact of serialized replay.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ExecutionEngine {
+    /// Tile-serialized replay: each core runs a whole trace segment to
+    /// completion before the next core starts.  Shared state observes
+    /// traffic in an order no real machine would produce, but every run is
+    /// cheap and the behaviour is pinned for regression comparisons.
+    Legacy,
+    /// Cycle-interleaved scheduling: a min-clock event scheduler always
+    /// steps the core with the earliest local time, parking cores on
+    /// `dma-synch` waits and kernel barriers, so concurrent cores' traffic
+    /// reaches the L2, the coherence protocol and the NoC in simulated-time
+    /// order.
+    Interleaved,
+}
+
+impl ExecutionEngine {
+    /// All engines, legacy first.
+    pub const ALL: [ExecutionEngine; 2] = [ExecutionEngine::Legacy, ExecutionEngine::Interleaved];
+
+    /// Stable identifier used by campaign descriptors and CLI flags
+    /// (matches [`campaign::ENGINE_IDS`]).
+    pub fn id(self) -> &'static str {
+        match self {
+            ExecutionEngine::Legacy => "legacy",
+            ExecutionEngine::Interleaved => "interleaved",
+        }
+    }
+
+    /// Parses an engine identifier (the inverse of [`ExecutionEngine::id`]).
+    pub fn from_id(id: &str) -> Option<ExecutionEngine> {
+        ExecutionEngine::ALL.into_iter().find(|e| e.id() == id)
+    }
+}
+
+impl std::fmt::Display for ExecutionEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
 /// The whole-system configuration (the knobs of Table 1).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -88,6 +136,11 @@ pub struct SystemConfig {
     pub frequency: Frequency,
     /// Seed for the workload address streams.
     pub trace_seed: u64,
+    /// How cores are scheduled through each kernel.
+    pub engine: ExecutionEngine,
+    /// Print per-core clock/work/stall figures after every kernel
+    /// (`--debug-cores` on the report binaries).
+    pub debug_cores: bool,
 }
 
 impl SystemConfig {
@@ -109,6 +162,8 @@ impl SystemConfig {
             energy: EnergyParams::isca2015_22nm().scaled_to_cores(cores),
             frequency: Frequency::ghz(2.0),
             trace_seed: 0x15CA_2015,
+            engine: ExecutionEngine::Legacy,
+            debug_cores: false,
         }
     }
 
@@ -271,6 +326,25 @@ mod tests {
         for (kind, id) in MachineKind::ALL.iter().zip(campaign::MACHINE_IDS) {
             assert_eq!(kind.id(), id);
         }
+    }
+
+    #[test]
+    fn engine_ids_round_trip_and_match_campaign() {
+        for engine in ExecutionEngine::ALL {
+            assert_eq!(ExecutionEngine::from_id(engine.id()), Some(engine));
+            assert_eq!(engine.to_string(), engine.id());
+        }
+        assert_eq!(ExecutionEngine::from_id("warp"), None);
+        for (engine, id) in ExecutionEngine::ALL.iter().zip(campaign::ENGINE_IDS) {
+            assert_eq!(engine.id(), id);
+        }
+    }
+
+    #[test]
+    fn default_engine_is_legacy_with_debug_off() {
+        let c = SystemConfig::isca2015();
+        assert_eq!(c.engine, ExecutionEngine::Legacy);
+        assert!(!c.debug_cores);
     }
 
     #[test]

@@ -1,0 +1,301 @@
+//! The execution engines: how cores are driven through a kernel.
+//!
+//! Both engines interpret per-core [`TraceOp`] streams through the same
+//! hardware models via the shared [`step_op`] interpreter; they differ only
+//! in the order those ops reach the shared state:
+//!
+//! * [`run_kernel_legacy`] replays the trace segment-serialized — every
+//!   core's prologue, then tile 0 on every core, then tile 1, … — so the
+//!   shared L2, the coherence protocol and the NoC observe each core's
+//!   whole segment as one contiguous burst.
+//! * [`run_kernel_interleaved`] is a min-clock scheduler over a
+//!   [`simkernel::EventQueue`]: each core is a resumable
+//!   [`workloads::OpCursor`], and the scheduler always steps the core with
+//!   the earliest local clock, parking cores on `dma-synch` waits and
+//!   waking them from the queue.  Because the stepped core is the earliest
+//!   one, its local clock *is* the global simulation clock, and shared
+//!   state observes traffic in simulated-time order — the order a real
+//!   machine would produce.
+//!
+//! With one core the two engines make an identical sequence of model calls,
+//! which is what pins them bit-identical (see `tests/engine.rs`) and makes
+//! the multi-core difference a pure measurement of the ordering artifact.
+
+use simkernel::{CoreId, Cycle, EventQueue};
+
+use cpu::CoreTimingModel;
+use mem::{AccessKind, MemorySystem};
+use noc::MessageClass;
+use spm::{Dmac, Scratchpad};
+use spm_coherence::CoherenceSupport;
+use workloads::{CompiledKernel, KernelExecution, MemRefClass, OpCursor, Phase, TraceOp};
+
+/// Everything one kernel's execution mutates, bundled so both engines (and
+/// the per-op interpreter) share one signature.
+pub(crate) struct KernelCtx<'a> {
+    /// The kernel being executed.
+    pub kernel: &'a CompiledKernel,
+    /// The shared cache hierarchy + NoC.
+    pub memsys: &'a mut MemorySystem,
+    /// The coherence support (proposed protocol or ideal oracle).
+    pub protocol: &'a mut dyn CoherenceSupport,
+    /// Per-core scratchpads.
+    pub spms: &'a mut [Scratchpad],
+    /// Per-core DMA controllers.
+    pub dmacs: &'a mut [Dmac],
+    /// Per-core timing models.
+    pub cores: &'a mut [CoreTimingModel],
+    /// Whether the NoC backend has a clock to keep in step with the issuing
+    /// core (true only for the discrete-event model).
+    pub track_noc_clock: bool,
+}
+
+/// What [`step_op`] does when a `dma-synch` has to wait.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum SyncPolicy {
+    /// Stall the core in place (legacy replay: nothing else can run anyway).
+    StallInline,
+    /// Report the wake cycle so the scheduler can park the core and run
+    /// whichever core is earliest in the meantime.
+    Park,
+}
+
+/// The result of interpreting one op.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum StepOutcome {
+    /// The op completed; the core can take its next op.
+    Ran,
+    /// The op left the core waiting for an event at `wake` (only under
+    /// [`SyncPolicy::Park`]).  The op itself is consumed; the deferred
+    /// stall is paid by [`CoreTimingModel::resume`].
+    Parked {
+        /// Cycle at which the core may continue.
+        wake: Cycle,
+    },
+}
+
+/// Interprets one trace op on one core: issues its memory traffic, charges
+/// its timing, and performs the implied instruction fetches.
+///
+/// This is the simulator's hottest loop body, shared verbatim by both
+/// engines so their per-op semantics cannot drift apart.
+pub(crate) fn step_op(
+    op: &TraceOp,
+    core_id: CoreId,
+    ctx: &mut KernelCtx<'_>,
+    policy: SyncPolicy,
+) -> StepOutcome {
+    let c = core_id.index();
+    if ctx.track_noc_clock {
+        // Queue this core's packets in simulation time.  Under the
+        // interleaved engine the stepped core is the earliest one, so this
+        // is the global scheduler clock; under legacy replay it regresses
+        // at every core switch (counted by `noc.des.clock.regressions`).
+        ctx.memsys.advance_noc(ctx.cores[c].now());
+    }
+    let mut outcome = StepOutcome::Ran;
+    match op {
+        TraceOp::Compute { insts } => ctx.cores[c].execute_compute(*insts),
+        TraceOp::SetPhase(phase) => {
+            if *phase != Phase::Work {
+                ctx.cores[c].drain_memory();
+            }
+            ctx.cores[c].set_phase(*phase);
+        }
+        TraceOp::AllocateBuffers { count } => {
+            let _ = ctx.spms[c].allocate_buffers(*count);
+        }
+        TraceOp::DmaGet { tag, buffer, chunk } => {
+            let now = ctx.cores[c].now();
+            let _completion = ctx.dmacs[c].dma_get(*tag, *chunk, now, ctx.memsys);
+            ctx.spms[c].record_dma_fill(chunk.len());
+            let _ = ctx.protocol.on_map(core_id, *buffer, *chunk, ctx.memsys);
+        }
+        TraceOp::DmaPut { tag, buffer, chunk } => {
+            let now = ctx.cores[c].now();
+            let _completion = ctx.dmacs[c].dma_put(*tag, *chunk, now, ctx.memsys);
+            ctx.spms[c].record_dma_drain(chunk.len());
+            let _ = ctx.protocol.on_unmap(core_id, *buffer);
+        }
+        TraceOp::DmaSync { tags } => {
+            let now = ctx.cores[c].now();
+            let done = ctx.dmacs[c].dma_synch(tags, now);
+            if policy == SyncPolicy::Park && done > now {
+                // The transfer completion is a scheduled event: the core
+                // parks and another core may run in the meantime.  The
+                // stall to `done` is charged on resume, so the core-local
+                // timing is identical to the inline path.
+                outcome = StepOutcome::Parked { wake: done };
+            } else {
+                ctx.cores[c].stall_until(done);
+            }
+        }
+        TraceOp::LoopEnd => {
+            ctx.protocol.on_loop_end(core_id);
+            ctx.cores[c].drain_memory();
+        }
+        TraceOp::Load {
+            addr,
+            class,
+            reference_id,
+        }
+        | TraceOp::Store {
+            addr,
+            class,
+            reference_id,
+        } => {
+            let is_store = matches!(op, TraceOp::Store { .. });
+            match class {
+                MemRefClass::SpmStrided { .. } => {
+                    let latency = if is_store {
+                        ctx.spms[c].write_local()
+                    } else {
+                        ctx.spms[c].read_local()
+                    };
+                    ctx.cores[c].issue_memory_access(latency, false);
+                    ctx.cores[c].record_in_lsq(*addr, is_store);
+                }
+                MemRefClass::Guarded => {
+                    let outcome = ctx
+                        .protocol
+                        .guarded_access(core_id, *addr, is_store, ctx.memsys, ctx.spms);
+                    ctx.cores[c].issue_memory_access(outcome.latency, true);
+                    ctx.cores[c].record_in_lsq(*addr, is_store);
+                    if outcome.diverted_to_spm() {
+                        // §3.4: the LSQ re-checks ordering against the
+                        // data's original (GM) address, flushing on a
+                        // violation.
+                        let _ = ctx.cores[c].recheck_ordering(*addr, is_store);
+                    }
+                }
+                MemRefClass::Gm | MemRefClass::GmStrided | MemRefClass::Stack => {
+                    let kind = if is_store {
+                        AccessKind::Store
+                    } else {
+                        AccessKind::Load
+                    };
+                    let msg_class = if is_store {
+                        MessageClass::Write
+                    } else {
+                        MessageClass::Read
+                    };
+                    let result = ctx
+                        .memsys
+                        .access(core_id, *addr, kind, msg_class, *reference_id);
+                    // Random (pointer-like) accesses feed dependent
+                    // work; strided and stack accesses are
+                    // independent and overlap under the MLP window.
+                    let dependent = matches!(class, MemRefClass::Gm);
+                    ctx.cores[c].issue_memory_access(result.latency, dependent);
+                    ctx.cores[c].record_in_lsq(*addr, is_store);
+                }
+            }
+        }
+    }
+
+    // Instruction fetches implied by the executed instructions.
+    let fetches = ctx.cores[c].take_due_ifetches(ctx.kernel.code_base, ctx.kernel.code_size);
+    for fetch in fetches {
+        let result = ctx
+            .memsys
+            .access(core_id, fetch, AccessKind::Ifetch, MessageClass::Ifetch, 0);
+        ctx.cores[c].apply_ifetch(result.latency, result.l1_hit);
+    }
+    outcome
+}
+
+/// Replays one kernel segment-serialized: every core's prologue, then each
+/// tile round-robin across the cores, then every core's epilogue.
+pub(crate) fn run_kernel_legacy(ctx: &mut KernelCtx<'_>, trace_seed: u64) {
+    let cores = ctx.cores.len();
+    let mut execs: Vec<KernelExecution<'_>> = (0..cores)
+        .map(|i| KernelExecution::new(ctx.kernel, CoreId::new(i), cores, trace_seed))
+        .collect();
+
+    // Prologue on every core.
+    for (i, exec) in execs.iter_mut().enumerate() {
+        let ops = exec.prologue();
+        execute_ops(&ops, CoreId::new(i), ctx);
+    }
+
+    // Tiles are interleaved across cores so the shared L2 and the NoC see
+    // the concurrent working set of the whole chip, as in the fork-join
+    // execution the paper models.
+    let tiles = execs.iter().map(|e| e.num_tiles()).max().unwrap_or(0);
+    for tile in 0..tiles {
+        for (i, exec) in execs.iter_mut().enumerate() {
+            if tile >= exec.num_tiles() {
+                continue;
+            }
+            let ops = exec.tile(tile);
+            execute_ops(&ops, CoreId::new(i), ctx);
+        }
+    }
+
+    // Epilogue on every core.
+    for (i, exec) in execs.iter_mut().enumerate() {
+        let ops = exec.epilogue();
+        execute_ops(&ops, CoreId::new(i), ctx);
+    }
+}
+
+fn execute_ops(ops: &[TraceOp], core_id: CoreId, ctx: &mut KernelCtx<'_>) {
+    for op in ops {
+        let _ = step_op(op, core_id, ctx, SyncPolicy::StallInline);
+    }
+}
+
+/// Runs one kernel under the cycle-interleaved min-clock scheduler.
+///
+/// Each core is a streaming [`OpCursor`]; the scheduler keeps one event per
+/// live core in a [`EventQueue`], keyed by the cycle the core can next run
+/// (its local clock, or its `dma-synch` wake time while parked).  Popping
+/// the queue therefore always selects the earliest core; it executes ops
+/// until its clock passes the next pending event, then yields.  The
+/// insertion-order FIFO tie-break of the queue makes the whole interleaving
+/// deterministic.
+pub(crate) fn run_kernel_interleaved(ctx: &mut KernelCtx<'_>, trace_seed: u64) {
+    let cores = ctx.cores.len();
+    let mut cursors: Vec<OpCursor<'_>> = (0..cores)
+        .map(|i| OpCursor::new(ctx.kernel, CoreId::new(i), cores, trace_seed))
+        .collect();
+
+    let mut queue: EventQueue<usize> = EventQueue::with_capacity(cores);
+    for c in 0..cores {
+        queue.schedule(ctx.cores[c].now(), c);
+    }
+
+    // Global simulation time: events pop in non-decreasing cycle order
+    // because every event scheduled below fires at or after the pop that
+    // scheduled it (a yield fires at the core's advanced clock, a wake at a
+    // completion in the future).
+    let mut global = Cycle::ZERO;
+    while let Some((when, c)) = queue.pop() {
+        debug_assert!(when >= global, "scheduler time ran backwards");
+        global = global.max(when);
+        if ctx.cores[c].is_parked() {
+            debug_assert!(ctx.cores[c].runnable_at() <= when, "core woke early");
+            ctx.cores[c].resume();
+        }
+        // A core that streams its last op simply leaves the scheduler and
+        // waits at the kernel barrier (applied by the caller).
+        while let Some(op) = cursors[c].next_op() {
+            match step_op(&op, CoreId::new(c), ctx, SyncPolicy::Park) {
+                StepOutcome::Parked { wake } => {
+                    ctx.cores[c].park_until(wake);
+                    queue.schedule(wake, c);
+                    break;
+                }
+                StepOutcome::Ran => {
+                    if let Some(next) = queue.peek_time() {
+                        if ctx.cores[c].now() > next {
+                            // Another core is now the earliest: yield.
+                            queue.schedule(ctx.cores[c].now(), c);
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

@@ -26,6 +26,7 @@
 
 pub mod cli;
 pub mod config;
+pub(crate) mod engine;
 pub mod experiments;
 pub mod machine;
 pub mod report;
@@ -33,8 +34,8 @@ pub mod resultio;
 pub mod sweep;
 
 pub use cli::{CliOptions, Report};
-pub use config::{MachineKind, SystemConfig};
+pub use config::{ExecutionEngine, MachineKind, SystemConfig};
 pub use experiments::ExperimentSuite;
-pub use machine::{Machine, RunResult};
+pub use machine::{EngineAudit, KernelAudit, Machine, RunResult};
 pub use report::TableBuilder;
 pub use resultio::run_result_codec;

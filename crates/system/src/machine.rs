@@ -10,12 +10,10 @@ use mem::{AccessKind, MemorySystem};
 use noc::{MessageClass, TrafficAccountant};
 use spm::{Dmac, Scratchpad};
 use spm_coherence::{CoherenceSupport, IdealCoherence, ProtocolStats, SpmCoherenceProtocol};
-use workloads::{
-    compile, BenchmarkSpec, CompiledKernel, ExecMode, KernelExecution, MachineParams, MemRefClass,
-    Phase, TraceOp,
-};
+use workloads::{compile, BenchmarkSpec, ExecMode, MachineParams, Phase};
 
-use crate::config::{MachineKind, SystemConfig};
+use crate::config::{ExecutionEngine, MachineKind, SystemConfig};
+use crate::engine::{self, KernelCtx};
 
 /// The result of running one benchmark on one machine.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -64,6 +62,32 @@ impl RunResult {
     }
 }
 
+/// Per-kernel clock audit of one run (see [`Machine::run_audited`]).
+///
+/// One entry per executed kernel, in execution order.  The audit is what
+/// lets tests state the scheduler's safety property — no core's clock ever
+/// passes an unreleased barrier — as data instead of trusting the engine.
+#[derive(Debug, Clone, Default)]
+pub struct EngineAudit {
+    /// One audit per kernel, in execution order.
+    pub kernels: Vec<KernelAudit>,
+}
+
+/// The clock history of one kernel across every core.
+#[derive(Debug, Clone)]
+pub struct KernelAudit {
+    /// The kernel's name.
+    pub name: String,
+    /// Each core's clock when the kernel began (after the previous kernel's
+    /// barrier released).
+    pub start: Vec<Cycle>,
+    /// Each core's clock after its last op of this kernel (before the
+    /// barrier wait).
+    pub end: Vec<Cycle>,
+    /// The kernel-end barrier: the slowest core's end clock.
+    pub barrier: Cycle,
+}
+
 /// A machine of one of the three [`MachineKind`]s, ready to run benchmarks.
 ///
 /// # Example
@@ -101,6 +125,22 @@ impl Machine {
 
     /// Runs a benchmark to completion and collects every statistic.
     pub fn run(&self, spec: &BenchmarkSpec) -> RunResult {
+        self.run_inner(spec, None)
+    }
+
+    /// Like [`Machine::run`], also returning the per-kernel clock audit.
+    ///
+    /// Used by the scheduler-equivalence tests: the audit exposes each
+    /// core's kernel start/end clocks and the kernel barriers, from which
+    /// the barrier-safety invariant (`start ≥ previous barrier` on every
+    /// core) can be checked for any workload.
+    pub fn run_audited(&self, spec: &BenchmarkSpec) -> (RunResult, EngineAudit) {
+        let mut audit = EngineAudit::default();
+        let result = self.run_inner(spec, Some(&mut audit));
+        (result, audit)
+    }
+
+    fn run_inner(&self, spec: &BenchmarkSpec, mut audit: Option<&mut EngineAudit>) -> RunResult {
         let cores = self.config.cores;
         let mode = if self.kind == MachineKind::CacheOnly {
             ExecMode::CacheOnly
@@ -139,17 +179,38 @@ impl Machine {
         self.warm_shared_data(&compiled, &mut memsys);
 
         for kernel in &compiled.kernels {
-            self.run_kernel(
+            let start: Vec<Cycle> = if audit.is_some() {
+                core_models.iter().map(|c| c.now()).collect()
+            } else {
+                Vec::new()
+            };
+            protocol.configure_buffer_size(kernel.buffer_size);
+            // Kernels without guarded accesses power-gate the filters (as
+            // the paper does for SP).
+            protocol.set_filters_gated(!kernel.has_guarded_refs());
+            // Only the discrete-event NoC has a clock to keep in step with
+            // the issuing core; skip the per-op call entirely on the
+            // (default) analytic backend — this is the simulator's hottest
+            // loop.
+            let track_noc_clock = memsys.config().noc.model == noc::NocModel::DiscreteEvent;
+            let mut ctx = KernelCtx {
                 kernel,
-                cores,
-                &mut memsys,
-                protocol.as_mut(),
-                &mut spms,
-                &mut dmacs,
-                &mut core_models,
-            );
-            // Kernel barrier: every core waits for the slowest one.
-            if std::env::var("SPM_DEBUG_CORES").is_ok() {
+                memsys: &mut memsys,
+                protocol: protocol.as_mut(),
+                spms: &mut spms,
+                dmacs: &mut dmacs,
+                cores: &mut core_models,
+                track_noc_clock,
+            };
+            match self.config.engine {
+                ExecutionEngine::Legacy => {
+                    engine::run_kernel_legacy(&mut ctx, self.config.trace_seed)
+                }
+                ExecutionEngine::Interleaved => {
+                    engine::run_kernel_interleaved(&mut ctx, self.config.trace_seed)
+                }
+            }
+            if self.config.debug_cores {
                 let times: Vec<u64> = core_models.iter().map(|c| c.now().as_u64()).collect();
                 let works: Vec<u64> = core_models
                     .iter()
@@ -161,16 +222,22 @@ impl Machine {
                     kernel.name
                 );
             }
-            let barrier = core_models
-                .iter()
-                .map(|c| c.now())
-                .max()
-                .unwrap_or(Cycle::ZERO);
+            // Kernel barrier: every core waits for the slowest one.
+            let end: Vec<Cycle> = core_models.iter().map(|c| c.now()).collect();
+            let barrier = end.iter().copied().max().unwrap_or(Cycle::ZERO);
             for core in core_models.iter_mut() {
                 core.set_phase(Phase::Sync);
                 core.drain_memory();
                 // Idle barrier wait: load imbalance, not a loop phase.
                 core.idle_until(barrier);
+            }
+            if let Some(audit) = audit.as_deref_mut() {
+                audit.kernels.push(KernelAudit {
+                    name: kernel.name.clone(),
+                    start,
+                    end,
+                    barrier,
+                });
             }
         }
 
@@ -206,201 +273,6 @@ impl Machine {
                     MessageClass::Ifetch,
                     0,
                 );
-            }
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn run_kernel(
-        &self,
-        kernel: &CompiledKernel,
-        cores: usize,
-        memsys: &mut MemorySystem,
-        protocol: &mut dyn CoherenceSupport,
-        spms: &mut [Scratchpad],
-        dmacs: &mut [Dmac],
-        core_models: &mut [CoreTimingModel],
-    ) {
-        protocol.configure_buffer_size(kernel.buffer_size);
-        // Kernels without guarded accesses power-gate the filters (as the
-        // paper does for SP).
-        protocol.set_filters_gated(!kernel.has_guarded_refs());
-
-        let mut execs: Vec<KernelExecution<'_>> = (0..cores)
-            .map(|i| KernelExecution::new(kernel, CoreId::new(i), cores, self.config.trace_seed))
-            .collect();
-
-        // Prologue on every core.
-        for (i, exec) in execs.iter_mut().enumerate() {
-            let ops = exec.prologue();
-            self.execute_ops(
-                &ops,
-                CoreId::new(i),
-                kernel,
-                memsys,
-                protocol,
-                spms,
-                dmacs,
-                core_models,
-            );
-        }
-
-        // Tiles are interleaved across cores so the shared L2 and the NoC see
-        // the concurrent working set of the whole chip, as in the fork-join
-        // execution the paper models.
-        let tiles = execs.iter().map(|e| e.num_tiles()).max().unwrap_or(0);
-        for tile in 0..tiles {
-            for (i, exec) in execs.iter_mut().enumerate() {
-                if tile >= exec.num_tiles() {
-                    continue;
-                }
-                let ops = exec.tile(tile);
-                self.execute_ops(
-                    &ops,
-                    CoreId::new(i),
-                    kernel,
-                    memsys,
-                    protocol,
-                    spms,
-                    dmacs,
-                    core_models,
-                );
-            }
-        }
-
-        // Epilogue on every core.
-        for (i, exec) in execs.iter_mut().enumerate() {
-            let ops = exec.epilogue();
-            self.execute_ops(
-                &ops,
-                CoreId::new(i),
-                kernel,
-                memsys,
-                protocol,
-                spms,
-                dmacs,
-                core_models,
-            );
-        }
-    }
-
-    #[allow(clippy::too_many_arguments)]
-    fn execute_ops(
-        &self,
-        ops: &[TraceOp],
-        core_id: CoreId,
-        kernel: &CompiledKernel,
-        memsys: &mut MemorySystem,
-        protocol: &mut dyn CoherenceSupport,
-        spms: &mut [Scratchpad],
-        dmacs: &mut [Dmac],
-        core_models: &mut [CoreTimingModel],
-    ) {
-        let c = core_id.index();
-        // Only the discrete-event NoC has a clock to keep in step with the
-        // issuing core; skip the per-op call entirely on the (default)
-        // analytic backend — this is the simulator's hottest loop.
-        let track_noc_clock = memsys.config().noc.model == noc::NocModel::DiscreteEvent;
-        for op in ops {
-            if track_noc_clock {
-                // Queue this core's packets in simulation time.
-                memsys.advance_noc(core_models[c].now());
-            }
-            match op {
-                TraceOp::Compute { insts } => core_models[c].execute_compute(*insts),
-                TraceOp::SetPhase(phase) => {
-                    if *phase != Phase::Work {
-                        core_models[c].drain_memory();
-                    }
-                    core_models[c].set_phase(*phase);
-                }
-                TraceOp::AllocateBuffers { count } => {
-                    let _ = spms[c].allocate_buffers(*count);
-                }
-                TraceOp::DmaGet { tag, buffer, chunk } => {
-                    let now = core_models[c].now();
-                    let _completion = dmacs[c].dma_get(*tag, *chunk, now, memsys);
-                    spms[c].record_dma_fill(chunk.len());
-                    let _ = protocol.on_map(core_id, *buffer, *chunk, memsys);
-                }
-                TraceOp::DmaPut { tag, buffer, chunk } => {
-                    let now = core_models[c].now();
-                    let _completion = dmacs[c].dma_put(*tag, *chunk, now, memsys);
-                    spms[c].record_dma_drain(chunk.len());
-                    let _ = protocol.on_unmap(core_id, *buffer);
-                }
-                TraceOp::DmaSync { tags } => {
-                    let now = core_models[c].now();
-                    let done = dmacs[c].dma_synch(tags, now);
-                    core_models[c].stall_until(done);
-                }
-                TraceOp::LoopEnd => {
-                    protocol.on_loop_end(core_id);
-                    core_models[c].drain_memory();
-                }
-                TraceOp::Load {
-                    addr,
-                    class,
-                    reference_id,
-                }
-                | TraceOp::Store {
-                    addr,
-                    class,
-                    reference_id,
-                } => {
-                    let is_store = matches!(op, TraceOp::Store { .. });
-                    match class {
-                        MemRefClass::SpmStrided { .. } => {
-                            let latency = if is_store {
-                                spms[c].write_local()
-                            } else {
-                                spms[c].read_local()
-                            };
-                            core_models[c].issue_memory_access(latency, false);
-                            core_models[c].record_in_lsq(*addr, is_store);
-                        }
-                        MemRefClass::Guarded => {
-                            let outcome =
-                                protocol.guarded_access(core_id, *addr, is_store, memsys, spms);
-                            core_models[c].issue_memory_access(outcome.latency, true);
-                            core_models[c].record_in_lsq(*addr, is_store);
-                            if outcome.diverted_to_spm() {
-                                // §3.4: the LSQ re-checks ordering against the
-                                // data's original (GM) address, flushing on a
-                                // violation.
-                                let _ = core_models[c].recheck_ordering(*addr, is_store);
-                            }
-                        }
-                        MemRefClass::Gm | MemRefClass::GmStrided | MemRefClass::Stack => {
-                            let kind = if is_store {
-                                AccessKind::Store
-                            } else {
-                                AccessKind::Load
-                            };
-                            let msg_class = if is_store {
-                                MessageClass::Write
-                            } else {
-                                MessageClass::Read
-                            };
-                            let result =
-                                memsys.access(core_id, *addr, kind, msg_class, *reference_id);
-                            // Random (pointer-like) accesses feed dependent
-                            // work; strided and stack accesses are
-                            // independent and overlap under the MLP window.
-                            let dependent = matches!(class, MemRefClass::Gm);
-                            core_models[c].issue_memory_access(result.latency, dependent);
-                            core_models[c].record_in_lsq(*addr, is_store);
-                        }
-                    }
-                }
-            }
-
-            // Instruction fetches implied by the executed instructions.
-            let fetches = core_models[c].take_due_ifetches(kernel.code_base, kernel.code_size);
-            for fetch in fetches {
-                let result =
-                    memsys.access(core_id, fetch, AccessKind::Ifetch, MessageClass::Ifetch, 0);
-                core_models[c].apply_ifetch(result.latency, result.l1_hit);
             }
         }
     }

@@ -67,6 +67,10 @@ pub fn lower_descriptor(
             noc::NocModel::from_id(model).ok_or_else(|| format!("unknown NoC model '{model}'"))?;
         config.set_noc_model(model);
     }
+    if let Some(engine) = &d.engine {
+        config.engine = crate::config::ExecutionEngine::from_id(engine)
+            .ok_or_else(|| format!("unknown execution engine '{engine}'"))?;
+    }
     config.trace_seed = d.seed();
     let spec = benchmark.spec_scaled(benchmark.recommended_scale() * d.scale_multiplier);
     Ok((config, spec, kind))
@@ -81,6 +85,11 @@ pub fn lower_descriptor(
 /// [`CacheKey::from_fields`] canonicalises — but any change to a value
 /// addresses a different cache entry.
 pub fn run_cache_key(kind: MachineKind, config: &SystemConfig, spec: &BenchmarkSpec) -> CacheKey {
+    // Presentation-only knobs never reach the RunResult, so they must not
+    // address different cache entries: pin them to their defaults before
+    // rendering the configuration.
+    let mut config = config.clone();
+    config.debug_cores = false;
     CacheKey::from_fields([
         ("format", CACHE_FORMAT.to_string()),
         ("kind", kind.id().to_owned()),
@@ -200,6 +209,7 @@ mod tests {
         d.filter_entries = Some(8);
         d.filterdir_entries = Some(256);
         d.noc_model = Some("discrete-event".into());
+        d.engine = Some("interleaved".into());
         let (config, spec, kind) = lower_descriptor(&d).unwrap();
         assert_eq!(kind, MachineKind::HybridProposed);
         assert_eq!(config.cores, 4);
@@ -212,6 +222,7 @@ mod tests {
             config.memory_cache_baseline.noc.model,
             noc::NocModel::DiscreteEvent
         );
+        assert_eq!(config.engine, crate::config::ExecutionEngine::Interleaved);
         assert_eq!(config.trace_seed, d.seed());
         assert_eq!(spec.name, "CG");
         assert!(spec.input.contains("scale"));
@@ -225,6 +236,16 @@ mod tests {
         d.noc_model = Some("wormhole".into());
         let err = lower_descriptor(&d).unwrap_err();
         assert!(err.contains("wormhole"), "{err}");
+    }
+
+    #[test]
+    fn lowering_defaults_to_the_legacy_engine_and_rejects_unknown_engines() {
+        let (config, _, _) = lower_descriptor(&quick_point()).unwrap();
+        assert_eq!(config.engine, crate::config::ExecutionEngine::Legacy);
+        let mut d = quick_point();
+        d.engine = Some("warp".into());
+        let err = lower_descriptor(&d).unwrap_err();
+        assert!(err.contains("warp"), "{err}");
     }
 
     #[test]
@@ -256,6 +277,14 @@ mod tests {
         let mut bigger = config.clone();
         bigger.protocol.filter_entries += 1;
         assert_ne!(base, run_cache_key(kind, &bigger, &spec));
+        // Timing-relevant knobs address new entries; presentation-only
+        // knobs do not.
+        let mut interleaved = config.clone();
+        interleaved.engine = crate::config::ExecutionEngine::Interleaved;
+        assert_ne!(base, run_cache_key(kind, &interleaved, &spec));
+        let mut debug = config.clone();
+        debug.debug_cores = true;
+        assert_eq!(base, run_cache_key(kind, &debug, &spec));
         let mut rescaled = spec.clone();
         rescaled.kernels[0].outer_repeats += 1;
         assert_ne!(base, run_cache_key(kind, &config, &rescaled));

@@ -297,6 +297,110 @@ impl<'a> KernelExecution<'a> {
     }
 }
 
+/// The part of a kernel's trace an [`OpCursor`] is currently streaming.
+///
+/// Segments are the natural resumption boundaries of a kernel: the
+/// once-per-kernel prologue, each tile of the transformed loop, and the
+/// once-per-kernel epilogue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Segment {
+    /// The once-per-kernel prologue (buffer allocation).
+    Prologue,
+    /// Tile `n` of the tiled loop (0-based, across all outer repeats).
+    Tile(u64),
+    /// The once-per-kernel epilogue (final write-backs).
+    Epilogue,
+    /// The trace is exhausted.
+    Done,
+}
+
+/// A resumable, streaming view of one core's kernel trace.
+///
+/// [`KernelExecution`] materializes each segment (prologue, tile, epilogue)
+/// as a `Vec<TraceOp>`; the cursor owns the execution and hands the ops out
+/// one at a time, generating the next segment lazily when the current one
+/// runs dry.  This is what lets a scheduler suspend a core mid-kernel (e.g.
+/// parked on a `dma-synch`) and resume it later without re-generating or
+/// buffering whole per-core traces: at most one segment per core is ever
+/// materialized at a time.
+///
+/// The op stream is exactly `prologue ++ tile(0) ++ … ++ tile(n-1) ++
+/// epilogue`, so draining a cursor visits the same ops, in the same order,
+/// as the eager segment-by-segment replay.
+#[derive(Debug)]
+pub struct OpCursor<'a> {
+    exec: KernelExecution<'a>,
+    segment: Segment,
+    ops: std::vec::IntoIter<TraceOp>,
+}
+
+impl<'a> OpCursor<'a> {
+    /// Creates a cursor over `kernel` for `core` of a `cores`-core machine.
+    ///
+    /// Same seeding contract as [`KernelExecution::new`]: the `(seed, core)`
+    /// pair fully determines the op stream.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `core` is outside the machine.
+    pub fn new(kernel: &'a CompiledKernel, core: CoreId, cores: usize, seed: u64) -> Self {
+        Self::from_execution(KernelExecution::new(kernel, core, cores, seed))
+    }
+
+    /// Wraps an existing execution, starting at the prologue.
+    pub fn from_execution(exec: KernelExecution<'a>) -> Self {
+        let ops = exec.prologue().into_iter();
+        OpCursor {
+            exec,
+            segment: Segment::Prologue,
+            ops,
+        }
+    }
+
+    /// The segment the next op comes from (a just-finished segment counts
+    /// until the first op of the next one is pulled).
+    pub fn segment(&self) -> Segment {
+        self.segment
+    }
+
+    /// The kernel being streamed.
+    pub fn kernel(&self) -> &CompiledKernel {
+        self.exec.kernel()
+    }
+
+    /// Returns `true` once every op has been yielded.
+    pub fn is_done(&self) -> bool {
+        self.segment == Segment::Done
+    }
+
+    /// Yields the next operation, generating the next segment on demand.
+    pub fn next_op(&mut self) -> Option<TraceOp> {
+        loop {
+            if let Some(op) = self.ops.next() {
+                return Some(op);
+            }
+            self.segment = match self.segment {
+                Segment::Prologue => {
+                    if self.exec.num_tiles() == 0 {
+                        Segment::Epilogue
+                    } else {
+                        Segment::Tile(0)
+                    }
+                }
+                Segment::Tile(t) if t + 1 < self.exec.num_tiles() => Segment::Tile(t + 1),
+                Segment::Tile(_) => Segment::Epilogue,
+                Segment::Epilogue => Segment::Done,
+                Segment::Done => return None,
+            };
+            self.ops = match self.segment {
+                Segment::Tile(t) => self.exec.tile(t).into_iter(),
+                Segment::Epilogue => self.exec.epilogue().into_iter(),
+                _ => Vec::new().into_iter(),
+            };
+        }
+    }
+}
+
 /// Draws one address from a random reference, honouring its locality knobs.
 fn random_ref_address(r: &CompiledRandomRef, rng: &mut SimRng) -> Addr {
     let hot_bytes = ((r.size as f64 * r.hot_set_fraction) as u64).clamp(8, r.size);
@@ -537,6 +641,53 @@ mod tests {
             .sum();
         assert!(total >= k.iterations_per_core);
         assert!(total < k.iterations_per_core + k.tile_elems);
+    }
+
+    #[test]
+    fn cursor_streams_the_exact_eager_op_sequence() {
+        let c = compiled(ExecMode::Hybrid);
+        for core in 0..2 {
+            let mut eager = KernelExecution::new(&c.kernels[0], CoreId::new(core), 4, 42);
+            let mut expected = eager.prologue();
+            for t in 0..eager.num_tiles() {
+                expected.extend(eager.tile(t));
+            }
+            expected.extend(eager.epilogue());
+
+            let mut cursor = OpCursor::new(&c.kernels[0], CoreId::new(core), 4, 42);
+            assert_eq!(cursor.segment(), Segment::Prologue);
+            assert!(!cursor.is_done());
+            let streamed: Vec<TraceOp> = std::iter::from_fn(|| cursor.next_op()).collect();
+            assert_eq!(streamed, expected, "core {core}");
+            assert!(cursor.is_done());
+            assert_eq!(cursor.segment(), Segment::Done);
+            assert_eq!(cursor.next_op(), None, "exhausted cursor stays exhausted");
+        }
+    }
+
+    #[test]
+    fn cursor_tracks_segment_boundaries() {
+        let c = compiled(ExecMode::Hybrid);
+        let mut cursor = OpCursor::new(&c.kernels[0], CoreId::new(0), 4, 42);
+        assert_eq!(cursor.kernel().name, c.kernels[0].name);
+        let prologue_len = cursor.kernel().buffer_count(); // at least this many ops
+        let _ = prologue_len;
+        let mut seen = std::collections::BTreeSet::new();
+        while let Some(_op) = cursor.next_op() {
+            seen.insert(match cursor.segment() {
+                Segment::Prologue => 0u64,
+                Segment::Tile(t) => 1 + t,
+                Segment::Epilogue => u64::MAX - 1,
+                Segment::Done => u64::MAX,
+            });
+        }
+        // Every tile was visited, book-ended by prologue and epilogue.
+        let exec = KernelExecution::new(&c.kernels[0], CoreId::new(0), 4, 42);
+        assert!(seen.contains(&0));
+        for t in 0..exec.num_tiles() {
+            assert!(seen.contains(&(1 + t)), "tile {t} never streamed");
+        }
+        assert!(seen.contains(&(u64::MAX - 1)));
     }
 
     #[test]
