@@ -1,0 +1,45 @@
+//! Cost of threading real data values through the memory system
+//! (`SystemConfig.track_values`) on the machine-step throughput workload.
+//!
+//! Timing results are bit-identical either way — value tracking is a pure
+//! observer — so this bench is what justifies keeping it off by default:
+//! the README's "Verification" section records the measured overhead.
+
+use bench::{bench_config, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use system::{Machine, MachineKind};
+use workloads::nas::NasBenchmark;
+
+fn bench_value_tracking_overhead(c: &mut Criterion) {
+    let benchmark = NasBenchmark::Cg;
+    let spec = benchmark.spec_scaled(benchmark.recommended_scale() * BENCH_SCALE);
+    let mut group = c.benchmark_group("value_tracking_overhead");
+    group.sample_size(10);
+    for track_values in [false, true] {
+        let mut config = bench_config();
+        config.track_values = track_values;
+        let label = if track_values {
+            "tracked"
+        } else {
+            "timing-only"
+        };
+        let result = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+        println!(
+            "{}/{label}: {} instructions in {} cycles",
+            benchmark.name(),
+            result.instructions,
+            result.execution_time.as_u64(),
+        );
+        group.bench_function(format!("{}/{label}", benchmark.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_value_tracking_overhead);
+criterion_main!(benches);

@@ -149,6 +149,7 @@ impl CoherenceSupport for IdealCoherence {
                     target: GuardedTarget::LocalSpm { buffer },
                     filter_hit: None,
                     spm_virtual_addr: Some(self.diverted_spm_addr(core, buffer, offset)),
+                    gm_write_through: false,
                 }
             }
             Some((owner, buffer)) => {
@@ -171,6 +172,7 @@ impl CoherenceSupport for IdealCoherence {
                     target: GuardedTarget::RemoteSpm { owner },
                     filter_hit: None,
                     spm_virtual_addr: Some(self.diverted_spm_addr(owner, buffer, offset)),
+                    gm_write_through: false,
                 }
             }
             None => {
@@ -193,6 +195,7 @@ impl CoherenceSupport for IdealCoherence {
                     },
                     filter_hit: None,
                     spm_virtual_addr: None,
+                    gm_write_through: false,
                 }
             }
         }
@@ -212,6 +215,14 @@ impl CoherenceSupport for IdealCoherence {
 
     fn adds_hardware(&self) -> bool {
         false
+    }
+
+    fn describe_addr(&self, _core: CoreId, addr: Addr) -> String {
+        let base = self.masks.base(addr);
+        format!(
+            "base {base}: ideal mapping={:?}",
+            self.mappings.get(&base).copied()
+        )
     }
 }
 

@@ -70,6 +70,6 @@ pub use filterdir::FilterDir;
 pub use ideal::IdealCoherence;
 pub use masks::AddressMasks;
 pub use outcome::{GuardedOutcome, GuardedTarget};
-pub use protocol::{CoherenceSupport, ProtocolConfig, SpmCoherenceProtocol};
+pub use protocol::{CoherenceSupport, ProtocolConfig, ProtocolFault, SpmCoherenceProtocol};
 pub use spmdir::SpmDir;
 pub use stats::ProtocolStats;

@@ -42,6 +42,12 @@ pub struct GuardedOutcome {
     /// it can re-check ordering against in-flight accesses and flush the
     /// pipeline on a violation.
     pub spm_virtual_addr: Option<Addr>,
+    /// `true` when a store diverted to the local SPM also updated the
+    /// global-memory copy through the cache hierarchy (the proposed
+    /// protocol does, so a buffer that is never written back still leaves
+    /// memory fresh; the ideal oracle does not).  The verification layer
+    /// mirrors the data movement accordingly.
+    pub gm_write_through: bool,
 }
 
 impl GuardedOutcome {
@@ -72,6 +78,7 @@ mod tests {
             },
             filter_hit: Some(true),
             spm_virtual_addr: None,
+            gm_write_through: false,
         };
         assert!(gm.served_by_global_memory());
         assert!(!gm.diverted_to_spm());
@@ -81,6 +88,7 @@ mod tests {
             target: GuardedTarget::LocalSpm { buffer: 1 },
             filter_hit: None,
             spm_virtual_addr: Some(Addr::new(0x1000)),
+            gm_write_through: false,
         };
         assert!(local.diverted_to_spm());
         assert!(!local.served_by_global_memory());
@@ -92,6 +100,7 @@ mod tests {
             },
             filter_hit: Some(false),
             spm_virtual_addr: Some(Addr::new(0x2000)),
+            gm_write_through: false,
         };
         assert!(remote.diverted_to_spm());
     }

@@ -76,6 +76,27 @@ pub trait CoherenceSupport {
     fn filter_hit_ratio(&self) -> Option<f64> {
         self.stats().filter_hit_ratio()
     }
+
+    /// Renders the protocol state relevant to `addr` (SPMDir mapping, filter
+    /// entry, filterDir entry) for divergence reports.  The default is
+    /// empty; engines with inspectable structures override it.
+    fn describe_addr(&self, _core: CoreId, _addr: Addr) -> String {
+        String::new()
+    }
+}
+
+/// A deliberate protocol defect, injectable for negative verification tests.
+///
+/// The differential oracle harness only proves anything if a *broken*
+/// protocol demonstrably fails it; these knobs break the protocol in the
+/// targeted, paper-relevant ways.  They exist purely for the verification
+/// subsystem and are never enabled by a report binary.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProtocolFault {
+    /// `on_map` skips the filterDir invalidation round of Figure 6a: cores
+    /// that cached "not mapped anywhere" in their filter keep believing it
+    /// and serve guarded accesses from (now stale) global memory.
+    SkipFilterInvalidationOnMap,
 }
 
 /// Sizing of the protocol's hardware structures (Table 1).
@@ -136,6 +157,7 @@ pub struct SpmCoherenceProtocol {
     filters: Vec<Filter>,
     filterdir: FilterDir,
     stats: ProtocolStats,
+    fault: Option<ProtocolFault>,
 }
 
 impl SpmCoherenceProtocol {
@@ -155,7 +177,19 @@ impl SpmCoherenceProtocol {
             filterdir: FilterDir::new(config.filterdir_entries, cores),
             config,
             stats: ProtocolStats::new(),
+            fault: None,
         }
+    }
+
+    /// Injects a deliberate defect (see [`ProtocolFault`]); `None` restores
+    /// correct behaviour.  Verification-harness use only.
+    pub fn inject_fault(&mut self, fault: Option<ProtocolFault>) {
+        self.fault = fault;
+    }
+
+    /// The currently injected fault, if any.
+    pub fn injected_fault(&self) -> Option<ProtocolFault> {
+        self.fault
     }
 
     /// The configuration in use.
@@ -294,6 +328,11 @@ impl CoherenceSupport for SpmCoherenceProtocol {
         let base = self.masks.base(chunk.start());
         self.spmdirs[core.index()].map(buffer, base);
         self.stats.dma_mappings += 1;
+        if self.fault == Some(ProtocolFault::SkipFilterInvalidationOnMap) {
+            // Injected defect: remote filters keep their stale "not mapped
+            // anywhere" entries (see `ProtocolFault`).
+            return Cycle::ZERO;
+        }
         self.invalidate_filters_for(core, base, memsys)
     }
 
@@ -344,6 +383,7 @@ impl CoherenceSupport for SpmCoherenceProtocol {
                 target: GuardedTarget::LocalSpm { buffer },
                 filter_hit: None,
                 spm_virtual_addr: Some(self.diverted_spm_addr(core, buffer, offset)),
+                gm_write_through: is_write,
             };
         }
 
@@ -359,6 +399,7 @@ impl CoherenceSupport for SpmCoherenceProtocol {
                 target: GuardedTarget::GlobalMemory { served_by },
                 filter_hit: Some(true),
                 spm_virtual_addr: None,
+                gm_write_through: false,
             };
         }
 
@@ -386,6 +427,7 @@ impl CoherenceSupport for SpmCoherenceProtocol {
                 target: GuardedTarget::GlobalMemory { served_by },
                 filter_hit: Some(false),
                 spm_virtual_addr: None,
+                gm_write_through: false,
             };
         }
 
@@ -432,6 +474,7 @@ impl CoherenceSupport for SpmCoherenceProtocol {
                     target: GuardedTarget::RemoteSpm { owner },
                     filter_hit: Some(false),
                     spm_virtual_addr: Some(self.diverted_spm_addr(owner, buffer, offset)),
+                    gm_write_through: false,
                 }
             }
             None => {
@@ -453,6 +496,7 @@ impl CoherenceSupport for SpmCoherenceProtocol {
                     target: GuardedTarget::GlobalMemory { served_by },
                     filter_hit: Some(false),
                     spm_virtual_addr: None,
+                    gm_write_through: false,
                 }
             }
         }
@@ -491,6 +535,21 @@ impl CoherenceSupport for SpmCoherenceProtocol {
 
     fn adds_hardware(&self) -> bool {
         true
+    }
+
+    fn describe_addr(&self, core: CoreId, addr: Addr) -> String {
+        let base = self.masks.base(addr);
+        let local = self.spmdirs[core.index()].probe(base);
+        let owner = (0..self.config.cores)
+            .map(CoreId::new)
+            .find(|c| self.spmdirs[c.index()].probe(base).is_some());
+        format!(
+            "base {base}: spmdir[{core}]={local:?} owner={owner:?} \
+             filter[{core}].hit={} filterdir.contains={} filterdir.sharers={:?}",
+            self.filters[core.index()].probe(base),
+            self.filterdir.contains(base),
+            self.filterdir.sharers(base),
+        )
     }
 }
 
@@ -707,6 +766,49 @@ mod tests {
         assert!(reg.contains("cohprot.filterdir.lookups"));
         assert_eq!(reg.count("cohprot.broadcasts"), 1);
         assert!(p.adds_hardware());
+    }
+
+    #[test]
+    fn injected_fault_leaves_stale_filter_entries_behind() {
+        let (mut p, mut m, mut spms) = setup(4);
+        p.configure_buffer_size(ByteSize::kib(4));
+        let addr = Addr::new(0x90_0000);
+        // Core 0 caches "not mapped anywhere" in its filter.
+        let _ = p.guarded_access(CoreId::new(0), addr, false, &mut m, &mut spms);
+        let base = p.masks().base(addr);
+        assert!(p.filter(CoreId::new(0)).probe(base));
+        // With the fault injected, core 1's mapping skips the Figure 6a
+        // invalidation round: the stale entry survives and the guarded
+        // access is wrongly served by global memory.
+        p.inject_fault(Some(ProtocolFault::SkipFilterInvalidationOnMap));
+        assert_eq!(
+            p.injected_fault(),
+            Some(ProtocolFault::SkipFilterInvalidationOnMap)
+        );
+        let lat = p.on_map(CoreId::new(1), 0, AddressRange::new(addr, 4096), &mut m);
+        assert_eq!(lat, Cycle::ZERO);
+        assert!(p.filter(CoreId::new(0)).probe(base), "stale entry survives");
+        let out = p.guarded_access(CoreId::new(0), addr, false, &mut m, &mut spms);
+        assert!(
+            out.served_by_global_memory(),
+            "the defect serves the access from stale GM"
+        );
+        // Divergence-report context names the structures involved.
+        let ctx = p.describe_addr(CoreId::new(0), addr);
+        assert!(ctx.contains("spmdir"), "{ctx}");
+        assert!(ctx.contains("filter"), "{ctx}");
+    }
+
+    #[test]
+    fn local_guarded_store_reports_gm_write_through() {
+        let (mut p, mut m, mut spms) = setup(2);
+        p.configure_buffer_size(ByteSize::kib(4));
+        let addr = Addr::new(0xa0_0000);
+        p.on_map(CoreId::new(0), 0, AddressRange::new(addr, 4096), &mut m);
+        let store = p.guarded_access(CoreId::new(0), addr, true, &mut m, &mut spms);
+        assert!(store.gm_write_through);
+        let load = p.guarded_access(CoreId::new(0), addr, false, &mut m, &mut spms);
+        assert!(!load.gm_write_through);
     }
 
     #[test]

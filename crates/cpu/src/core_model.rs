@@ -96,6 +96,8 @@ pub struct CoreTimingModel {
     /// When parked, the cycle an external event wakes the core.
     parked_until: Option<Cycle>,
     parks: u64,
+    /// Monotone sequence feeding [`CoreTimingModel::next_store_value`].
+    store_seq: u64,
     lsq: LoadStoreQueue,
 }
 
@@ -119,6 +121,7 @@ impl CoreTimingModel {
             outstanding: VecDeque::new(),
             parked_until: None,
             parks: 0,
+            store_seq: 0,
         }
     }
 
@@ -321,6 +324,34 @@ impl CoreTimingModel {
         self.lsq.record(addr, is_store);
     }
 
+    /// Records a retired memory operation together with its data value (the
+    /// LSQ value path used when the system tracks values).
+    pub fn record_in_lsq_valued(&mut self, addr: Addr, is_store: bool, value: Option<u64>) {
+        self.lsq.record_valued(addr, is_store, value);
+    }
+
+    /// The next value this core stores, as a deterministic function of the
+    /// core's store sequence and the target address.
+    ///
+    /// Because a core's op stream is identical under every execution engine
+    /// and NoC model, so is the value of its n-th store — which is what
+    /// lets the differential oracle compare runs across engines bit for
+    /// bit.  The core id is mixed in by the caller owning the per-core
+    /// sequence; here the sequence lives in the core model itself.
+    pub fn next_store_value(&mut self, core_index: usize, addr: Addr) -> u64 {
+        self.store_seq += 1;
+        let mut z = (core_index as u64)
+            .wrapping_shl(48)
+            .wrapping_add(self.store_seq)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ addr.raw().rotate_left(17);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        // Never zero: zero is the "unwritten" background value, and a store
+        // must be distinguishable from no store at all.
+        (z ^ (z >> 31)) | 1
+    }
+
     /// Re-checks ordering after a guarded access was diverted to `spm_addr`
     /// (§3.4).  Charges a pipeline flush if a violation is found and returns
     /// `true` in that case.
@@ -373,6 +404,7 @@ impl CoreTimingModel {
         stats.add_count("cpu.memory_accesses", self.memory_accesses);
         stats.add_count("cpu.flushes", self.flushes);
         stats.add_count("cpu.ifetch_lines", self.ifetches_due);
+        stats.add_count("cpu.lsq.value_forwards", self.lsq.value_forwards());
         stats.add_count("cpu.cycles", self.now.as_u64());
         for p in Phase::ALL {
             stats.add_count(

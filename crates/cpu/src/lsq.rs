@@ -18,6 +18,9 @@ use mem::Addr;
 struct LsqEntry {
     addr: Addr,
     is_store: bool,
+    /// The data value carried by the operation, when the system tracks
+    /// values (a store's written value, a load's observed value).
+    value: Option<u64>,
 }
 
 /// A simplified load/store queue: the window of memory operations that may
@@ -45,6 +48,7 @@ pub struct LoadStoreQueue {
     stores: VecDeque<LsqEntry>,
     rechecks: u64,
     violations: u64,
+    value_forwards: u64,
 }
 
 impl LoadStoreQueue {
@@ -65,12 +69,28 @@ impl LoadStoreQueue {
             stores: VecDeque::with_capacity(sq_capacity),
             rechecks: 0,
             violations: 0,
+            value_forwards: 0,
         }
     }
 
     /// Records a memory operation entering the window, retiring the oldest
     /// one if the corresponding queue is full.
     pub fn record(&mut self, addr: Addr, is_store: bool) {
+        self.record_valued(addr, is_store, None);
+    }
+
+    /// Like [`LoadStoreQueue::record`], carrying the operation's data value
+    /// when the system tracks values.  A load whose observed value equals
+    /// the youngest in-window store to the same address counts as a
+    /// store-to-load forward.
+    pub fn record_valued(&mut self, addr: Addr, is_store: bool, value: Option<u64>) {
+        if !is_store {
+            if let (Some(observed), Some(forwarded)) = (value, self.latest_store_value(addr)) {
+                if observed == forwarded {
+                    self.value_forwards += 1;
+                }
+            }
+        }
         let (queue, cap) = if is_store {
             (&mut self.stores, self.sq_capacity)
         } else {
@@ -79,7 +99,21 @@ impl LoadStoreQueue {
         if queue.len() == cap {
             queue.pop_front();
         }
-        queue.push_back(LsqEntry { addr, is_store });
+        queue.push_back(LsqEntry {
+            addr,
+            is_store,
+            value,
+        });
+    }
+
+    /// The value of the youngest in-window store to `addr`, if it carried
+    /// one (the data a store-to-load forward would supply).
+    pub fn latest_store_value(&self, addr: Addr) -> Option<u64> {
+        self.stores
+            .iter()
+            .rev()
+            .find(|e| e.addr == addr)
+            .and_then(|e| e.value)
     }
 
     /// Re-checks ordering for an access whose effective address just changed
@@ -117,6 +151,12 @@ impl LoadStoreQueue {
     /// Number of ordering violations detected (each costs a pipeline flush).
     pub fn violations(&self) -> u64 {
         self.violations
+    }
+
+    /// Number of loads whose observed value matched an in-window store to
+    /// the same address (only counted when values are tracked).
+    pub fn value_forwards(&self) -> u64 {
+        self.value_forwards
     }
 }
 
@@ -164,5 +204,26 @@ mod tests {
     #[should_panic]
     fn zero_capacity_panics() {
         let _ = LoadStoreQueue::new(0, 4);
+    }
+
+    #[test]
+    fn value_carrying_entries_detect_store_to_load_forwards() {
+        let mut lsq = LoadStoreQueue::new(4, 4);
+        lsq.record_valued(Addr::new(0x100), true, Some(7));
+        lsq.record_valued(Addr::new(0x100), true, Some(9));
+        assert_eq!(lsq.latest_store_value(Addr::new(0x100)), Some(9));
+        assert_eq!(lsq.latest_store_value(Addr::new(0x200)), None);
+        // Load observing the youngest store's value: a forward.
+        lsq.record_valued(Addr::new(0x100), false, Some(9));
+        assert_eq!(lsq.value_forwards(), 1);
+        // Observing something else (e.g. a remote write won the race): not
+        // a forward, and not an error either.
+        lsq.record_valued(Addr::new(0x100), false, Some(1));
+        assert_eq!(lsq.value_forwards(), 1);
+        // Value-less recording (timing-only mode) never counts.
+        lsq.record(Addr::new(0x100), false);
+        assert_eq!(lsq.value_forwards(), 1);
+        lsq.flush();
+        assert_eq!(lsq.latest_store_value(Addr::new(0x100)), None);
     }
 }

@@ -20,6 +20,7 @@ use crate::dram::{DramConfig, DramModel};
 use crate::moesi::{DirectoryEntry, MoesiState};
 use crate::mshr::MshrFile;
 use crate::prefetcher::{PrefetcherConfig, StridePrefetcher};
+use crate::values::{word_index, LineValues, ValueStore, WORDS_PER_LINE};
 
 /// The kind of demand access performed by a core.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -194,6 +195,28 @@ pub struct MemorySystem {
     mshrs: Vec<MshrFile>,
     dram: DramModel,
     counters: HierarchyCounters,
+    /// Optional functional memory: per-L1, per-L2-slice and DRAM value
+    /// copies, moved along the same paths as the modelled transactions.
+    values: Option<HierarchyValues>,
+}
+
+/// The value copies of every level of the hierarchy (one [`ValueStore`] per
+/// L1 data cache, one per L2 slice, one for DRAM).
+#[derive(Debug)]
+struct HierarchyValues {
+    dram: ValueStore,
+    l1d: Vec<ValueStore>,
+    l2: Vec<ValueStore>,
+}
+
+impl HierarchyValues {
+    fn new(cores: usize) -> Self {
+        HierarchyValues {
+            dram: ValueStore::new(),
+            l1d: (0..cores).map(|_| ValueStore::new()).collect(),
+            l2: (0..cores).map(|_| ValueStore::new()).collect(),
+        }
+    }
 }
 
 impl MemorySystem {
@@ -220,7 +243,23 @@ impl MemorySystem {
             dram: DramModel::new(config.dram.clone(), cores),
             config,
             counters: HierarchyCounters::default(),
+            values: None,
         }
+    }
+
+    /// Attaches the functional value stores (see `SystemConfig.track_values`).
+    ///
+    /// Must be called before the first access: the value stores assume every
+    /// resident line was filled while tracking was active.
+    pub fn enable_value_tracking(&mut self) {
+        if self.values.is_none() {
+            self.values = Some(HierarchyValues::new(self.config.cores));
+        }
+    }
+
+    /// Returns `true` when data values are being tracked.
+    pub fn tracks_values(&self) -> bool {
+        self.values.is_some()
     }
 
     /// The configuration in use.
@@ -275,6 +314,118 @@ impl MemorySystem {
             .lookup(line)
             .copied()
             .unwrap_or(MoesiState::Invalid)
+    }
+
+    // ---------------------------------------------------------------- values
+
+    /// The freshest value copy of `line`, following the protocol state: a
+    /// dirty L1 owner first, then the home L2 slice, then DRAM.
+    fn freshest_line(&self, line: LineAddr) -> Option<LineValues> {
+        let vals = self.values.as_ref()?;
+        let home = self.home_slice(line);
+        if let Some(entry) = self.l2[home.index()].lookup(line) {
+            if entry.has_dirty_owner() {
+                if let Some(owner) = entry.owner() {
+                    if let Some(v) = vals.l1d[owner.index()].line(line) {
+                        return Some(*v);
+                    }
+                }
+            }
+            if let Some(v) = vals.l2[home.index()].line(line) {
+                return Some(*v);
+            }
+        }
+        vals.dram.line(line).copied()
+    }
+
+    /// Reads the word containing `addr` as observed by `core`: its own L1
+    /// copy if it holds one, the freshest copy otherwise.
+    ///
+    /// Returns `None` when value tracking is off.  Unwritten memory reads
+    /// as zero.
+    pub fn read_word(&self, core: CoreId, addr: Addr) -> Option<u64> {
+        let vals = self.values.as_ref()?;
+        let line = addr.line();
+        if let Some(v) = vals.l1d[core.index()].line(line) {
+            return Some(v[word_index(addr)]);
+        }
+        Some(self.freshest_line(line).map_or(0, |v| v[word_index(addr)]))
+    }
+
+    /// Writes the word containing `addr` on behalf of a store by `core`,
+    /// into the highest level of the hierarchy holding the line (its L1
+    /// copy normally; the home L2 slice or DRAM if a prefetch-induced
+    /// eviction displaced it within the same access).
+    pub fn write_word(&mut self, core: CoreId, addr: Addr, value: u64) {
+        if self.values.is_none() {
+            return;
+        }
+        let line = addr.line();
+        let home = self.home_slice(line);
+        let in_l1 = self.l1d[core.index()].contains(line);
+        let in_l2 = self.l2[home.index()].contains(line);
+        let l2_seed = if !in_l1 && in_l2 {
+            // Materialising an L2 value line for a partial write must start
+            // from the DRAM copy it currently mirrors, not from zeros.
+            self.values
+                .as_ref()
+                .and_then(|v| v.dram.line(line).copied())
+        } else {
+            None
+        };
+        let vals = self.values.as_mut().expect("checked above");
+        if in_l1 {
+            vals.l1d[core.index()].write_word(addr, value);
+        } else if in_l2 {
+            if !vals.l2[home.index()].has_line(line) {
+                if let Some(seed) = l2_seed {
+                    vals.l2[home.index()].set_line(line, seed);
+                }
+            }
+            vals.l2[home.index()].write_word(addr, value);
+        } else {
+            vals.dram.write_word(addr, value);
+        }
+    }
+
+    /// The merged functional-memory image: DRAM overlaid with every dirty
+    /// cached copy, so each word reads as its freshest value.  `None` when
+    /// value tracking is off.
+    ///
+    /// Scratchpad-resident values are *not* included — they live with the
+    /// system layer, which overlays them on top of this image.
+    pub fn value_image(&self) -> Option<std::collections::BTreeMap<u64, u64>> {
+        let vals = self.values.as_ref()?;
+        let mut image = vals.dram.nonzero_words();
+        let mut overlay = |line: LineAddr, values: &LineValues| {
+            for (w, v) in values.iter().enumerate() {
+                let addr = line.base().raw() + (w as u64) * 8;
+                if *v != 0 {
+                    image.insert(addr, *v);
+                } else {
+                    image.remove(&addr);
+                }
+            }
+        };
+        for (home, l2) in self.l2.iter().enumerate() {
+            for (line, entry) in l2.resident_lines() {
+                if entry.l2_dirty {
+                    if let Some(v) = vals.l2[home].line(line) {
+                        overlay(line, v);
+                    }
+                }
+            }
+        }
+        for (core, l1) in self.l1d.iter().enumerate() {
+            for (line, state) in l1.resident_lines() {
+                if state.is_dirty() {
+                    if let Some(v) = vals.l1d[core].line(line) {
+                        overlay(line, v);
+                    }
+                }
+            }
+        }
+        Some(image)
     }
 
     // ----------------------------------------------------------------- demand
@@ -412,6 +563,7 @@ impl MemorySystem {
         self.counters.l2_accesses += 1;
 
         let l2_hit = self.l2[home.index()].access(line).is_some();
+        let mut fill_values: Option<LineValues> = None;
         let (beyond_l2, served_by) = if l2_hit {
             self.counters.l2_hits += 1;
             let entry = *self.l2[home.index()]
@@ -423,9 +575,17 @@ impl MemorySystem {
                 self.counters.forwards += 1;
                 let fwd = self.noc.send(home_node, owner.node(), class, 8);
                 let data = self.noc.send(owner.node(), core_node, class, LINE_BYTES);
+                if let Some(vals) = &self.values {
+                    // The forwarded data is the owner's copy (captured
+                    // before a write invalidates it below).
+                    fill_values = vals.l1d[owner.index()].line(line).copied();
+                }
                 // Owner's copy: a read leaves it Owned; a write invalidates it.
                 if is_write {
                     self.l1d[owner.index()].invalidate(line);
+                    if let Some(vals) = &mut self.values {
+                        vals.l1d[owner.index()].remove_line(line);
+                    }
                     self.counters.invalidations += 1;
                 } else if let Some(s) = self.l1d[owner.index()].lookup_mut(line) {
                     *s = MoesiState::Owned;
@@ -444,12 +604,22 @@ impl MemorySystem {
                         }
                     }
                 }
+                if let Some(vals) = &self.values {
+                    // An unmaterialised L2 value line still mirrors DRAM.
+                    fill_values = vals.l2[home.index()]
+                        .line(line)
+                        .or_else(|| vals.dram.line(line))
+                        .copied();
+                }
                 let data = self.noc.send(home_node, core_node, class, LINE_BYTES);
                 (data, ServedBy::L2)
             }
         } else {
             // L2 miss: fetch the line from memory into the home slice.
             let dram_latency = self.dram_fetch(home, line, class);
+            if let Some(vals) = &self.values {
+                fill_values = vals.dram.line(line).copied();
+            }
             let data = self.noc.send(home_node, core_node, class, LINE_BYTES);
             (dram_latency + data, ServedBy::Dram)
         };
@@ -486,7 +656,7 @@ impl MemorySystem {
         }
 
         // Fill the L1, handling the victim.
-        self.fill_l1(core, line, new_state, class);
+        self.fill_l1(core, line, new_state, class, fill_values);
 
         (
             request + l2_latency + beyond_l2 + invalidation_latency,
@@ -527,6 +697,12 @@ impl MemorySystem {
         let sharers: Vec<CoreId> = entry.sharers_except(requestor).collect();
         for sharer in sharers {
             self.l1d[sharer.index()].invalidate(line);
+            if let Some(vals) = &mut self.values {
+                // The requestor's own copy (about to be written) is at least
+                // as fresh as any dropped Owned copy, so no write-back of
+                // values is needed here.
+                vals.l1d[sharer.index()].remove_line(line);
+            }
             self.counters.invalidations += 1;
             let inv = self
                 .noc
@@ -546,10 +722,23 @@ impl MemorySystem {
         worst
     }
 
-    /// Inserts a line into the requestor's L1, writing back the victim if dirty.
-    fn fill_l1(&mut self, core: CoreId, line: LineAddr, state: MoesiState, _class: MessageClass) {
+    /// Inserts a line into the requestor's L1, writing back the victim if
+    /// dirty.  `values` is the data travelling with the fill when value
+    /// tracking is on (`None` also for sources that still mirror DRAM).
+    fn fill_l1(
+        &mut self,
+        core: CoreId,
+        line: LineAddr,
+        state: MoesiState,
+        _class: MessageClass,
+        values: Option<LineValues>,
+    ) {
         if let Some(victim) = self.l1d[core.index()].insert(line, state) {
             let victim_home = self.home_slice(victim.line);
+            let victim_values = self
+                .values
+                .as_mut()
+                .and_then(|v| v.l1d[core.index()].remove_line(victim.line));
             if victim.state.is_dirty() {
                 // Write the dirty victim back to its home L2 slice.
                 self.counters.l1_writebacks += 1;
@@ -559,14 +748,30 @@ impl MemorySystem {
                     MessageClass::WbRepl,
                     LINE_BYTES,
                 );
-                if let Some(entry) = self.l2[victim_home.index()].lookup_mut(victim.line) {
-                    entry.remove_sharer(core);
-                    entry.l2_dirty = true;
+                let l2_holds =
+                    if let Some(entry) = self.l2[victim_home.index()].lookup_mut(victim.line) {
+                        entry.remove_sharer(core);
+                        entry.l2_dirty = true;
+                        true
+                    } else {
+                        false
+                    };
+                if let (Some(vals), Some(v)) = (&mut self.values, victim_values) {
+                    if l2_holds {
+                        vals.l2[victim_home.index()].set_line(victim.line, v);
+                    } else {
+                        // Defensive: a write-back with no L2 entry lands in
+                        // memory so the data is never lost.
+                        vals.dram.set_line(victim.line, v);
+                    }
                 }
             } else if let Some(entry) = self.l2[victim_home.index()].lookup_mut(victim.line) {
                 // Clean eviction: silently drop the sharer.
                 entry.remove_sharer(core);
             }
+        }
+        if let Some(vals) = &mut self.values {
+            vals.l1d[core.index()].copy_line(line, values);
         }
     }
 
@@ -613,10 +818,18 @@ impl MemorySystem {
             self.counters.l2_evictions += 1;
             // Back-invalidate every L1 holding the victim (inclusive L2).
             let mut any_dirty_l1 = false;
+            let mut dirty_l1_values: Option<LineValues> = None;
             let sharers: Vec<CoreId> = victim.state.sharers().collect();
             for sharer in sharers {
+                let dropped_values = self
+                    .values
+                    .as_mut()
+                    .and_then(|v| v.l1d[sharer.index()].remove_line(victim.line));
                 if let Some(state) = self.l1d[sharer.index()].invalidate(victim.line) {
-                    any_dirty_l1 |= state.is_dirty();
+                    if state.is_dirty() {
+                        any_dirty_l1 = true;
+                        dirty_l1_values = dropped_values.or(dirty_l1_values);
+                    }
                 }
                 self.counters.invalidations += 1;
                 let _ = self
@@ -626,6 +839,10 @@ impl MemorySystem {
                     .noc
                     .send(sharer.node(), home.node(), MessageClass::WbRepl, 8);
             }
+            let victim_l2_values = self
+                .values
+                .as_mut()
+                .and_then(|v| v.l2[home.index()].remove_line(victim.line));
             if victim.state.l2_dirty || any_dirty_l1 {
                 // Write the dirty victim back to memory.
                 self.counters.dram_accesses += 1;
@@ -634,7 +851,18 @@ impl MemorySystem {
                     .noc
                     .send(home.node(), mem_node, MessageClass::WbRepl, LINE_BYTES);
                 let _ = self.dram.write(victim.line);
+                if let Some(vals) = &mut self.values {
+                    // The freshest copy wins: a dirty L1 over the slice copy.
+                    if let Some(v) = dirty_l1_values.or(victim_l2_values) {
+                        vals.dram.set_line(victim.line, v);
+                    }
+                }
             }
+        }
+        if let Some(vals) = &mut self.values {
+            // A freshly allocated slice line mirrors memory.
+            let from_dram = vals.dram.line(line).copied();
+            vals.l2[home.index()].copy_line(line, from_dram);
         }
     }
 
@@ -655,24 +883,52 @@ impl MemorySystem {
         } else {
             self.counters.l2_hits += 1;
         }
-        let _ = self
-            .noc
-            .send(home.node(), core.node(), MessageClass::Read, LINE_BYTES);
-        let state = {
-            let entry = self.l2[home.index()]
-                .lookup(line)
-                .copied()
-                .unwrap_or_default();
-            if entry.is_unshared() {
-                MoesiState::Exclusive
-            } else {
-                MoesiState::Shared
+        let entry = self.l2[home.index()]
+            .lookup(line)
+            .copied()
+            .unwrap_or_default();
+        let mut fill_values: Option<LineValues> = None;
+        if entry.has_dirty_owner() && entry.owner() != Some(core) {
+            // A prefetch of a line that is dirty in another L1 gets the data
+            // forwarded from the owner, which is downgraded to Owned so its
+            // later writes go through an upgrade (and invalidate this copy)
+            // instead of happening silently next to a stale prefetched line.
+            let owner = entry.owner().expect("dirty owner");
+            self.counters.forwards += 1;
+            let _ = self
+                .noc
+                .send(home.node(), owner.node(), MessageClass::Read, 8);
+            let _ = self
+                .noc
+                .send(owner.node(), core.node(), MessageClass::Read, LINE_BYTES);
+            if let Some(s) = self.l1d[owner.index()].lookup_mut(line) {
+                if *s == MoesiState::Modified {
+                    *s = MoesiState::Owned;
+                }
             }
+            if let Some(vals) = &self.values {
+                fill_values = vals.l1d[owner.index()].line(line).copied();
+            }
+        } else {
+            let _ = self
+                .noc
+                .send(home.node(), core.node(), MessageClass::Read, LINE_BYTES);
+            if let Some(vals) = &self.values {
+                fill_values = vals.l2[home.index()]
+                    .line(line)
+                    .or_else(|| vals.dram.line(line))
+                    .copied();
+            }
+        }
+        let state = if entry.is_unshared() {
+            MoesiState::Exclusive
+        } else {
+            MoesiState::Shared
         };
         if let Some(entry) = self.l2[home.index()].lookup_mut(line) {
             entry.add_sharer(core, state);
         }
-        self.fill_l1(core, line, state, MessageClass::Read);
+        self.fill_l1(core, line, state, MessageClass::Read, fill_values);
     }
 
     fn dram_prefetch_fill(&mut self, home: CoreId, line: LineAddr) {
@@ -702,6 +958,21 @@ impl MemorySystem {
     /// in the caches and reads the freshest copy from there; otherwise it
     /// reads main memory.  Cache state is not disturbed.
     pub fn dma_get_line(&mut self, requestor: CoreId, line: LineAddr) -> Cycle {
+        self.dma_get_line_valued(requestor, line).0
+    }
+
+    /// Like [`MemorySystem::dma_get_line`], also returning the line's data.
+    ///
+    /// The values come from the same place the modelled bus request read —
+    /// the dirty L1 owner, the home L2 slice, or memory — *not* from a
+    /// freshest-copy search, so a snooping bug returns stale values that
+    /// the verification oracle can catch.  `None` when value tracking is
+    /// off; unmaterialised source lines return zeros.
+    pub fn dma_get_line_valued(
+        &mut self,
+        requestor: CoreId,
+        line: LineAddr,
+    ) -> (Cycle, Option<LineValues>) {
         self.counters.dma_line_reads += 1;
         let home = self.home_slice(line);
         let request = self
@@ -711,11 +982,20 @@ impl MemorySystem {
         let l2_latency = self.config.l2_slice.latency;
 
         let entry = self.l2[home.index()].lookup(line).copied();
+        let mut read_values: Option<LineValues> = None;
         let beyond = match entry {
             Some(e) if e.has_dirty_owner() => {
                 self.counters.l2_hits += 1;
                 self.counters.forwards += 1;
                 let owner = e.owner().expect("dirty owner");
+                if let Some(vals) = &self.values {
+                    read_values = Some(
+                        vals.l1d[owner.index()]
+                            .line(line)
+                            .copied()
+                            .unwrap_or_default(),
+                    );
+                }
                 let fwd = self
                     .noc
                     .send(home.node(), owner.node(), MessageClass::Dma, 8);
@@ -729,11 +1009,23 @@ impl MemorySystem {
             }
             Some(_) => {
                 self.counters.l2_hits += 1;
+                if let Some(vals) = &self.values {
+                    read_values = Some(
+                        vals.l2[home.index()]
+                            .line(line)
+                            .or_else(|| vals.dram.line(line))
+                            .copied()
+                            .unwrap_or_default(),
+                    );
+                }
                 self.noc
                     .send(home.node(), requestor.node(), MessageClass::Dma, LINE_BYTES)
             }
             None => {
                 self.counters.dram_accesses += 1;
+                if let Some(vals) = &self.values {
+                    read_values = Some(vals.dram.line(line).copied().unwrap_or_default());
+                }
                 let mem_node = self.dram.node_for(line);
                 let to_mem = self.noc.send(home.node(), mem_node, MessageClass::Dma, 8);
                 let dram = self.dram.access(line);
@@ -743,7 +1035,7 @@ impl MemorySystem {
                 to_mem + dram + data
             }
         };
-        request + l2_latency + beyond
+        (request + l2_latency + beyond, read_values)
     }
 
     /// Writes one line on behalf of a `dma-put`.
@@ -751,6 +1043,21 @@ impl MemorySystem {
     /// The data is copied from the SPM to main memory and the line is
     /// invalidated in the whole cache hierarchy (§2.1 of the paper).
     pub fn dma_put_line(&mut self, requestor: CoreId, line: LineAddr) -> Cycle {
+        self.dma_put_line_valued(requestor, line, None)
+    }
+
+    /// Like [`MemorySystem::dma_put_line`], also carrying the written data.
+    ///
+    /// `words` is the per-word write mask of the drained chunk (`None`
+    /// entries are words outside the chunk or never staged, which must not
+    /// clobber memory).  Every cached value copy of the line is dropped
+    /// along with the tag invalidations.
+    pub fn dma_put_line_valued(
+        &mut self,
+        requestor: CoreId,
+        line: LineAddr,
+        words: Option<&[Option<u64>; WORDS_PER_LINE]>,
+    ) -> Cycle {
         self.counters.dma_line_writes += 1;
         let home = self.home_slice(line);
         let data = self
@@ -759,11 +1066,23 @@ impl MemorySystem {
         self.counters.l2_accesses += 1;
         let l2_latency = self.config.l2_slice.latency;
 
+        // A partial-line put merges with the current line contents: flush
+        // the freshest cached copy to memory before dropping it, so the
+        // words outside the chunk survive the invalidations below.
+        if let Some(v) = self.freshest_line(line) {
+            if let Some(vals) = &mut self.values {
+                vals.dram.set_line(line, v);
+            }
+        }
+
         // Invalidate every cached copy.
         if let Some(entry) = self.l2[home.index()].lookup(line).copied() {
             let sharers: Vec<CoreId> = entry.sharers().collect();
             for sharer in sharers {
                 self.l1d[sharer.index()].invalidate(line);
+                if let Some(vals) = &mut self.values {
+                    vals.l1d[sharer.index()].remove_line(line);
+                }
                 self.counters.invalidations += 1;
                 let _ = self
                     .noc
@@ -773,10 +1092,20 @@ impl MemorySystem {
                     .send(sharer.node(), home.node(), MessageClass::Dma, 8);
             }
             self.l2[home.index()].invalidate(line);
+            if let Some(vals) = &mut self.values {
+                vals.l2[home.index()].remove_line(line);
+            }
         }
 
         // Write the line to memory.
         self.counters.dram_accesses += 1;
+        if let (Some(vals), Some(words)) = (&mut self.values, words) {
+            for (w, value) in words.iter().enumerate() {
+                if let Some(value) = value {
+                    vals.dram.write_word(line.base() + (w as u64) * 8, *value);
+                }
+            }
+        }
         let mem_node = self.dram.node_for(line);
         let to_mem = self
             .noc
@@ -1014,5 +1343,96 @@ mod tests {
             .map(|i| m.home_slice(LineAddr::new(i)).index())
             .collect();
         assert_eq!(homes, vec![0, 1, 2, 3, 0, 1, 2, 3]);
+    }
+
+    fn tracked_system() -> MemorySystem {
+        let mut m = small_system();
+        m.enable_value_tracking();
+        m
+    }
+
+    #[test]
+    fn value_tracking_is_off_by_default() {
+        let m = small_system();
+        assert!(!m.tracks_values());
+        assert_eq!(m.read_word(CoreId::new(0), Addr::new(0x1000)), None);
+        assert_eq!(m.value_image(), None);
+    }
+
+    #[test]
+    fn stored_value_is_read_back_by_every_core() {
+        let mut m = tracked_system();
+        let a = Addr::new(0x40_0008);
+        let _ = m.access(CoreId::new(0), a, AccessKind::Store, MessageClass::Write, 1);
+        m.write_word(CoreId::new(0), a, 0xdead);
+        assert_eq!(m.read_word(CoreId::new(0), a), Some(0xdead));
+        // A remote core's load is served by a forward of the dirty copy.
+        let _ = m.access(CoreId::new(2), a, AccessKind::Load, MessageClass::Read, 2);
+        assert_eq!(m.read_word(CoreId::new(2), a), Some(0xdead));
+        // Unwritten neighbours read zero.
+        assert_eq!(m.read_word(CoreId::new(1), a + 8), Some(0));
+    }
+
+    #[test]
+    fn dma_get_reads_the_dirty_cached_value() {
+        let mut m = tracked_system();
+        let a = Addr::new(0x50_0000);
+        let _ = m.access(CoreId::new(3), a, AccessKind::Store, MessageClass::Write, 1);
+        m.write_word(CoreId::new(3), a, 77);
+        let (_, vals) = m.dma_get_line_valued(CoreId::new(0), a.line());
+        assert_eq!(
+            vals.expect("tracking on")[0],
+            77,
+            "dma-get must snoop the dirty copy"
+        );
+    }
+
+    #[test]
+    fn dma_put_updates_memory_and_drops_cached_values() {
+        let mut m = tracked_system();
+        let a = Addr::new(0x60_0000);
+        let _ = m.access(CoreId::new(1), a, AccessKind::Store, MessageClass::Write, 1);
+        m.write_word(CoreId::new(1), a, 5);
+        let mut words = [None; WORDS_PER_LINE];
+        words[0] = Some(42);
+        let _ = m.dma_put_line_valued(CoreId::new(0), a.line(), Some(&words));
+        assert!(!m.is_cached(a.line()));
+        assert_eq!(m.read_word(CoreId::new(1), a), Some(42));
+        assert_eq!(
+            m.read_word(CoreId::new(1), a + 8),
+            Some(0),
+            "masked words untouched"
+        );
+    }
+
+    #[test]
+    fn value_image_reflects_dirty_copies() {
+        let mut m = tracked_system();
+        let a = Addr::new(0x70_0000);
+        let _ = m.access(CoreId::new(0), a, AccessKind::Store, MessageClass::Write, 1);
+        m.write_word(CoreId::new(0), a, 9);
+        let image = m.value_image().expect("tracking on");
+        assert_eq!(image.get(&a.raw()).copied(), Some(9));
+        assert!(
+            !image.contains_key(&(a.raw() + 8)),
+            "zero words stay sparse"
+        );
+    }
+
+    #[test]
+    fn values_survive_l1_eviction_chains() {
+        let mut m = tracked_system();
+        // Write one word per line across far more lines than the small L1
+        // holds (128 lines), forcing write-backs through L2 and DRAM.
+        let lines = 4096u64;
+        for i in 0..lines {
+            let a = Addr::new(0x100_0000 + i * 64);
+            let _ = m.access(CoreId::new(0), a, AccessKind::Store, MessageClass::Write, 1);
+            m.write_word(CoreId::new(0), a, i + 1);
+        }
+        for i in (0..lines).step_by(97) {
+            let a = Addr::new(0x100_0000 + i * 64);
+            assert_eq!(m.read_word(CoreId::new(1), a), Some(i + 1), "line {i}");
+        }
     }
 }

@@ -32,6 +32,7 @@ pub mod moesi;
 pub mod mshr;
 pub mod plru;
 pub mod prefetcher;
+pub mod values;
 
 pub use addr::{Addr, AddressRange, LineAddr, LINE_BYTES};
 pub use cache::{CacheArray, CacheConfig, EvictedLine};
@@ -40,3 +41,4 @@ pub use hierarchy::{AccessKind, MemAccessResult, MemorySystem, MemorySystemConfi
 pub use moesi::{DirectoryEntry, MoesiState};
 pub use mshr::MshrFile;
 pub use prefetcher::{PrefetcherConfig, StridePrefetcher};
+pub use values::{word_addr, word_index, LineValues, ValueStore, WORDS_PER_LINE};

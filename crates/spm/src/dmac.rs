@@ -15,7 +15,7 @@ use std::collections::HashMap;
 use serde::{Deserialize, Serialize};
 use simkernel::{CoreId, Cycle, StatRegistry};
 
-use mem::{AddressRange, MemorySystem};
+use mem::{AddressRange, MemorySystem, ValueStore};
 
 /// Tag used by the runtime library to name a transfer for `dma-synch`.
 pub type DmaTag = u32;
@@ -113,30 +113,39 @@ impl Dmac {
     ///
     /// Returns the cycle at which the transfer completes.  The transfer is
     /// also remembered under `tag` until a matching [`Dmac::dma_synch`].
+    ///
+    /// When the memory system tracks values and `spm_values` is given (the
+    /// SPM's functional contents, keyed by global-memory address), the
+    /// transferred words are copied into it from wherever the bus request
+    /// read them — a dirty cache, the L2, or memory.
     pub fn dma_get(
         &mut self,
         tag: DmaTag,
         range: AddressRange,
         now: Cycle,
         memsys: &mut MemorySystem,
+        spm_values: Option<&mut ValueStore>,
     ) -> Cycle {
         self.gets += 1;
-        self.transfer(tag, range, DmaDirection::Get, now, memsys)
+        self.transfer(tag, range, DmaDirection::Get, now, memsys, spm_values)
     }
 
     /// Issues a `dma-put`: copies `range` (as staged in the SPM) back to
     /// global memory, invalidating stale cached copies.
     ///
-    /// Returns the cycle at which the transfer completes.
+    /// Returns the cycle at which the transfer completes.  With value
+    /// tracking, the staged words of `range` present in `spm_values` are
+    /// written back to memory.
     pub fn dma_put(
         &mut self,
         tag: DmaTag,
         range: AddressRange,
         now: Cycle,
         memsys: &mut MemorySystem,
+        spm_values: Option<&mut ValueStore>,
     ) -> Cycle {
         self.puts += 1;
-        self.transfer(tag, range, DmaDirection::Put, now, memsys)
+        self.transfer(tag, range, DmaDirection::Put, now, memsys, spm_values)
     }
 
     fn transfer(
@@ -146,6 +155,7 @@ impl Dmac {
         direction: DmaDirection,
         now: Cycle,
         memsys: &mut MemorySystem,
+        mut spm_values: Option<&mut ValueStore>,
     ) -> Cycle {
         self.commands += 1;
         if self.pending.len() >= self.config.command_queue_entries {
@@ -162,8 +172,20 @@ impl Dmac {
         let mut completion = start;
         for line in range.lines() {
             let latency = match direction {
-                DmaDirection::Get => memsys.dma_get_line(self.core, line),
-                DmaDirection::Put => memsys.dma_put_line(self.core, line),
+                DmaDirection::Get => {
+                    let (latency, values) = memsys.dma_get_line_valued(self.core, line);
+                    if let (Some(store), Some(values)) = (spm_values.as_deref_mut(), values) {
+                        // Only the words inside the chunk are staged: a
+                        // partial first/last line must not clobber the
+                        // neighbouring data's slots.
+                        store.fill_line_masked(line, &values, &range);
+                    }
+                    latency
+                }
+                DmaDirection::Put => {
+                    let words = spm_values.as_deref().map(|s| s.masked_line(line, &range));
+                    memsys.dma_put_line_valued(self.core, line, words.as_ref())
+                }
             };
             completion = completion.max(issue + latency);
             issue += self.config.issue_gap;
@@ -272,7 +294,7 @@ mod tests {
         let mut m = memsys();
         let mut d = dmac();
         let range = AddressRange::new(Addr::new(0x10_0000), 1024);
-        let done = d.dma_get(1, range, Cycle::ZERO, &mut m);
+        let done = d.dma_get(1, range, Cycle::ZERO, &mut m, None);
         assert!(done > Cycle::ZERO);
         assert_eq!(d.lines_transferred(), 16);
         assert_eq!(d.bytes_transferred(), 1024);
@@ -295,7 +317,7 @@ mod tests {
         );
         assert!(m.is_cached(addr.line()));
         let range = AddressRange::new(addr, 64);
-        let done = d.dma_put(2, range, Cycle::new(100), &mut m);
+        let done = d.dma_put(2, range, Cycle::new(100), &mut m, None);
         assert!(done > Cycle::new(100));
         assert!(!m.is_cached(addr.line()));
         assert_eq!(d.commands(), 1);
@@ -307,8 +329,8 @@ mod tests {
         let mut d = dmac();
         let r1 = AddressRange::new(Addr::new(0x30_0000), 512);
         let r2 = AddressRange::new(Addr::new(0x40_0000), 512);
-        let c1 = d.dma_get(1, r1, Cycle::ZERO, &mut m);
-        let c2 = d.dma_get(2, r2, Cycle::ZERO, &mut m);
+        let c1 = d.dma_get(1, r1, Cycle::ZERO, &mut m, None);
+        let c2 = d.dma_get(2, r2, Cycle::ZERO, &mut m, None);
         assert_eq!(d.outstanding(), 2);
         let done = d.dma_synch(&[1], Cycle::ZERO);
         assert_eq!(done, c1);
@@ -325,9 +347,9 @@ mod tests {
         let mut m = memsys();
         let mut d = dmac();
         let r = AddressRange::new(Addr::new(0x50_0000), 2048);
-        let c1 = d.dma_get(1, r, Cycle::ZERO, &mut m);
+        let c1 = d.dma_get(1, r, Cycle::ZERO, &mut m, None);
         let r2 = AddressRange::new(Addr::new(0x60_0000), 2048);
-        let c2 = d.dma_get(2, r2, Cycle::ZERO, &mut m);
+        let c2 = d.dma_get(2, r2, Cycle::ZERO, &mut m, None);
         assert!(c2 > c1, "second command must finish after the first");
     }
 
@@ -340,12 +362,14 @@ mod tests {
             AddressRange::new(Addr::new(0x1000), 64),
             Cycle::ZERO,
             &mut m,
+            None,
         );
         let c2 = d.dma_get(
             7,
             AddressRange::new(Addr::new(0x2000), 64),
             Cycle::ZERO,
             &mut m,
+            None,
         );
         let done = d.dma_synch(&[7], Cycle::ZERO);
         assert_eq!(done, c1.max(c2));
@@ -367,9 +391,62 @@ mod tests {
                 AddressRange::new(Addr::new(0x1000 * (tag as u64 + 1)), 256),
                 Cycle::ZERO,
                 &mut m,
+                None,
             );
         }
         assert!(d.queue_full_stalls() > 0);
+    }
+
+    #[test]
+    fn get_then_put_round_trips_values_through_the_spm() {
+        let mut m = memsys();
+        m.enable_value_tracking();
+        let mut d = dmac();
+        let addr = Addr::new(0x70_0000);
+        // Core 2 dirties the line in its cache; the get must snoop it.
+        let _ = m.access(
+            CoreId::new(2),
+            addr,
+            mem::AccessKind::Store,
+            MessageClass::Write,
+            1,
+        );
+        m.write_word(CoreId::new(2), addr, 1234);
+        let mut spm = ValueStore::new();
+        let range = AddressRange::new(addr, 128);
+        let _ = d.dma_get(1, range, Cycle::ZERO, &mut m, Some(&mut spm));
+        assert_eq!(spm.read_word(addr), 1234, "get snooped the dirty copy");
+        // The SPM copy is modified locally, then drained back to memory.
+        spm.write_word(addr, 5678);
+        let _ = d.dma_put(2, range, Cycle::ZERO, &mut m, Some(&mut spm));
+        assert_eq!(m.read_word(CoreId::new(0), addr), Some(5678));
+    }
+
+    #[test]
+    fn partial_line_transfers_do_not_clobber_neighbours() {
+        let mut m = memsys();
+        m.enable_value_tracking();
+        let mut d = dmac();
+        // The chunk covers the middle of a line; its neighbours hold data.
+        let line_base = Addr::new(0x80_0000);
+        let _ = m.access(
+            CoreId::new(1),
+            line_base,
+            mem::AccessKind::Store,
+            MessageClass::Write,
+            1,
+        );
+        m.write_word(CoreId::new(1), line_base, 11);
+        m.write_word(CoreId::new(1), line_base + 56, 99);
+        let chunk = AddressRange::new(line_base + 16, 16);
+        let mut spm = ValueStore::new();
+        let _ = d.dma_get(1, chunk, Cycle::ZERO, &mut m, Some(&mut spm));
+        assert_eq!(spm.read_word(line_base), 0, "outside the chunk: not staged");
+        spm.write_word(line_base + 16, 7);
+        let _ = d.dma_put(2, chunk, Cycle::ZERO, &mut m, Some(&mut spm));
+        assert_eq!(m.read_word(CoreId::new(0), line_base), Some(11));
+        assert_eq!(m.read_word(CoreId::new(0), line_base + 16), Some(7));
+        assert_eq!(m.read_word(CoreId::new(0), line_base + 56), Some(99));
     }
 
     #[test]
@@ -381,6 +458,7 @@ mod tests {
             AddressRange::new(Addr::new(0x1000), 128),
             Cycle::ZERO,
             &mut m,
+            None,
         );
         let mut stats = StatRegistry::new();
         d.export_stats(&mut stats);
@@ -400,6 +478,7 @@ mod tests {
                 AddressRange::new(Addr::new(0x1000 * (tag as u64 + 1)), 64),
                 Cycle::ZERO,
                 &mut m,
+                None,
             );
         }
         assert_eq!(d.queue_occupancy_max(), 3);
@@ -413,6 +492,7 @@ mod tests {
             AddressRange::new(Addr::new(0x9000), 64),
             Cycle::ZERO,
             &mut m,
+            None,
         );
         assert_eq!(d.queue_occupancy_max(), 3);
 
@@ -425,6 +505,7 @@ mod tests {
             AddressRange::new(Addr::new(0x2000), 64),
             Cycle::ZERO,
             &mut m,
+            None,
         );
         other.export_stats(&mut stats);
         assert_eq!(stats.count("dmac.queue_occupancy_max"), 3);

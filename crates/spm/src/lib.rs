@@ -28,7 +28,7 @@
 //!
 //! // Stage 1 KiB of global memory into the local SPM.
 //! let range = AddressRange::new(Addr::new(0x10_0000), 1024);
-//! dmac.dma_get(1, range, Cycle::ZERO, &mut memsys);
+//! dmac.dma_get(1, range, Cycle::ZERO, &mut memsys, None);
 //! let done = dmac.dma_synch(&[1], Cycle::ZERO);
 //! assert!(done > Cycle::ZERO);
 //! let _ = (map, Scratchpad::new(SpmConfig::isca2015()));

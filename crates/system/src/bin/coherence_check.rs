@@ -1,0 +1,368 @@
+//! Differential coherence checking: litmus catalogue + seeded fuzz sweeps
+//! across machine kinds × NoC models × execution engines.
+//!
+//! ```text
+//! coherence_check [--cores N] [--seeds N] [--seed-base S]
+//!                 [--machines LIST] [--engines LIST] [--noc-models LIST]
+//!                 [--litmus-only | --fuzz-only]
+//!                 [--fuzz-rounds N] [--fuzz-ops N] [--jobs N] [--quiet]
+//!                 [--fault skip-filter-invalidation]
+//!                 [--write-golden DIR]
+//! ```
+//!
+//! Every point runs a program (a directed litmus case or a seeded random
+//! program) on a small machine with deliberately tiny filter/filterDir
+//! structures, with value tracking on and the flat sequentially-consistent
+//! reference memory armed: any load or DMA-read observing a value the
+//! reference disagrees with is a divergence, printed with the op index,
+//! core, address and the protocol state of the address, plus the exact
+//! command line that reproduces it.
+//!
+//! `--fault` inverts the game: it injects the named protocol defect and
+//! *requires* the oracle to catch it (exit 0 iff a divergence is found) —
+//! the proof that the harness can fail.
+
+use std::process::ExitCode;
+
+use campaign::Executor;
+use system::cli::parse_list;
+use system::verify::verification_config;
+use system::{Machine, MachineKind, SystemConfig};
+use workloads::litmus::{catalogue, random_program, FuzzParams, LitmusCase};
+use workloads::{ExecMode, RawKernel};
+
+#[derive(Debug, Clone)]
+enum Program {
+    Litmus(&'static str),
+    Fuzz(u64),
+}
+
+#[derive(Debug, Clone)]
+struct Point {
+    kind: MachineKind,
+    engine: system::ExecutionEngine,
+    noc: noc::NocModel,
+    program: Program,
+}
+
+#[derive(Debug, Clone)]
+struct Options {
+    cores: usize,
+    seeds: u64,
+    seed_base: u64,
+    machines: Vec<MachineKind>,
+    engines: Vec<system::ExecutionEngine>,
+    noc_models: Vec<noc::NocModel>,
+    litmus: bool,
+    fuzz: bool,
+    fuzz_rounds: usize,
+    fuzz_ops: usize,
+    jobs: usize,
+    quiet: bool,
+    fault: Option<spm_coherence::ProtocolFault>,
+    write_golden: Option<std::path::PathBuf>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            cores: 4,
+            seeds: 20,
+            seed_base: 0,
+            machines: MachineKind::ALL.to_vec(),
+            engines: system::ExecutionEngine::ALL.to_vec(),
+            noc_models: vec![noc::NocModel::Analytic, noc::NocModel::DiscreteEvent],
+            litmus: true,
+            fuzz: true,
+            fuzz_rounds: 4,
+            fuzz_ops: 24,
+            jobs: 0,
+            quiet: false,
+            fault: None,
+            write_golden: None,
+        }
+    }
+}
+
+fn parse_options() -> Result<Options, String> {
+    let mut o = Options::default();
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| args.next().ok_or(format!("{flag} needs a value"));
+        match arg.as_str() {
+            "--cores" => o.cores = value("--cores")?.parse().map_err(|e| format!("{e}"))?,
+            "--seeds" => o.seeds = value("--seeds")?.parse().map_err(|e| format!("{e}"))?,
+            "--seed-base" => {
+                o.seed_base = value("--seed-base")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--machines" => {
+                let list = value("--machines")?;
+                o.machines = list
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| MachineKind::from_id(s.trim()).ok_or(format!("unknown machine '{s}'")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--engines" => {
+                o.engines = parse_list::<String>("--engines", &value("--engines")?)?
+                    .iter()
+                    .map(|s| {
+                        system::ExecutionEngine::from_id(s).ok_or(format!("unknown engine '{s}'"))
+                    })
+                    .collect::<Result<_, _>>()?;
+            }
+            "--noc-models" => {
+                o.noc_models = parse_list::<String>("--noc-models", &value("--noc-models")?)?
+                    .iter()
+                    .map(|s| noc::NocModel::from_id(s).ok_or(format!("unknown NoC model '{s}'")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--litmus-only" => o.fuzz = false,
+            "--fuzz-only" => o.litmus = false,
+            "--fuzz-rounds" => {
+                o.fuzz_rounds = value("--fuzz-rounds")?
+                    .parse()
+                    .map_err(|e| format!("{e}"))?
+            }
+            "--fuzz-ops" => {
+                o.fuzz_ops = value("--fuzz-ops")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--jobs" => o.jobs = value("--jobs")?.parse().map_err(|e| format!("{e}"))?,
+            "--quiet" => o.quiet = true,
+            "--fault" => match value("--fault")?.as_str() {
+                "skip-filter-invalidation" => {
+                    o.fault = Some(spm_coherence::ProtocolFault::SkipFilterInvalidationOnMap)
+                }
+                other => return Err(format!("unknown fault '{other}'")),
+            },
+            "--write-golden" => o.write_golden = Some(value("--write-golden")?.into()),
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    if o.cores < 2 && o.litmus {
+        return Err("litmus programs need --cores >= 2".into());
+    }
+    Ok(o)
+}
+
+fn config_for(
+    o: &Options,
+    kind: MachineKind,
+    engine: system::ExecutionEngine,
+    model: noc::NocModel,
+) -> SystemConfig {
+    let _ = kind;
+    let mut cfg = verification_config(o.cores);
+    cfg.engine = engine;
+    cfg.set_noc_model(model);
+    cfg
+}
+
+fn build_program(
+    o: &Options,
+    kind: MachineKind,
+    program: &Program,
+    cfg: &SystemConfig,
+) -> RawKernel {
+    match program {
+        Program::Litmus(name) => {
+            let case: LitmusCase = catalogue()
+                .into_iter()
+                .find(|c| c.name == *name)
+                .expect("catalogue names are stable");
+            (case.build)(o.cores, cfg.spm.size / 2)
+        }
+        Program::Fuzz(seed) => {
+            let mode = if kind == MachineKind::CacheOnly {
+                ExecMode::CacheOnly
+            } else {
+                ExecMode::Hybrid
+            };
+            let params = FuzzParams {
+                cores: o.cores,
+                buffer_size: cfg.spm.size / 2,
+                rounds: o.fuzz_rounds,
+                ops_per_round: o.fuzz_ops,
+                mode,
+            };
+            random_program(*seed, &params)
+        }
+    }
+}
+
+fn repro_hint(o: &Options, p: &Point) -> String {
+    let program = match &p.program {
+        Program::Litmus(_) => "--litmus-only".to_owned(),
+        Program::Fuzz(seed) => format!("--fuzz-only --seeds 1 --seed-base {seed}"),
+    };
+    format!(
+        "cargo run --release -p system --bin coherence_check -- \
+         --cores {} --machines {} --engines {} --noc-models {} \
+         --fuzz-rounds {} --fuzz-ops {} {program}",
+        o.cores,
+        p.kind.id(),
+        p.engine.id(),
+        p.noc.id(),
+        o.fuzz_rounds,
+        o.fuzz_ops,
+    )
+}
+
+fn write_golden(o: &Options, dir: &std::path::Path) -> Result<(), String> {
+    std::fs::create_dir_all(dir).map_err(|e| format!("cannot create {dir:?}: {e}"))?;
+    let cfg = config_for(
+        o,
+        MachineKind::HybridProposed,
+        system::ExecutionEngine::Legacy,
+        noc::NocModel::Analytic,
+    );
+    for case in catalogue() {
+        let program = (case.build)(o.cores, cfg.spm.size / 2);
+        let outcome = Machine::new(MachineKind::HybridProposed, cfg.clone()).verify_raw(&program);
+        if !outcome.ok() {
+            return Err(format!(
+                "litmus {} diverges; refusing to write golden:\n{}",
+                case.name,
+                outcome.divergence_report()
+            ));
+        }
+        let path = dir.join(format!("{}.txt", case.name));
+        std::fs::write(&path, outcome.image.render())
+            .map_err(|e| format!("cannot write {path:?}: {e}"))?;
+        println!("wrote {path:?} ({})", outcome.image);
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let o = match parse_options() {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("coherence_check: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    if let Some(dir) = &o.write_golden {
+        return match write_golden(&o, dir) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(e) => {
+                eprintln!("coherence_check: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    // The fault demo checks the negative property: the injected defect MUST
+    // be caught by the oracle on its designated litmus victim.
+    if let Some(fault) = o.fault {
+        let mut caught = 0usize;
+        let mut missed = Vec::new();
+        for &engine in &o.engines {
+            for &model in &o.noc_models {
+                let cfg = config_for(&o, MachineKind::HybridProposed, engine, model);
+                let program = build_program(
+                    &o,
+                    MachineKind::HybridProposed,
+                    &Program::Litmus("stale_filter_after_map"),
+                    &cfg,
+                );
+                let outcome = Machine::new(MachineKind::HybridProposed, cfg)
+                    .with_fault(fault)
+                    .verify_raw(&program);
+                if outcome.ok() {
+                    missed.push(format!("{engine}/{model}"));
+                } else {
+                    caught += 1;
+                    if !o.quiet {
+                        println!(
+                            "fault caught under {engine}/{}:\n{}",
+                            model.id(),
+                            outcome.divergence_report()
+                        );
+                    }
+                }
+            }
+        }
+        return if missed.is_empty() && caught > 0 {
+            println!("fault injection: caught in {caught}/{caught} configurations — the harness can fail");
+            ExitCode::SUCCESS
+        } else {
+            eprintln!("fault injection NOT caught under: {missed:?}");
+            ExitCode::FAILURE
+        };
+    }
+
+    // The regular matrix: litmus catalogue + fuzz seeds.
+    let mut points = Vec::new();
+    for &kind in &o.machines {
+        for &engine in &o.engines {
+            for &model in &o.noc_models {
+                if o.litmus && kind.has_spms() {
+                    for case in catalogue() {
+                        points.push(Point {
+                            kind,
+                            engine,
+                            noc: model,
+                            program: Program::Litmus(case.name),
+                        });
+                    }
+                }
+                if o.fuzz {
+                    for s in 0..o.seeds {
+                        points.push(Point {
+                            kind,
+                            engine,
+                            noc: model,
+                            program: Program::Fuzz(o.seed_base + s),
+                        });
+                    }
+                }
+            }
+        }
+    }
+
+    let executor = Executor::new(o.jobs);
+    let results = executor.run(&points, |_, p| {
+        let cfg = config_for(&o, p.kind, p.engine, p.noc);
+        let program = build_program(&o, p.kind, &p.program, &cfg);
+        let outcome = Machine::new(p.kind, cfg).verify_raw(&program);
+        (p.clone(), program.name.clone(), outcome)
+    });
+
+    let mut failures = 0usize;
+    let mut checked_loads = 0u64;
+    let mut checked_words = 0u64;
+    for (p, name, outcome) in &results {
+        checked_loads += outcome.report.loads_checked;
+        checked_words += outcome.report.dma_words_checked;
+        if !outcome.ok() {
+            failures += 1;
+            eprintln!(
+                "DIVERGENCE: {name} on {} / {} / {}\n{}\nreproduce: {}",
+                p.kind.id(),
+                p.engine.id(),
+                p.noc.id(),
+                outcome.divergence_report(),
+                repro_hint(&o, p),
+            );
+        } else if !o.quiet {
+            println!(
+                "ok: {name:<28} {:<15} {:<11} {:<14} {}",
+                p.kind.id(),
+                p.engine.id(),
+                p.noc.id(),
+                outcome.report.summary()
+            );
+        }
+    }
+    println!(
+        "coherence_check: {} points, {checked_loads} loads + {checked_words} dma words checked, {failures} divergent",
+        results.len()
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -23,6 +23,9 @@
 //!                    section
 //! --debug-cores      print per-core clock/work/stall figures after every
 //!                    kernel (to stderr)
+//! --track-values     thread real data values through the memory system
+//!                    (functional memory; timing results are unchanged —
+//!                    see the README's "Verification" section)
 //! ```
 //!
 //! The cache is content-addressed over the complete run inputs, so it only
@@ -87,6 +90,8 @@ pub struct CliOptions {
     pub engine: ExecutionEngine,
     /// Print per-core clock/work/stall figures after every kernel.
     pub debug_cores: bool,
+    /// Thread real data values through the memory system.
+    pub track_values: bool,
 }
 
 impl Default for CliOptions {
@@ -101,6 +106,7 @@ impl Default for CliOptions {
             noc_model: noc::NocModel::Analytic,
             engine: ExecutionEngine::Legacy,
             debug_cores: false,
+            track_values: false,
         }
     }
 }
@@ -160,6 +166,7 @@ impl CliOptions {
                     }
                 }
                 "--debug-cores" => options.debug_cores = true,
+                "--track-values" => options.track_values = true,
                 _ => {}
             }
         }
@@ -172,6 +179,7 @@ impl CliOptions {
         config.set_noc_model(self.noc_model);
         config.engine = self.engine;
         config.debug_cores = self.debug_cores;
+        config.track_values = self.track_values;
         config
     }
 

@@ -141,6 +141,13 @@ pub struct SystemConfig {
     /// Print per-core clock/work/stall figures after every kernel
     /// (`--debug-cores` on the report binaries).
     pub debug_cores: bool,
+    /// Thread real data values through the memory system (DRAM, caches,
+    /// scratchpads, DMA) alongside the timing model.
+    ///
+    /// Off by default: timing results are bit-identical either way (see the
+    /// `value_tracking_overhead` bench for the throughput cost), and the
+    /// verification entry points arm it themselves.
+    pub track_values: bool,
 }
 
 impl SystemConfig {
@@ -164,6 +171,7 @@ impl SystemConfig {
             trace_seed: 0x15CA_2015,
             engine: ExecutionEngine::Legacy,
             debug_cores: false,
+            track_values: false,
         }
     }
 

@@ -9,32 +9,135 @@
 //!   shared L2, the coherence protocol and the NoC observe each core's
 //!   whole segment as one contiguous burst.
 //! * [`run_kernel_interleaved`] is a min-clock scheduler over a
-//!   [`simkernel::EventQueue`]: each core is a resumable
-//!   [`workloads::OpCursor`], and the scheduler always steps the core with
-//!   the earliest local clock, parking cores on `dma-synch` waits and
-//!   waking them from the queue.  Because the stepped core is the earliest
-//!   one, its local clock *is* the global simulation clock, and shared
-//!   state observes traffic in simulated-time order — the order a real
-//!   machine would produce.
+//!   [`simkernel::EventQueue`]: each core is a resumable op stream, and the
+//!   scheduler always steps the core with the earliest local clock, parking
+//!   cores on `dma-synch` waits and waking them from the queue.  Because
+//!   the stepped core is the earliest one, its local clock *is* the global
+//!   simulation clock, and shared state observes traffic in simulated-time
+//!   order — the order a real machine would produce.
 //!
 //! With one core the two engines make an identical sequence of model calls,
 //! which is what pins them bit-identical (see `tests/engine.rs`) and makes
 //! the multi-core difference a pure measurement of the ordering artifact.
+//!
+//! A kernel is either a *compiled* NAS-like kernel (trace synthesised by
+//! [`workloads::KernelExecution`]) or a *raw* kernel
+//! ([`workloads::RawKernel`]) whose per-core rounds are explicit — the
+//! representation the verification harness's litmus and fuzz programs use.
+//! Under the legacy engine a raw kernel's rounds play the role of tiles
+//! (round-robin across cores); under the interleaved engine the flattened
+//! stream is scheduled like any other.
+//!
+//! When [`KernelCtx::values`] is attached (`SystemConfig.track_values`),
+//! [`step_op`] additionally moves *data values* along the path every access
+//! took — SPM, remote SPM, or the cache hierarchy — and, if the oracle is
+//! armed, checks every observed load and staged DMA word against the flat
+//! reference memory (see [`crate::verify`]).
 
-use simkernel::{CoreId, Cycle, EventQueue};
+use simkernel::{ByteSize, CoreId, Cycle, EventQueue};
 
 use cpu::CoreTimingModel;
-use mem::{AccessKind, MemorySystem};
+use mem::{AccessKind, Addr, MemorySystem};
 use noc::MessageClass;
 use spm::{Dmac, Scratchpad};
-use spm_coherence::CoherenceSupport;
-use workloads::{CompiledKernel, KernelExecution, MemRefClass, OpCursor, Phase, TraceOp};
+use spm_coherence::{CoherenceSupport, GuardedTarget};
+use workloads::{
+    CompiledKernel, KernelExecution, MemRefClass, OpCursor, Phase, RawKernel, TraceOp,
+};
+
+use crate::verify::ValueTracking;
+
+/// The kernel being executed: compiled trace generator or raw rounds.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum ProgramRef<'a> {
+    /// A compiled NAS-like kernel.
+    Compiled(&'a CompiledKernel),
+    /// A raw per-core round program (litmus / fuzz).
+    Raw(&'a RawKernel),
+}
+
+impl<'a> ProgramRef<'a> {
+    pub(crate) fn name(&self) -> &'a str {
+        match self {
+            ProgramRef::Compiled(k) => &k.name,
+            ProgramRef::Raw(r) => &r.name,
+        }
+    }
+
+    pub(crate) fn code_base(&self) -> Addr {
+        match self {
+            ProgramRef::Compiled(k) => k.code_base,
+            ProgramRef::Raw(r) => r.code_base,
+        }
+    }
+
+    pub(crate) fn code_size(&self) -> u64 {
+        match self {
+            ProgramRef::Compiled(k) => k.code_size,
+            ProgramRef::Raw(r) => r.code_size,
+        }
+    }
+
+    pub(crate) fn buffer_size(&self) -> ByteSize {
+        match self {
+            ProgramRef::Compiled(k) => k.buffer_size,
+            ProgramRef::Raw(r) => r.buffer_size,
+        }
+    }
+
+    pub(crate) fn has_guarded_refs(&self) -> bool {
+        match self {
+            ProgramRef::Compiled(k) => k.has_guarded_refs(),
+            ProgramRef::Raw(r) => r.guarded,
+        }
+    }
+
+    /// The per-core op stream of `core`.
+    fn stream(&self, core: CoreId, cores: usize, seed: u64) -> OpStream<'a> {
+        match self {
+            ProgramRef::Compiled(k) => OpStream::Compiled(OpCursor::new(k, core, cores, seed)),
+            ProgramRef::Raw(r) => OpStream::Raw {
+                rounds: &r.rounds[core.index()],
+                round: 0,
+                idx: 0,
+            },
+        }
+    }
+}
+
+/// A resumable per-core op stream over either program kind.
+#[derive(Debug)]
+enum OpStream<'a> {
+    Compiled(OpCursor<'a>),
+    Raw {
+        rounds: &'a [Vec<TraceOp>],
+        round: usize,
+        idx: usize,
+    },
+}
+
+impl OpStream<'_> {
+    fn next_op(&mut self) -> Option<TraceOp> {
+        match self {
+            OpStream::Compiled(cursor) => cursor.next_op(),
+            OpStream::Raw { rounds, round, idx } => loop {
+                let ops = rounds.get(*round)?;
+                if let Some(op) = ops.get(*idx) {
+                    *idx += 1;
+                    return Some(op.clone());
+                }
+                *round += 1;
+                *idx = 0;
+            },
+        }
+    }
+}
 
 /// Everything one kernel's execution mutates, bundled so both engines (and
 /// the per-op interpreter) share one signature.
 pub(crate) struct KernelCtx<'a> {
     /// The kernel being executed.
-    pub kernel: &'a CompiledKernel,
+    pub program: ProgramRef<'a>,
     /// The shared cache hierarchy + NoC.
     pub memsys: &'a mut MemorySystem,
     /// The coherence support (proposed protocol or ideal oracle).
@@ -48,6 +151,8 @@ pub(crate) struct KernelCtx<'a> {
     /// Whether the NoC backend has a clock to keep in step with the issuing
     /// core (true only for the discrete-event model).
     pub track_noc_clock: bool,
+    /// Functional-memory state (+ optional oracle), when values are tracked.
+    pub values: Option<&'a mut ValueTracking>,
 }
 
 /// What [`step_op`] does when a `dma-synch` has to wait.
@@ -75,7 +180,8 @@ pub(crate) enum StepOutcome {
 }
 
 /// Interprets one trace op on one core: issues its memory traffic, charges
-/// its timing, and performs the implied instruction fetches.
+/// its timing, performs the implied instruction fetches and, with value
+/// tracking on, moves the data values the op carries.
 ///
 /// This is the simulator's hottest loop body, shared verbatim by both
 /// engines so their per-op semantics cannot drift apart.
@@ -93,6 +199,9 @@ pub(crate) fn step_op(
         // at every core switch (counted by `noc.des.clock.regressions`).
         ctx.memsys.advance_noc(ctx.cores[c].now());
     }
+    if let Some(vt) = ctx.values.as_deref_mut() {
+        vt.begin_op();
+    }
     let mut outcome = StepOutcome::Ran;
     match op {
         TraceOp::Compute { insts } => ctx.cores[c].execute_compute(*insts),
@@ -107,15 +216,25 @@ pub(crate) fn step_op(
         }
         TraceOp::DmaGet { tag, buffer, chunk } => {
             let now = ctx.cores[c].now();
-            let _completion = ctx.dmacs[c].dma_get(*tag, *chunk, now, ctx.memsys);
+            let spm_values = ctx.values.as_deref_mut().map(|vt| vt.spm_store_raw(c));
+            let _completion = ctx.dmacs[c].dma_get(*tag, *chunk, now, ctx.memsys, spm_values);
             ctx.spms[c].record_dma_fill(chunk.len());
             let _ = ctx.protocol.on_map(core_id, *buffer, *chunk, ctx.memsys);
+            if let Some(vt) = ctx.values.as_deref_mut() {
+                // Registers the mapping and checks every staged word — the
+                // DMA read is a read of global memory.
+                vt.note_get(c, *buffer, *chunk, &*ctx.protocol);
+            }
         }
         TraceOp::DmaPut { tag, buffer, chunk } => {
             let now = ctx.cores[c].now();
-            let _completion = ctx.dmacs[c].dma_put(*tag, *chunk, now, ctx.memsys);
+            let spm_values = ctx.values.as_deref_mut().map(|vt| vt.spm_store_raw(c));
+            let _completion = ctx.dmacs[c].dma_put(*tag, *chunk, now, ctx.memsys, spm_values);
             ctx.spms[c].record_dma_drain(chunk.len());
             let _ = ctx.protocol.on_unmap(core_id, *buffer);
+            if let Some(vt) = ctx.values.as_deref_mut() {
+                vt.note_put(c, *buffer, *chunk);
+            }
         }
         TraceOp::DmaSync { tags } => {
             let now = ctx.cores[c].now();
@@ -133,6 +252,9 @@ pub(crate) fn step_op(
         TraceOp::LoopEnd => {
             ctx.protocol.on_loop_end(core_id);
             ctx.cores[c].drain_memory();
+            if let Some(vt) = ctx.values.as_deref_mut() {
+                vt.note_loop_end(c);
+            }
         }
         TraceOp::Load {
             addr,
@@ -146,21 +268,46 @@ pub(crate) fn step_op(
         } => {
             let is_store = matches!(op, TraceOp::Store { .. });
             match class {
-                MemRefClass::SpmStrided { .. } => {
+                MemRefClass::SpmStrided { buffer } => {
                     let latency = if is_store {
                         ctx.spms[c].write_local()
                     } else {
                         ctx.spms[c].read_local()
                     };
                     ctx.cores[c].issue_memory_access(latency, false);
-                    ctx.cores[c].record_in_lsq(*addr, is_store);
+                    let mut value = None;
+                    if ctx.values.is_some() {
+                        if is_store {
+                            let v = ctx.cores[c].next_store_value(c, *addr);
+                            let vt = ctx.values.as_deref_mut().expect("checked above");
+                            if vt.spm_store(c, *buffer, *addr, v) {
+                                value = Some(v);
+                            }
+                        } else {
+                            let vt = ctx.values.as_deref_mut().expect("checked above");
+                            value = vt.spm_load(c, c, *buffer, *addr, "load(spm)", &*ctx.protocol);
+                        }
+                    }
+                    ctx.cores[c].record_in_lsq_valued(*addr, is_store, value);
                 }
                 MemRefClass::Guarded => {
                     let outcome = ctx
                         .protocol
                         .guarded_access(core_id, *addr, is_store, ctx.memsys, ctx.spms);
                     ctx.cores[c].issue_memory_access(outcome.latency, true);
-                    ctx.cores[c].record_in_lsq(*addr, is_store);
+                    let mut value = None;
+                    if ctx.values.is_some() {
+                        let v_new = is_store.then(|| ctx.cores[c].next_store_value(c, *addr));
+                        value = route_guarded_value(
+                            core_id,
+                            *addr,
+                            v_new,
+                            &outcome.target,
+                            outcome.gm_write_through,
+                            ctx,
+                        );
+                    }
+                    ctx.cores[c].record_in_lsq_valued(*addr, is_store, value);
                     if outcome.diverted_to_spm() {
                         // §3.4: the LSQ re-checks ordering against the
                         // data's original (GM) address, flushing on a
@@ -187,14 +334,29 @@ pub(crate) fn step_op(
                     // independent and overlap under the MLP window.
                     let dependent = matches!(class, MemRefClass::Gm);
                     ctx.cores[c].issue_memory_access(result.latency, dependent);
-                    ctx.cores[c].record_in_lsq(*addr, is_store);
+                    let mut value = None;
+                    if ctx.values.is_some() {
+                        if is_store {
+                            let v = ctx.cores[c].next_store_value(c, *addr);
+                            ctx.memsys.write_word(core_id, *addr, v);
+                            let vt = ctx.values.as_deref_mut().expect("checked above");
+                            vt.oracle_store(*addr, v);
+                            value = Some(v);
+                        } else {
+                            let observed = ctx.memsys.read_word(core_id, *addr).unwrap_or(0);
+                            let vt = ctx.values.as_deref_mut().expect("checked above");
+                            vt.check_load(c, *addr, observed, "load(gm)", &*ctx.protocol);
+                            value = Some(observed);
+                        }
+                    }
+                    ctx.cores[c].record_in_lsq_valued(*addr, is_store, value);
                 }
             }
         }
     }
 
     // Instruction fetches implied by the executed instructions.
-    let fetches = ctx.cores[c].take_due_ifetches(ctx.kernel.code_base, ctx.kernel.code_size);
+    let fetches = ctx.cores[c].take_due_ifetches(ctx.program.code_base(), ctx.program.code_size());
     for fetch in fetches {
         let result = ctx
             .memsys
@@ -204,38 +366,106 @@ pub(crate) fn step_op(
     outcome
 }
 
-/// Replays one kernel segment-serialized: every core's prologue, then each
-/// tile round-robin across the cores, then every core's epilogue.
-pub(crate) fn run_kernel_legacy(ctx: &mut KernelCtx<'_>, trace_seed: u64) {
-    let cores = ctx.cores.len();
-    let mut execs: Vec<KernelExecution<'_>> = (0..cores)
-        .map(|i| KernelExecution::new(ctx.kernel, CoreId::new(i), cores, trace_seed))
-        .collect();
-
-    // Prologue on every core.
-    for (i, exec) in execs.iter_mut().enumerate() {
-        let ops = exec.prologue();
-        execute_ops(&ops, CoreId::new(i), ctx);
-    }
-
-    // Tiles are interleaved across cores so the shared L2 and the NoC see
-    // the concurrent working set of the whole chip, as in the fork-join
-    // execution the paper models.
-    let tiles = execs.iter().map(|e| e.num_tiles()).max().unwrap_or(0);
-    for tile in 0..tiles {
-        for (i, exec) in execs.iter_mut().enumerate() {
-            if tile >= exec.num_tiles() {
-                continue;
+/// Moves (and checks) the value of one guarded access along the path the
+/// protocol chose for it.  Returns the value carried into the LSQ, `None`
+/// when the access fell outside the modeled contract.
+fn route_guarded_value(
+    core_id: CoreId,
+    addr: Addr,
+    store_value: Option<u64>,
+    target: &GuardedTarget,
+    gm_write_through: bool,
+    ctx: &mut KernelCtx<'_>,
+) -> Option<u64> {
+    let c = core_id.index();
+    match *target {
+        GuardedTarget::GlobalMemory { .. } => {
+            if let Some(v) = store_value {
+                ctx.memsys.write_word(core_id, addr, v);
+                let vt = ctx.values.as_deref_mut().expect("values on");
+                vt.oracle_store(addr, v);
+                Some(v)
+            } else {
+                let observed = ctx.memsys.read_word(core_id, addr).unwrap_or(0);
+                let vt = ctx.values.as_deref_mut().expect("values on");
+                vt.check_load(c, addr, observed, "guarded-load(gm)", &*ctx.protocol);
+                Some(observed)
             }
-            let ops = exec.tile(tile);
-            execute_ops(&ops, CoreId::new(i), ctx);
+        }
+        GuardedTarget::LocalSpm { buffer } => {
+            if let Some(v) = store_value {
+                let vt = ctx.values.as_deref_mut().expect("values on");
+                let modeled = vt.spm_store(c, buffer, addr, v);
+                if modeled && gm_write_through {
+                    // The proposed protocol also updates the GM copy
+                    // through the L1 (the buffer may never be written
+                    // back); mirror that data movement.
+                    ctx.memsys.write_word(core_id, addr, v);
+                }
+                modeled.then_some(v)
+            } else {
+                let vt = ctx.values.as_deref_mut().expect("values on");
+                vt.spm_load(c, c, buffer, addr, "guarded-load(spm)", &*ctx.protocol)
+            }
+        }
+        GuardedTarget::RemoteSpm { owner } => {
+            let vt = ctx.values.as_deref_mut().expect("values on");
+            if let Some(v) = store_value {
+                vt.remote_spm_store(owner.index(), addr, v).then_some(v)
+            } else {
+                vt.remote_spm_load(c, owner.index(), addr, &*ctx.protocol)
+            }
         }
     }
+}
 
-    // Epilogue on every core.
-    for (i, exec) in execs.iter_mut().enumerate() {
-        let ops = exec.epilogue();
-        execute_ops(&ops, CoreId::new(i), ctx);
+/// Replays one kernel segment-serialized: every core's prologue, then each
+/// tile round-robin across the cores, then every core's epilogue.  A raw
+/// kernel's explicit rounds play the role of tiles.
+pub(crate) fn run_kernel_legacy(ctx: &mut KernelCtx<'_>, trace_seed: u64) {
+    let cores = ctx.cores.len();
+    match ctx.program {
+        ProgramRef::Compiled(kernel) => {
+            let mut execs: Vec<KernelExecution<'_>> = (0..cores)
+                .map(|i| KernelExecution::new(kernel, CoreId::new(i), cores, trace_seed))
+                .collect();
+
+            // Prologue on every core.
+            for (i, exec) in execs.iter_mut().enumerate() {
+                let ops = exec.prologue();
+                execute_ops(&ops, CoreId::new(i), ctx);
+            }
+
+            // Tiles are interleaved across cores so the shared L2 and the
+            // NoC see the concurrent working set of the whole chip, as in
+            // the fork-join execution the paper models.
+            let tiles = execs.iter().map(|e| e.num_tiles()).max().unwrap_or(0);
+            for tile in 0..tiles {
+                for (i, exec) in execs.iter_mut().enumerate() {
+                    if tile >= exec.num_tiles() {
+                        continue;
+                    }
+                    let ops = exec.tile(tile);
+                    execute_ops(&ops, CoreId::new(i), ctx);
+                }
+            }
+
+            // Epilogue on every core.
+            for (i, exec) in execs.iter_mut().enumerate() {
+                let ops = exec.epilogue();
+                execute_ops(&ops, CoreId::new(i), ctx);
+            }
+        }
+        ProgramRef::Raw(raw) => {
+            let rounds = raw.max_rounds();
+            for round in 0..rounds {
+                for core in 0..cores {
+                    if let Some(ops) = raw.rounds[core].get(round) {
+                        execute_ops(ops, CoreId::new(core), ctx);
+                    }
+                }
+            }
+        }
     }
 }
 
@@ -247,7 +477,7 @@ fn execute_ops(ops: &[TraceOp], core_id: CoreId, ctx: &mut KernelCtx<'_>) {
 
 /// Runs one kernel under the cycle-interleaved min-clock scheduler.
 ///
-/// Each core is a streaming [`OpCursor`]; the scheduler keeps one event per
+/// Each core is a streaming [`OpStream`]; the scheduler keeps one event per
 /// live core in a [`EventQueue`], keyed by the cycle the core can next run
 /// (its local clock, or its `dma-synch` wake time while parked).  Popping
 /// the queue therefore always selects the earliest core; it executes ops
@@ -256,8 +486,9 @@ fn execute_ops(ops: &[TraceOp], core_id: CoreId, ctx: &mut KernelCtx<'_>) {
 /// deterministic.
 pub(crate) fn run_kernel_interleaved(ctx: &mut KernelCtx<'_>, trace_seed: u64) {
     let cores = ctx.cores.len();
-    let mut cursors: Vec<OpCursor<'_>> = (0..cores)
-        .map(|i| OpCursor::new(ctx.kernel, CoreId::new(i), cores, trace_seed))
+    let program = ctx.program;
+    let mut cursors: Vec<OpStream<'_>> = (0..cores)
+        .map(|i| program.stream(CoreId::new(i), cores, trace_seed))
         .collect();
 
     let mut queue: EventQueue<usize> = EventQueue::with_capacity(cores);

@@ -32,6 +32,7 @@ pub mod machine;
 pub mod report;
 pub mod resultio;
 pub mod sweep;
+pub mod verify;
 
 pub use cli::{CliOptions, Report};
 pub use config::{ExecutionEngine, MachineKind, SystemConfig};
@@ -39,3 +40,4 @@ pub use experiments::ExperimentSuite;
 pub use machine::{EngineAudit, KernelAudit, Machine, RunResult};
 pub use report::TableBuilder;
 pub use resultio::run_result_codec;
+pub use verify::{verification_config, MemoryImage, VerifyOutcome};

@@ -9,11 +9,14 @@ use energy::{EnergyBreakdown, EnergyModel};
 use mem::{AccessKind, MemorySystem};
 use noc::{MessageClass, TrafficAccountant};
 use spm::{Dmac, Scratchpad};
-use spm_coherence::{CoherenceSupport, IdealCoherence, ProtocolStats, SpmCoherenceProtocol};
-use workloads::{compile, BenchmarkSpec, ExecMode, MachineParams, Phase};
+use spm_coherence::{
+    CoherenceSupport, IdealCoherence, ProtocolFault, ProtocolStats, SpmCoherenceProtocol,
+};
+use workloads::{compile, BenchmarkSpec, ExecMode, MachineParams, Phase, RawKernel};
 
 use crate::config::{ExecutionEngine, MachineKind, SystemConfig};
-use crate::engine::{self, KernelCtx};
+use crate::engine::{self, KernelCtx, ProgramRef};
+use crate::verify::{merge_image, ValueTracking, VerifyOutcome};
 
 /// The result of running one benchmark on one machine.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -105,12 +108,24 @@ pub struct KernelAudit {
 pub struct Machine {
     kind: MachineKind,
     config: SystemConfig,
+    fault: Option<ProtocolFault>,
 }
 
 impl Machine {
     /// Creates a machine of the given kind.
     pub fn new(kind: MachineKind, config: SystemConfig) -> Self {
-        Machine { kind, config }
+        Machine {
+            kind,
+            config,
+            fault: None,
+        }
+    }
+
+    /// Injects a deliberate protocol defect (negative verification tests;
+    /// only effective on [`MachineKind::HybridProposed`]).
+    pub fn with_fault(mut self, fault: ProtocolFault) -> Self {
+        self.fault = Some(fault);
+        self
     }
 
     /// The machine kind.
@@ -124,8 +139,12 @@ impl Machine {
     }
 
     /// Runs a benchmark to completion and collects every statistic.
+    ///
+    /// With `SystemConfig.track_values` on, real data values travel with
+    /// every access (timing is unchanged); the differential oracle is only
+    /// armed by the `verify_*` entry points.
     pub fn run(&self, spec: &BenchmarkSpec) -> RunResult {
-        self.run_inner(spec, None)
+        self.run_inner(Workload::Spec(spec), None, false).0
     }
 
     /// Like [`Machine::run`], also returning the per-kernel clock audit.
@@ -136,11 +155,50 @@ impl Machine {
     /// core) can be checked for any workload.
     pub fn run_audited(&self, spec: &BenchmarkSpec) -> (RunResult, EngineAudit) {
         let mut audit = EngineAudit::default();
-        let result = self.run_inner(spec, Some(&mut audit));
+        let result = self
+            .run_inner(Workload::Spec(spec), Some(&mut audit), false)
+            .0;
         (result, audit)
     }
 
-    fn run_inner(&self, spec: &BenchmarkSpec, mut audit: Option<&mut EngineAudit>) -> RunResult {
+    /// Runs a raw (litmus / fuzz) program.  The program's core count must
+    /// match the configuration's.
+    pub fn run_raw(&self, program: &RawKernel) -> RunResult {
+        self.run_inner(Workload::Raw(program), None, false).0
+    }
+
+    /// Runs a benchmark with value tracking and the differential coherence
+    /// oracle armed, regardless of `SystemConfig.track_values`.
+    pub fn verify_spec(&self, spec: &BenchmarkSpec) -> VerifyOutcome {
+        let (result, verified) = self.run_inner(Workload::Spec(spec), None, true);
+        let (report, image) = verified.expect("oracle was armed");
+        VerifyOutcome {
+            result,
+            report,
+            image,
+        }
+    }
+
+    /// Runs a raw (litmus / fuzz) program under the differential oracle.
+    pub fn verify_raw(&self, program: &RawKernel) -> VerifyOutcome {
+        let (result, verified) = self.run_inner(Workload::Raw(program), None, true);
+        let (report, image) = verified.expect("oracle was armed");
+        VerifyOutcome {
+            result,
+            report,
+            image,
+        }
+    }
+
+    fn run_inner(
+        &self,
+        workload: Workload<'_>,
+        mut audit: Option<&mut EngineAudit>,
+        with_oracle: bool,
+    ) -> (
+        RunResult,
+        Option<(oracle::OracleReport, crate::verify::MemoryImage)>,
+    ) {
         let cores = self.config.cores;
         let mode = if self.kind == MachineKind::CacheOnly {
             ExecMode::CacheOnly
@@ -151,12 +209,38 @@ impl Machine {
             cores,
             spm_size: self.config.spm.size,
         };
-        let compiled = compile(spec, mode, &machine_params);
+        let compiled = match workload {
+            Workload::Spec(spec) => Some(compile(spec, mode, &machine_params)),
+            Workload::Raw(raw) => {
+                assert_eq!(
+                    raw.cores(),
+                    cores,
+                    "raw program written for a different core count"
+                );
+                None
+            }
+        };
+        let programs: Vec<ProgramRef<'_>> = match (&compiled, workload) {
+            (Some(compiled), _) => compiled.kernels.iter().map(ProgramRef::Compiled).collect(),
+            (None, Workload::Raw(raw)) => vec![ProgramRef::Raw(raw)],
+            (None, Workload::Spec(_)) => unreachable!("spec workloads are compiled above"),
+        };
+        let name = match workload {
+            Workload::Spec(spec) => spec.name.clone(),
+            Workload::Raw(raw) => raw.name.clone(),
+        };
 
+        let track_values = self.config.track_values || with_oracle;
         let mut memsys = MemorySystem::new(self.config.memory_for(self.kind).clone());
+        if track_values {
+            memsys.enable_value_tracking();
+        }
+        let mut values = track_values.then(|| ValueTracking::new(cores, with_oracle));
         let mut protocol: Box<dyn CoherenceSupport> = match self.kind {
             MachineKind::HybridProposed => {
-                Box::new(SpmCoherenceProtocol::new(self.config.protocol.clone()))
+                let mut p = SpmCoherenceProtocol::new(self.config.protocol.clone());
+                p.inject_fault(self.fault);
+                Box::new(p)
             }
             _ => Box::new(IdealCoherence::new(self.config.protocol.clone())),
         };
@@ -176,31 +260,34 @@ impl Machine {
         // shared L2 when measurement starts.  Touching it round-robin across
         // the cores avoids charging the whole cold-start cost to whichever
         // core happens to execute first in the trace interleaving.
-        self.warm_shared_data(&compiled, &mut memsys);
+        if let Some(compiled) = &compiled {
+            self.warm_shared_data(compiled, &mut memsys);
+        }
 
-        for kernel in &compiled.kernels {
+        for program in &programs {
             let start: Vec<Cycle> = if audit.is_some() {
                 core_models.iter().map(|c| c.now()).collect()
             } else {
                 Vec::new()
             };
-            protocol.configure_buffer_size(kernel.buffer_size);
+            protocol.configure_buffer_size(program.buffer_size());
             // Kernels without guarded accesses power-gate the filters (as
             // the paper does for SP).
-            protocol.set_filters_gated(!kernel.has_guarded_refs());
+            protocol.set_filters_gated(!program.has_guarded_refs());
             // Only the discrete-event NoC has a clock to keep in step with
             // the issuing core; skip the per-op call entirely on the
             // (default) analytic backend — this is the simulator's hottest
             // loop.
             let track_noc_clock = memsys.config().noc.model == noc::NocModel::DiscreteEvent;
             let mut ctx = KernelCtx {
-                kernel,
+                program: *program,
                 memsys: &mut memsys,
                 protocol: protocol.as_mut(),
                 spms: &mut spms,
                 dmacs: &mut dmacs,
                 cores: &mut core_models,
                 track_noc_clock,
+                values: values.as_mut(),
             };
             match self.config.engine {
                 ExecutionEngine::Legacy => {
@@ -219,7 +306,7 @@ impl Machine {
                 let stalls: Vec<u64> = core_models.iter().map(|c| c.stall_cycles()).collect();
                 eprintln!(
                     "kernel {} times={times:?}\n  works={works:?}\n  stalls={stalls:?}",
-                    kernel.name
+                    program.name()
                 );
             }
             // Kernel barrier: every core waits for the slowest one.
@@ -233,7 +320,7 @@ impl Machine {
             }
             if let Some(audit) = audit.as_deref_mut() {
                 audit.kernels.push(KernelAudit {
-                    name: kernel.name.clone(),
+                    name: program.name().to_owned(),
                     start,
                     end,
                     barrier,
@@ -241,7 +328,13 @@ impl Machine {
             }
         }
 
-        self.collect(spec, &compiled, memsys, protocol, spms, dmacs, core_models)
+        let verified = values.map(|vt| {
+            let (report, spm_values) = vt.finish();
+            let image = merge_image(memsys.value_image(), &spm_values);
+            (report, image)
+        });
+        let result = self.collect(&name, memsys, protocol, spms, dmacs, core_models);
+        (result, verified)
     }
 
     /// Touches the shared (non-partitioned) data of every kernel — the
@@ -280,15 +373,13 @@ impl Machine {
     #[allow(clippy::too_many_arguments)]
     fn collect(
         &self,
-        spec: &BenchmarkSpec,
-        compiled: &workloads::CompiledBenchmark,
+        name: &str,
         memsys: MemorySystem,
         protocol: Box<dyn CoherenceSupport>,
         spms: Vec<Scratchpad>,
         dmacs: Vec<Dmac>,
         core_models: Vec<CoreTimingModel>,
     ) -> RunResult {
-        let _ = compiled;
         let execution_time = core_models
             .iter()
             .map(|c| c.now())
@@ -339,7 +430,7 @@ impl Machine {
         };
 
         RunResult {
-            benchmark: spec.name.clone(),
+            benchmark: name.to_owned(),
             kind: self.kind,
             execution_time,
             phase_cycles,
@@ -351,6 +442,14 @@ impl Machine {
             stats,
         }
     }
+}
+
+/// The workload a run executes: a compiled benchmark spec or a raw
+/// (litmus / fuzz) program.
+#[derive(Debug, Clone, Copy)]
+enum Workload<'a> {
+    Spec(&'a BenchmarkSpec),
+    Raw(&'a RawKernel),
 }
 
 /// Convenience: the core configuration used when none is specified.

@@ -87,7 +87,10 @@ pub fn lower_descriptor(
 pub fn run_cache_key(kind: MachineKind, config: &SystemConfig, spec: &BenchmarkSpec) -> CacheKey {
     // Presentation-only knobs never reach the RunResult, so they must not
     // address different cache entries: pin them to their defaults before
-    // rendering the configuration.
+    // rendering the configuration.  `track_values` is NOT pinned: value
+    // tracking leaves the timing untouched but exports its own counter
+    // (`cpu.lsq.value_forwards`), so tracked and timing-only runs are
+    // different cache entries.
     let mut config = config.clone();
     config.debug_cores = false;
     CacheKey::from_fields([

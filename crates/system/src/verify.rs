@@ -1,0 +1,412 @@
+//! The verification subsystem: value tracking state, the differential
+//! oracle wiring, and the final-memory-image artefacts.
+//!
+//! When `SystemConfig.track_values` is on, every run carries a
+//! [`ValueTracking`] alongside the timing state: the memory hierarchy's
+//! value stores (inside [`mem::MemorySystem`]), one [`ValueStore`] per
+//! scratchpad (keyed by *global-memory* address, so DMA fills and drains
+//! are plain copies), and the per-core map of which chunk each SPM buffer
+//! currently holds.  The shared per-op interpreter (`engine::step_op`)
+//! moves real data along whatever path the timing model took and, when the
+//! oracle is attached, checks every observed load and DMA-read word against
+//! the flat sequentially-consistent reference of the [`oracle`] crate.
+//!
+//! The verification entry points ([`crate::Machine::verify_raw`],
+//! [`crate::Machine::verify_spec`]) return a [`VerifyOutcome`]: the usual
+//! [`RunResult`], the [`OracleReport`] (divergences and check counts) and
+//! the merged final [`MemoryImage`] — DRAM overlaid with every dirty
+//! cached copy and any scratchpad-resident values — which is what the
+//! cross-engine/cross-NoC equivalence tests compare bit for bit.
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+use mem::{Addr, AddressRange, ValueStore};
+use oracle::{CoherenceOracle, OracleReport};
+use spm_coherence::CoherenceSupport;
+
+use crate::config::SystemConfig;
+use crate::machine::RunResult;
+
+/// Per-run functional-memory state outside the cache hierarchy.
+#[derive(Debug)]
+pub struct ValueTracking {
+    /// Per-core SPM contents, keyed by global-memory address.
+    spm: Vec<ValueStore>,
+    /// Per-core map of buffer → currently mapped chunk.
+    mapped: Vec<HashMap<usize, AddressRange>>,
+    /// Accesses outside the value contract (skipped on both sides).
+    unmodeled: u64,
+    /// The differential checker, when this run is verified.
+    oracle: Option<CoherenceOracle>,
+}
+
+impl ValueTracking {
+    /// Fresh state for a `cores`-core machine; `with_oracle` attaches the
+    /// differential checker.
+    pub(crate) fn new(cores: usize, with_oracle: bool) -> Self {
+        ValueTracking {
+            spm: (0..cores).map(|_| ValueStore::new()).collect(),
+            mapped: vec![HashMap::new(); cores],
+            unmodeled: 0,
+            oracle: with_oracle.then(CoherenceOracle::default),
+        }
+    }
+
+    /// Notes one interpreted op (drives the oracle's op index).
+    pub(crate) fn begin_op(&mut self) {
+        if let Some(o) = &mut self.oracle {
+            o.begin_op();
+        }
+    }
+
+    /// The raw SPM value store of `core` (for the DMA engines).
+    pub(crate) fn spm_store_raw(&mut self, core: usize) -> &mut ValueStore {
+        &mut self.spm[core]
+    }
+
+    /// The chunk `buffer` of `core` currently maps, if any.
+    fn mapping(&self, core: usize, buffer: usize) -> Option<AddressRange> {
+        self.mapped[core].get(&buffer).copied()
+    }
+
+    /// The mapped chunk of `owner` containing `addr`, if any.
+    fn owner_chunk(&self, owner: usize, addr: Addr) -> Option<AddressRange> {
+        self.mapped[owner]
+            .values()
+            .find(|chunk| chunk.contains(addr))
+            .copied()
+    }
+
+    /// Registers a `dma-get` and checks the staged words against the
+    /// reference (every DMA read is a read of global memory).
+    pub(crate) fn note_get(
+        &mut self,
+        core: usize,
+        buffer: usize,
+        chunk: AddressRange,
+        protocol: &dyn CoherenceSupport,
+    ) {
+        self.mapped[core].insert(buffer, chunk);
+        if let Some(oracle) = &mut self.oracle {
+            // Every whole word inside the chunk (partial edge words are not
+            // staged by the masked DMA fill and are skipped here too).
+            let mut word = chunk.start().raw().div_ceil(8) * 8;
+            while word + 8 <= chunk.end().raw() {
+                let addr = Addr::new(word);
+                let observed = self.spm[core].read_word(addr);
+                oracle.check_dma_word(core, addr, observed, || {
+                    protocol.describe_addr(simkernel::CoreId::new(core), addr)
+                });
+                word += 8;
+            }
+        }
+    }
+
+    /// Registers a `dma-put`: the buffer is unmapped and the staged words
+    /// are forgotten (they now live in memory).
+    pub(crate) fn note_put(&mut self, core: usize, buffer: usize, chunk: AddressRange) {
+        self.mapped[core].remove(&buffer);
+        self.spm[core].clear_range(&chunk);
+    }
+
+    /// Registers a `LoopEnd`: every mapping of `core` is dropped, and with
+    /// it any value that was never written back.
+    pub(crate) fn note_loop_end(&mut self, core: usize) {
+        self.mapped[core].clear();
+        self.spm[core].clear();
+    }
+
+    /// Applies a store to the reference memory.
+    pub(crate) fn oracle_store(&mut self, addr: Addr, value: u64) {
+        if let Some(o) = &mut self.oracle {
+            o.store(addr, value);
+        }
+    }
+
+    /// Checks one load observed through the cache hierarchy.
+    pub(crate) fn check_load(
+        &mut self,
+        core: usize,
+        addr: Addr,
+        observed: u64,
+        access: &str,
+        protocol: &dyn CoherenceSupport,
+    ) {
+        if let Some(o) = &mut self.oracle {
+            o.check_load(core, addr, observed, access, || {
+                protocol.describe_addr(simkernel::CoreId::new(core), addr)
+            });
+        }
+    }
+
+    /// A store diverted to `(owner, buffer)`'s SPM.  Returns `true` if the
+    /// access fell inside the mapped chunk (modeled), in which case both
+    /// the SPM copy and the reference were updated.
+    pub(crate) fn spm_store(
+        &mut self,
+        owner: usize,
+        buffer: usize,
+        addr: Addr,
+        value: u64,
+    ) -> bool {
+        match self.mapping(owner, buffer) {
+            Some(chunk) if chunk.contains(addr) => {
+                self.spm[owner].write_word(addr, value);
+                self.oracle_store(addr, value);
+                true
+            }
+            _ => {
+                self.note_unmodeled();
+                false
+            }
+        }
+    }
+
+    /// A load diverted to `(owner, buffer)`'s SPM; checks the observed SPM
+    /// word against the reference.  Returns the observed value when the
+    /// access was modeled.
+    pub(crate) fn spm_load(
+        &mut self,
+        core: usize,
+        owner: usize,
+        buffer: usize,
+        addr: Addr,
+        access: &str,
+        protocol: &dyn CoherenceSupport,
+    ) -> Option<u64> {
+        match self.mapping(owner, buffer) {
+            Some(chunk) if chunk.contains(addr) => {
+                let observed = self.spm[owner].read_word(addr);
+                self.check_load(core, addr, observed, access, protocol);
+                Some(observed)
+            }
+            _ => {
+                self.note_unmodeled();
+                None
+            }
+        }
+    }
+
+    /// A store diverted to a remote SPM whose buffer is unknown (only the
+    /// owner is): resolves the chunk by address.
+    pub(crate) fn remote_spm_store(&mut self, owner: usize, addr: Addr, value: u64) -> bool {
+        match self.owner_chunk(owner, addr) {
+            Some(_) => {
+                self.spm[owner].write_word(addr, value);
+                self.oracle_store(addr, value);
+                true
+            }
+            None => {
+                self.note_unmodeled();
+                false
+            }
+        }
+    }
+
+    /// A load diverted to a remote SPM, resolved by address.
+    pub(crate) fn remote_spm_load(
+        &mut self,
+        core: usize,
+        owner: usize,
+        addr: Addr,
+        protocol: &dyn CoherenceSupport,
+    ) -> Option<u64> {
+        match self.owner_chunk(owner, addr) {
+            Some(_) => {
+                let observed = self.spm[owner].read_word(addr);
+                self.check_load(core, addr, observed, "guarded-load(remote-spm)", protocol);
+                Some(observed)
+            }
+            None => {
+                self.note_unmodeled();
+                None
+            }
+        }
+    }
+
+    /// Notes an access outside the value contract.
+    pub(crate) fn note_unmodeled(&mut self) {
+        self.unmodeled += 1;
+        if let Some(o) = &mut self.oracle {
+            o.note_unmodeled();
+        }
+    }
+
+    /// Finishes the run: the oracle report plus the SPM overlay words.
+    pub(crate) fn finish(self) -> (OracleReport, Vec<ValueStore>) {
+        let mut report = self
+            .oracle
+            .map(CoherenceOracle::into_report)
+            .unwrap_or_default();
+        report.unmodeled = self.unmodeled;
+        (report, self.spm)
+    }
+}
+
+/// The merged final functional-memory image of a run: every non-zero word,
+/// freshest copy winning (DRAM ⊕ dirty L2 ⊕ dirty L1 ⊕ SPM-resident).
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MemoryImage(pub BTreeMap<u64, u64>);
+
+impl MemoryImage {
+    /// Number of non-zero words.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Returns `true` if the image holds no non-zero word.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The value of the word at `addr` (zero if absent).
+    pub fn word(&self, addr: u64) -> u64 {
+        self.0.get(&(addr & !7)).copied().unwrap_or(0)
+    }
+
+    /// Renders the image as sorted `address value` lines (the golden-file
+    /// format of `tests/golden/litmus/`).
+    pub fn render(&self) -> String {
+        let mut out = String::with_capacity(self.0.len() * 32 + 16);
+        for (addr, value) in &self.0 {
+            out.push_str(&format!("{addr:#018x} {value:#018x}\n"));
+        }
+        out
+    }
+}
+
+impl fmt::Display for MemoryImage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} non-zero words", self.len())
+    }
+}
+
+/// Everything a verified run produces.
+#[derive(Debug)]
+pub struct VerifyOutcome {
+    /// The ordinary timing result.
+    pub result: RunResult,
+    /// The differential checker's report.
+    pub report: OracleReport,
+    /// The merged final memory image.
+    pub image: MemoryImage,
+}
+
+impl VerifyOutcome {
+    /// Returns `true` if no divergence was observed.
+    pub fn ok(&self) -> bool {
+        self.report.ok()
+    }
+
+    /// Renders the divergences (if any) as a multi-line report.
+    pub fn divergence_report(&self) -> String {
+        self.report
+            .divergences
+            .iter()
+            .map(|d| d.to_string())
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+}
+
+/// Builds the merged image from the hierarchy image plus the SPM overlays.
+pub(crate) fn merge_image(
+    hierarchy: Option<BTreeMap<u64, u64>>,
+    spm: &[ValueStore],
+) -> MemoryImage {
+    let mut image = hierarchy.unwrap_or_default();
+    for store in spm {
+        for (addr, value) in store.nonzero_words() {
+            image.insert(addr, value);
+        }
+        // Materialised zero words override a stale non-zero DRAM word only
+        // if the SPM is the freshest copy; since DMA drains clear the SPM
+        // store, any surviving zero word is a staged background zero — the
+        // DRAM copy is equally valid, so nothing to do here.
+    }
+    MemoryImage(image)
+}
+
+/// The machine configuration the verification harness runs under: a small
+/// machine with deliberately tiny protocol structures, so capacity
+/// evictions (filter, filterDir) happen within a few hundred accesses
+/// instead of millions.
+pub fn verification_config(cores: usize) -> SystemConfig {
+    let mut cfg = SystemConfig::small(cores);
+    cfg.track_values = true;
+    cfg.protocol.filter_entries = 4;
+    cfg.protocol.filterdir_entries = 16;
+    cfg.protocol.spmdir_entries = 8;
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn image_renders_sorted_fixed_width_lines() {
+        let mut map = BTreeMap::new();
+        map.insert(0x40u64, 7u64);
+        map.insert(0x8u64, 1u64);
+        let image = MemoryImage(map);
+        assert_eq!(
+            image.render(),
+            "0x0000000000000008 0x0000000000000001\n0x0000000000000040 0x0000000000000007\n"
+        );
+        assert_eq!(image.word(0x44), 7, "sub-word lookup hits the word");
+        assert_eq!(image.word(0x100), 0);
+        assert_eq!(image.to_string(), "2 non-zero words");
+    }
+
+    #[test]
+    fn spm_overlay_wins_over_the_hierarchy() {
+        let mut hier = BTreeMap::new();
+        hier.insert(0x40u64, 1u64);
+        let mut spm = ValueStore::new();
+        spm.write_word(Addr::new(0x40), 2);
+        spm.write_word(Addr::new(0x48), 3);
+        let image = merge_image(Some(hier), &[spm]);
+        assert_eq!(image.word(0x40), 2);
+        assert_eq!(image.word(0x48), 3);
+    }
+
+    #[test]
+    fn verification_config_shrinks_the_protocol_structures() {
+        let cfg = verification_config(4);
+        assert!(cfg.track_values);
+        assert_eq!(cfg.protocol.filter_entries, 4);
+        assert_eq!(cfg.protocol.filterdir_entries, 16);
+        assert!(cfg.memory.l1d.size < simkernel::ByteSize::kib(32));
+    }
+
+    #[test]
+    fn tracking_state_follows_map_unmap_lifecycles() {
+        let mut vt = ValueTracking::new(2, true);
+        let chunk = AddressRange::new(Addr::new(0x1000), 256);
+        let protocol = spm_coherence::IdealCoherence::new(spm_coherence::ProtocolConfig::small(2));
+        vt.begin_op();
+        vt.note_get(0, 1, chunk, &protocol);
+        assert!(vt.spm_store(0, 1, Addr::new(0x1040), 9));
+        assert_eq!(
+            vt.spm_load(1, 0, 1, Addr::new(0x1040), "guarded-load(spm)", &protocol),
+            Some(9)
+        );
+        // Outside the chunk: unmodeled, skipped on both sides.
+        assert!(!vt.spm_store(0, 1, Addr::new(0x2000), 5));
+        assert_eq!(
+            vt.remote_spm_load(1, 0, Addr::new(0x1040), &protocol),
+            Some(9)
+        );
+        vt.note_put(0, 1, chunk);
+        assert!(
+            !vt.remote_spm_store(0, Addr::new(0x1040), 5),
+            "unmapped after put"
+        );
+        let (report, spm) = vt.finish();
+        assert!(report.ok());
+        assert_eq!(report.unmodeled, 2);
+        assert!(spm[0].is_empty(), "put cleared the staged words");
+    }
+}

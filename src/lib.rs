@@ -45,6 +45,7 @@ pub use cpu;
 pub use energy;
 pub use mem;
 pub use noc;
+pub use oracle;
 pub use simkernel;
 pub use spm;
 pub use spm_coherence as coherence;
