@@ -31,6 +31,12 @@ pub struct Filter {
     capacity: usize,
     /// `(base address, last-use tick)` pairs; LRU approximated by the tick.
     entries: Vec<(Addr, u64)>,
+    /// Index of the most recently hit entry.  Guarded accesses have strong
+    /// temporal locality on their base address, so checking this slot first
+    /// short-circuits the CAM scan on the common repeat-hit; verified
+    /// against the stored address before use, so a stale hint only costs
+    /// the fallback scan.
+    mru: usize,
     tick: u64,
     lookups: u64,
     hits: u64,
@@ -51,6 +57,7 @@ impl Filter {
         Filter {
             capacity,
             entries: Vec::with_capacity(capacity),
+            mru: 0,
             tick: 0,
             lookups: 0,
             hits: 0,
@@ -86,8 +93,16 @@ impl Filter {
         self.lookups += 1;
         self.tick += 1;
         let tick = self.tick;
-        if let Some(entry) = self.entries.iter_mut().find(|(a, _)| *a == gm_base) {
-            entry.1 = tick;
+        if let Some(entry) = self.entries.get_mut(self.mru) {
+            if entry.0 == gm_base {
+                entry.1 = tick;
+                self.hits += 1;
+                return true;
+            }
+        }
+        if let Some(idx) = self.entries.iter().position(|(a, _)| *a == gm_base) {
+            self.entries[idx].1 = tick;
+            self.mru = idx;
             self.hits += 1;
             true
         } else {

@@ -224,12 +224,6 @@ impl SpmCoherenceProtocol {
         self.address_map.spm_addr(owner, spm_offset)
     }
 
-    /// Aggregates the per-structure counters into the protocol stats.
-    fn refresh_structure_counters(&mut self) {
-        self.stats.filter_lookups = self.filters.iter().map(Filter::lookups).sum();
-        self.stats.filter_hits = self.filters.iter().map(Filter::hits).sum();
-    }
-
     fn gm_access(
         &mut self,
         core: CoreId,
@@ -377,7 +371,6 @@ impl CoherenceSupport for SpmCoherenceProtocol {
             } else {
                 spms[core.index()].read_local()
             };
-            self.refresh_structure_counters();
             return GuardedOutcome {
                 latency: cam + spm_latency,
                 target: GuardedTarget::LocalSpm { buffer },
@@ -388,10 +381,21 @@ impl CoherenceSupport for SpmCoherenceProtocol {
         }
 
         // Case (a): the filter knows the chunk is not mapped anywhere.
-        if self.filters[core.index()].lookup(base) {
+        //
+        // This is the only place filter lookups happen, so the aggregate
+        // protocol counters are maintained incrementally here (a gated
+        // filter counts nothing) instead of re-summing every core's filter
+        // on each access.
+        let filter = &mut self.filters[core.index()];
+        let filter_gated = filter.is_gated_off();
+        let filter_hit = filter.lookup(base);
+        if !filter_gated {
+            self.stats.filter_lookups += 1;
+            self.stats.filter_hits += filter_hit as u64;
+        }
+        if filter_hit {
             let (gm_latency, served_by) = self.gm_access(core, addr, is_write, memsys);
             self.stats.served_by_gm += 1;
-            self.refresh_structure_counters();
             return GuardedOutcome {
                 // The filter lookup happens in parallel with the L1 tag
                 // access, so the common case adds no latency.
@@ -419,7 +423,6 @@ impl CoherenceSupport for SpmCoherenceProtocol {
             self.filter_insert(core, base, memsys);
             let (gm_latency, served_by) = self.gm_access(core, addr, is_write, memsys);
             self.stats.served_by_gm += 1;
-            self.refresh_structure_counters();
             return GuardedOutcome {
                 // The buffered L1/L2 access overlaps with the directory round
                 // trip; the slower of the two defines the critical path.
@@ -468,7 +471,6 @@ impl CoherenceSupport for SpmCoherenceProtocol {
                 let _ = memsys
                     .noc_mut()
                     .send(home.node(), core.node(), MessageClass::CohProt, 8);
-                self.refresh_structure_counters();
                 GuardedOutcome {
                     latency: cam + request + broadcast + spm_latency + response,
                     target: GuardedTarget::RemoteSpm { owner },
@@ -490,7 +492,6 @@ impl CoherenceSupport for SpmCoherenceProtocol {
                 self.filter_insert(core, base, memsys);
                 let (gm_latency, served_by) = self.gm_access(core, addr, is_write, memsys);
                 self.stats.served_by_gm += 1;
-                self.refresh_structure_counters();
                 GuardedOutcome {
                     latency: cam + gm_latency.max(request + broadcast + ack),
                     target: GuardedTarget::GlobalMemory { served_by },

@@ -27,6 +27,10 @@ use mem::Addr;
 #[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SpmDir {
     entries: Vec<Option<Addr>>,
+    /// Bitmask of occupied entries, valid only while `capacity ≤ 64`; lets
+    /// `probe` skip the scan entirely when the directory is empty, the
+    /// common case for workloads that never map guarded chunks.
+    occupied: u64,
     lookups: u64,
     hits: u64,
     maps: u64,
@@ -42,6 +46,7 @@ impl SpmDir {
         assert!(entries > 0, "SPMDir needs at least one entry");
         SpmDir {
             entries: vec![None; entries],
+            occupied: 0,
             lookups: 0,
             hits: 0,
             maps: 0,
@@ -64,6 +69,9 @@ impl SpmDir {
             "buffer {buffer} outside the SPMDir"
         );
         self.entries[buffer] = Some(gm_base);
+        if buffer < 64 {
+            self.occupied |= 1 << buffer;
+        }
         self.maps += 1;
     }
 
@@ -78,11 +86,15 @@ impl SpmDir {
             "buffer {buffer} outside the SPMDir"
         );
         self.entries[buffer] = None;
+        if buffer < 64 {
+            self.occupied &= !(1 << buffer);
+        }
     }
 
     /// Clears every entry (end of a transformed loop).
     pub fn clear(&mut self) {
         self.entries.iter_mut().for_each(|e| *e = None);
+        self.occupied = 0;
     }
 
     /// CAM lookup: returns the buffer holding `gm_base`, if any.
@@ -96,8 +108,24 @@ impl SpmDir {
     }
 
     /// Lookup without touching the statistics (used by oracle models/tests).
+    #[inline]
     pub fn probe(&self, gm_base: Addr) -> Option<usize> {
-        self.entries.iter().position(|e| *e == Some(gm_base))
+        if self.entries.len() <= 64 {
+            // Walk only the occupied entries, in ascending index order —
+            // identical result to the full scan, but O(mapped) instead of
+            // O(capacity), and free when nothing is mapped.
+            let mut mask = self.occupied;
+            while mask != 0 {
+                let i = mask.trailing_zeros() as usize;
+                if self.entries[i] == Some(gm_base) {
+                    return Some(i);
+                }
+                mask &= mask - 1;
+            }
+            None
+        } else {
+            self.entries.iter().position(|e| *e == Some(gm_base))
+        }
     }
 
     /// The GM base currently mapped to `buffer`, if any.

@@ -373,16 +373,29 @@ impl CoreTimingModel {
     /// The fetch stream walks the kernel's code footprint sequentially and
     /// wraps around, which is how loops behave.
     pub fn take_due_ifetches(&mut self, code_base: Addr, code_size: u64) -> Vec<Addr> {
-        let line = 64;
         let mut fetches = Vec::new();
-        while self.fetch_bytes_accum >= line {
-            self.fetch_bytes_accum -= line;
-            let addr = code_base + (self.code_cursor % code_size.max(line));
-            self.code_cursor += line;
+        while let Some(addr) = self.next_due_ifetch(code_base, code_size) {
             fetches.push(addr);
-            self.ifetches_due += 1;
         }
         fetches
+    }
+
+    /// Pops the next due instruction-cache line fetch, if any.
+    ///
+    /// The streaming form of [`CoreTimingModel::take_due_ifetches`]: the
+    /// per-op interpreter drains fetches one at a time, so the common case
+    /// (zero or one due fetch) never materialises a `Vec`.
+    #[inline]
+    pub fn next_due_ifetch(&mut self, code_base: Addr, code_size: u64) -> Option<Addr> {
+        const LINE: u64 = 64;
+        if self.fetch_bytes_accum < LINE {
+            return None;
+        }
+        self.fetch_bytes_accum -= LINE;
+        let addr = code_base + (self.code_cursor % code_size.max(LINE));
+        self.code_cursor += LINE;
+        self.ifetches_due += 1;
+        Some(addr)
     }
 
     /// Applies the latency of one instruction fetch.

@@ -84,9 +84,13 @@ impl LoadStoreQueue {
     /// the youngest in-window store to the same address counts as a
     /// store-to-load forward.
     pub fn record_valued(&mut self, addr: Addr, is_store: bool, value: Option<u64>) {
+        // Only scan the store queue when the load actually carries a value:
+        // in timing-only mode every access records `None`, and the forward
+        // check could never count, so the (pure) scan would be wasted work
+        // on the hottest path in the simulator.
         if !is_store {
-            if let (Some(observed), Some(forwarded)) = (value, self.latest_store_value(addr)) {
-                if observed == forwarded {
+            if let Some(observed) = value {
+                if self.latest_store_value(addr) == Some(observed) {
                     self.value_forwards += 1;
                 }
             }

@@ -77,19 +77,18 @@ pub struct EvictedLine<S> {
     pub state: S,
 }
 
-#[derive(Debug, Clone, Serialize, Deserialize)]
-struct Way<S> {
-    tag: u64,
-    valid: bool,
-    state: S,
-}
-
 /// A set-associative tag array with tree-pseudoLRU replacement.
 ///
 /// The array stores a caller-defined state value `S` for every resident line
 /// (a MOESI state for coherent caches, a dirty bit for simpler ones).  Data
 /// values are not stored: the simulator is a timing model, the workload
 /// generators never depend on loaded values.
+///
+/// Internally the ways are laid out structure-of-arrays: one flat slab per
+/// field (`tags`, `valid`, `states`), addressed by `set * ways + way`.  A
+/// way scan therefore touches a dense run of tags instead of hopping through
+/// per-set `Vec<Way>` allocations, and the set index is a single AND for the
+/// power-of-two geometries every shipped configuration uses.
 ///
 /// # Example
 ///
@@ -107,7 +106,14 @@ struct Way<S> {
 #[derive(Debug, Clone)]
 pub struct CacheArray<S> {
     config: CacheConfig,
-    sets: Vec<Vec<Way<S>>>,
+    set_count: u64,
+    /// `set_count - 1`, meaningful only when `sets_pow2`.
+    set_mask: u64,
+    sets_pow2: bool,
+    ways: usize,
+    tags: Vec<u64>,
+    valid: Vec<bool>,
+    states: Vec<Option<S>>,
     plru: Vec<TreePlru>,
     hits: u64,
     misses: u64,
@@ -117,10 +123,18 @@ pub struct CacheArray<S> {
 impl<S: Clone> CacheArray<S> {
     /// Creates an empty cache with the given geometry.
     pub fn new(config: CacheConfig) -> Self {
-        let sets = config.sets() as usize;
+        let set_count = config.sets();
+        let sets = set_count as usize;
         let ways = config.ways;
+        let slots = sets * ways;
         CacheArray {
-            sets: (0..sets).map(|_| Vec::with_capacity(ways)).collect(),
+            set_count,
+            set_mask: set_count.wrapping_sub(1),
+            sets_pow2: set_count.is_power_of_two(),
+            ways,
+            tags: vec![0; slots],
+            valid: vec![false; slots],
+            states: (0..slots).map(|_| None).collect(),
             plru: (0..sets).map(|_| TreePlru::new(ways)).collect(),
             config,
             hits: 0,
@@ -141,7 +155,13 @@ impl<S: Clone> CacheArray<S> {
 
     #[inline]
     fn set_index(&self, line: LineAddr) -> usize {
-        (line.number() % self.config.sets()) as usize
+        let n = line.number();
+        let idx = if self.sets_pow2 {
+            n & self.set_mask
+        } else {
+            n % self.set_count
+        };
+        idx as usize
     }
 
     #[inline]
@@ -149,43 +169,51 @@ impl<S: Clone> CacheArray<S> {
         line.number()
     }
 
+    /// Position of the valid way holding `tag` in `set_idx`, if any.
+    #[inline]
+    fn find(&self, set_idx: usize, tag: u64) -> Option<usize> {
+        let base = set_idx * self.ways;
+        let tags = &self.tags[base..base + self.ways];
+        let valid = &self.valid[base..base + self.ways];
+        (0..self.ways).find(|&w| valid[w] && tags[w] == tag)
+    }
+
     /// Looks up a line, updating hit/miss statistics and recency on a hit.
+    #[inline]
     pub fn access(&mut self, line: LineAddr) -> Option<&mut S> {
         let set_idx = self.set_index(line);
         let tag = Self::tag(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|w| w.valid && w.tag == tag) {
+        if let Some(way) = self.find(set_idx, tag) {
             self.hits += 1;
-            self.plru[set_idx].touch(pos);
-            return Some(&mut set[pos].state);
+            self.plru[set_idx].touch(way);
+            return self.states[set_idx * self.ways + way].as_mut();
         }
         self.misses += 1;
         None
     }
 
     /// Looks up a line without updating statistics or recency.
+    #[inline]
     pub fn lookup(&self, line: LineAddr) -> Option<&S> {
         let set_idx = self.set_index(line);
         let tag = Self::tag(line);
-        self.sets[set_idx]
-            .iter()
-            .find(|w| w.valid && w.tag == tag)
-            .map(|w| &w.state)
+        self.find(set_idx, tag)
+            .and_then(|way| self.states[set_idx * self.ways + way].as_ref())
     }
 
     /// Mutable lookup without statistics or recency updates.
+    #[inline]
     pub fn lookup_mut(&mut self, line: LineAddr) -> Option<&mut S> {
         let set_idx = self.set_index(line);
         let tag = Self::tag(line);
-        self.sets[set_idx]
-            .iter_mut()
-            .find(|w| w.valid && w.tag == tag)
-            .map(|w| &mut w.state)
+        self.find(set_idx, tag)
+            .and_then(move |way| self.states[set_idx * self.ways + way].as_mut())
     }
 
     /// Returns `true` if the line is resident.
+    #[inline]
     pub fn contains(&self, line: LineAddr) -> bool {
-        self.lookup(line).is_some()
+        self.find(self.set_index(line), Self::tag(line)).is_some()
     }
 
     /// Inserts (or updates) a line and returns any line evicted to make room.
@@ -195,55 +223,35 @@ impl<S: Clone> CacheArray<S> {
     pub fn insert(&mut self, line: LineAddr, state: S) -> Option<EvictedLine<S>> {
         let set_idx = self.set_index(line);
         let tag = Self::tag(line);
-        let ways = self.config.ways;
+        let base = set_idx * self.ways;
 
-        if let Some(pos) = self.sets[set_idx]
-            .iter()
-            .position(|w| w.valid && w.tag == tag)
-        {
-            self.sets[set_idx][pos].state = state;
-            self.plru[set_idx].touch(pos);
+        if let Some(way) = self.find(set_idx, tag) {
+            self.states[base + way] = Some(state);
+            self.plru[set_idx].touch(way);
             return None;
         }
 
-        // Reuse an invalid way if one exists.
-        if let Some(pos) = self.sets[set_idx].iter().position(|w| !w.valid) {
-            self.sets[set_idx][pos] = Way {
-                tag,
-                valid: true,
-                state,
-            };
-            self.plru[set_idx].touch(pos);
-            return None;
-        }
-
-        // Grow the set until the associativity limit is reached.
-        if self.sets[set_idx].len() < ways {
-            self.sets[set_idx].push(Way {
-                tag,
-                valid: true,
-                state,
-            });
-            let pos = self.sets[set_idx].len() - 1;
-            self.plru[set_idx].touch(pos);
+        // Fill the first invalid way if one exists.  The slab starts fully
+        // invalid, so this path also covers cold fills in set order.
+        if let Some(way) = (0..self.ways).find(|&w| !self.valid[base + w]) {
+            self.tags[base + way] = tag;
+            self.valid[base + way] = true;
+            self.states[base + way] = Some(state);
+            self.plru[set_idx].touch(way);
             return None;
         }
 
         // Evict the pseudo-LRU victim.
         let victim = self.plru[set_idx].victim();
-        let old = std::mem::replace(
-            &mut self.sets[set_idx][victim],
-            Way {
-                tag,
-                valid: true,
-                state,
-            },
-        );
+        let slot = base + victim;
+        let old_tag = self.tags[slot];
+        let old_state = self.states[slot].replace(state);
+        self.tags[slot] = tag;
         self.plru[set_idx].touch(victim);
         self.evictions += 1;
         Some(EvictedLine {
-            line: LineAddr::new(old.tag),
-            state: old.state,
+            line: LineAddr::new(old_tag),
+            state: old_state.expect("valid way must hold a state"),
         })
     }
 
@@ -251,38 +259,42 @@ impl<S: Clone> CacheArray<S> {
     pub fn invalidate(&mut self, line: LineAddr) -> Option<S> {
         let set_idx = self.set_index(line);
         let tag = Self::tag(line);
-        let set = &mut self.sets[set_idx];
-        if let Some(pos) = set.iter().position(|w| w.valid && w.tag == tag) {
-            set[pos].valid = false;
-            return Some(set[pos].state.clone());
+        if let Some(way) = self.find(set_idx, tag) {
+            let slot = set_idx * self.ways + way;
+            self.valid[slot] = false;
+            return self.states[slot].take();
         }
         None
     }
 
     /// Removes every line, leaving statistics untouched.
     pub fn invalidate_all(&mut self) {
-        for set in &mut self.sets {
-            for way in set.iter_mut() {
-                way.valid = false;
-            }
+        self.valid.fill(false);
+        for state in &mut self.states {
+            *state = None;
         }
     }
 
-    /// Iterates over all resident lines and their states.
+    /// Iterates over all resident lines and their states, in slab (set, way)
+    /// order.
     pub fn resident_lines(&self) -> impl Iterator<Item = (LineAddr, &S)> {
-        self.sets
+        self.valid
             .iter()
-            .flat_map(|set| set.iter())
-            .filter(|w| w.valid)
-            .map(|w| (LineAddr::new(w.tag), &w.state))
+            .enumerate()
+            .filter(|&(_, v)| *v)
+            .map(|(slot, _)| {
+                (
+                    LineAddr::new(self.tags[slot]),
+                    self.states[slot]
+                        .as_ref()
+                        .expect("valid way must hold a state"),
+                )
+            })
     }
 
     /// Number of resident lines.
     pub fn occupancy(&self) -> usize {
-        self.sets
-            .iter()
-            .map(|set| set.iter().filter(|w| w.valid).count())
-            .sum()
+        self.valid.iter().filter(|&&v| v).count()
     }
 
     /// Number of recorded hits.

@@ -10,7 +10,7 @@
 //! Figure 10.
 
 use serde::{Deserialize, Serialize};
-use simkernel::{ByteSize, CoreId, Cycle, StatRegistry};
+use simkernel::{ByteSize, CoreId, Cycle, InternedStats, StatHandle, StatRegistry};
 
 use noc::{MessageClass, Noc, NocConfig};
 
@@ -133,7 +133,12 @@ impl Default for MemorySystemConfig {
     }
 }
 
-/// Aggregate hierarchy counters used for reports and the energy model.
+/// A point-in-time snapshot of the aggregate hierarchy counters, used for
+/// reports and the energy model.
+///
+/// The live counters are handle-indexed [`InternedStats`] bumped on the
+/// access hot paths; [`MemorySystem::counters`] materialises this struct
+/// from them on demand.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct HierarchyCounters {
     /// L1 data cache accesses (loads + stores reaching the tag array).
@@ -166,6 +171,49 @@ pub struct HierarchyCounters {
     pub dma_line_writes: u64,
 }
 
+/// Dense [`StatHandle`]s for every hierarchy counter, interned once at
+/// construction so the access paths bump a `Vec` index instead of walking a
+/// string-keyed map; [`MemorySystem::export_stats`] batch-flushes them into
+/// the report registry under the `mem.*` names.
+#[derive(Debug, Clone, Copy)]
+struct CounterHandles {
+    l1d_accesses: StatHandle,
+    l1d_hits: StatHandle,
+    l1i_accesses: StatHandle,
+    l1i_hits: StatHandle,
+    l2_accesses: StatHandle,
+    l2_hits: StatHandle,
+    dram_accesses: StatHandle,
+    l1_writebacks: StatHandle,
+    l2_evictions: StatHandle,
+    invalidations: StatHandle,
+    prefetches: StatHandle,
+    forwards: StatHandle,
+    dma_line_reads: StatHandle,
+    dma_line_writes: StatHandle,
+}
+
+impl CounterHandles {
+    fn register(stats: &mut InternedStats) -> Self {
+        CounterHandles {
+            l1d_accesses: stats.intern_count("mem.l1d.accesses"),
+            l1d_hits: stats.intern_count("mem.l1d.hits"),
+            l1i_accesses: stats.intern_count("mem.l1i.accesses"),
+            l1i_hits: stats.intern_count("mem.l1i.hits"),
+            l2_accesses: stats.intern_count("mem.l2.accesses"),
+            l2_hits: stats.intern_count("mem.l2.hits"),
+            dram_accesses: stats.intern_count("mem.dram.accesses"),
+            l1_writebacks: stats.intern_count("mem.l1.writebacks"),
+            l2_evictions: stats.intern_count("mem.l2.evictions"),
+            invalidations: stats.intern_count("mem.invalidations"),
+            prefetches: stats.intern_count("mem.prefetches"),
+            forwards: stats.intern_count("mem.forwards"),
+            dma_line_reads: stats.intern_count("mem.dma.line_reads"),
+            dma_line_writes: stats.intern_count("mem.dma.line_writes"),
+        }
+    }
+}
+
 /// The full memory hierarchy shared by all cores.
 ///
 /// # Example
@@ -194,7 +242,13 @@ pub struct MemorySystem {
     prefetchers: Vec<StridePrefetcher>,
     mshrs: Vec<MshrFile>,
     dram: DramModel,
-    counters: HierarchyCounters,
+    stats: InternedStats,
+    handles: CounterHandles,
+    /// `cores - 1`, meaningful only when `cores_pow2`: the home-slice hash
+    /// runs on every access of every core, so the usual power-of-two core
+    /// counts take an AND instead of a modulo.
+    cores_mask: u64,
+    cores_pow2: bool,
     /// Optional functional memory: per-L1, per-L2-slice and DRAM value
     /// copies, moved along the same paths as the modelled transactions.
     values: Option<HierarchyValues>,
@@ -223,6 +277,8 @@ impl MemorySystem {
     /// Builds the hierarchy for the given configuration.
     pub fn new(config: MemorySystemConfig) -> Self {
         let cores = config.cores;
+        let mut stats = InternedStats::new();
+        let handles = CounterHandles::register(&mut stats);
         MemorySystem {
             noc: Noc::new(config.noc),
             l1i: (0..cores)
@@ -242,7 +298,10 @@ impl MemorySystem {
                 .collect(),
             dram: DramModel::new(config.dram.clone(), cores),
             config,
-            counters: HierarchyCounters::default(),
+            stats,
+            handles,
+            cores_mask: (cores as u64).wrapping_sub(1),
+            cores_pow2: cores.is_power_of_two(),
             values: None,
         }
     }
@@ -289,14 +348,38 @@ impl MemorySystem {
         self.noc.advance_to(now);
     }
 
-    /// Aggregate counters for reports and the energy model.
-    pub fn counters(&self) -> &HierarchyCounters {
-        &self.counters
+    /// A snapshot of the aggregate counters for reports and the energy model.
+    pub fn counters(&self) -> HierarchyCounters {
+        let s = &self.stats;
+        let h = &self.handles;
+        HierarchyCounters {
+            l1d_accesses: s.get(h.l1d_accesses),
+            l1d_hits: s.get(h.l1d_hits),
+            l1i_accesses: s.get(h.l1i_accesses),
+            l1i_hits: s.get(h.l1i_hits),
+            l2_accesses: s.get(h.l2_accesses),
+            l2_hits: s.get(h.l2_hits),
+            dram_accesses: s.get(h.dram_accesses),
+            l1_writebacks: s.get(h.l1_writebacks),
+            l2_evictions: s.get(h.l2_evictions),
+            invalidations: s.get(h.invalidations),
+            prefetches: s.get(h.prefetches),
+            forwards: s.get(h.forwards),
+            dma_line_reads: s.get(h.dma_line_reads),
+            dma_line_writes: s.get(h.dma_line_writes),
+        }
     }
 
     /// Which L2 slice (core/tile index) is home for a line.
+    #[inline]
     pub fn home_slice(&self, line: LineAddr) -> CoreId {
-        CoreId::new((line.number() % self.config.cores as u64) as usize)
+        let n = line.number();
+        let idx = if self.cores_pow2 {
+            n & self.cores_mask
+        } else {
+            n % self.config.cores as u64
+        };
+        CoreId::new(idx as usize)
     }
 
     /// Returns `true` if any L1 or L2 slice currently holds the line.
@@ -454,10 +537,10 @@ impl MemorySystem {
 
     fn ifetch(&mut self, core: CoreId, addr: Addr) -> MemAccessResult {
         let line = addr.line();
-        self.counters.l1i_accesses += 1;
+        self.stats.inc(self.handles.l1i_accesses);
         let l1_latency = self.config.l1i.latency;
         if self.l1i[core.index()].access(line).is_some() {
-            self.counters.l1i_hits += 1;
+            self.stats.inc(self.handles.l1i_hits);
             return MemAccessResult {
                 latency: l1_latency,
                 served_by: ServedBy::L1,
@@ -485,19 +568,28 @@ impl MemorySystem {
     ) -> MemAccessResult {
         let line = addr.line();
         let is_write = kind.is_write();
-        self.counters.l1d_accesses += 1;
+        self.stats.inc(self.handles.l1d_accesses);
         let l1_latency = self.config.l1d.latency;
 
-        let l1_state = self.l1d[core.index()].access(line).copied();
+        // The tag-array access hands back the resident state mutably, so a
+        // silent write hit flips it to Modified right here instead of paying
+        // a second way scan through `lookup_mut`.
+        let l1_state = match self.l1d[core.index()].access(line) {
+            Some(s) => {
+                let before = *s;
+                if is_write && before.can_write_silently() {
+                    *s = MoesiState::Modified;
+                }
+                Some(before)
+            }
+            None => None,
+        };
 
         let result = match l1_state {
             Some(state) if !is_write || state.can_write_silently() => {
                 // Plain hit.
-                self.counters.l1d_hits += 1;
+                self.stats.inc(self.handles.l1d_hits);
                 if is_write {
-                    if let Some(s) = self.l1d[core.index()].lookup_mut(line) {
-                        *s = MoesiState::Modified;
-                    }
                     self.set_directory_owner(core, line, MoesiState::Modified);
                 }
                 MemAccessResult {
@@ -508,7 +600,7 @@ impl MemorySystem {
             }
             Some(_) => {
                 // Write hit on a Shared/Owned line: upgrade (invalidate peers).
-                self.counters.l1d_hits += 1;
+                self.stats.inc(self.handles.l1d_hits);
                 let upgrade_latency = self.upgrade_for_write(core, line, class);
                 if let Some(s) = self.l1d[core.index()].lookup_mut(line) {
                     *s = MoesiState::Modified;
@@ -560,19 +652,16 @@ impl MemorySystem {
         // Request to the home slice.
         let request = self.noc.send(core_node, home_node, class, 8);
         let l2_latency = self.config.l2_slice.latency;
-        self.counters.l2_accesses += 1;
+        self.stats.inc(self.handles.l2_accesses);
 
-        let l2_hit = self.l2[home.index()].access(line).is_some();
+        let l2_entry = self.l2[home.index()].access(line).map(|e| *e);
         let mut fill_values: Option<LineValues> = None;
-        let (beyond_l2, served_by) = if l2_hit {
-            self.counters.l2_hits += 1;
-            let entry = *self.l2[home.index()]
-                .lookup(line)
-                .expect("hit line present");
+        let (beyond_l2, served_by) = if let Some(entry) = l2_entry {
+            self.stats.inc(self.handles.l2_hits);
             if entry.has_dirty_owner() && entry.owner() != Some(core) {
                 // Forward from the dirty owner's L1 straight to the requestor.
                 let owner = entry.owner().expect("dirty owner");
-                self.counters.forwards += 1;
+                self.stats.inc(self.handles.forwards);
                 let fwd = self.noc.send(home_node, owner.node(), class, 8);
                 let data = self.noc.send(owner.node(), core_node, class, LINE_BYTES);
                 if let Some(vals) = &self.values {
@@ -586,7 +675,7 @@ impl MemorySystem {
                     if let Some(vals) = &mut self.values {
                         vals.l1d[owner.index()].remove_line(line);
                     }
-                    self.counters.invalidations += 1;
+                    self.stats.inc(self.handles.invalidations);
                 } else if let Some(s) = self.l1d[owner.index()].lookup_mut(line) {
                     *s = MoesiState::Owned;
                 }
@@ -631,29 +720,30 @@ impl MemorySystem {
             Cycle::ZERO
         };
 
-        // Update directory state at the home slice.
-        let new_state = if is_write {
-            MoesiState::Modified
-        } else {
-            let entry = self.l2[home.index()]
-                .lookup(line)
-                .copied()
-                .unwrap_or_default();
-            if entry.is_unshared() {
+        // Update directory state at the home slice (one lookup decides the
+        // fill state and applies the update; an absent entry is unshared, so
+        // a read fill without one is Exclusive, matching the old default).
+        let new_state = if let Some(entry) = self.l2[home.index()].lookup_mut(line) {
+            let state = if is_write {
+                MoesiState::Modified
+            } else if entry.is_unshared() {
                 MoesiState::Exclusive
             } else {
                 MoesiState::Shared
-            }
-        };
-        if let Some(entry) = self.l2[home.index()].lookup_mut(line) {
+            };
             if is_write {
                 entry.clear_sharers();
             }
-            entry.add_sharer(core, new_state);
+            entry.add_sharer(core, state);
             if is_write {
                 entry.l2_dirty = true;
             }
-        }
+            state
+        } else if is_write {
+            MoesiState::Modified
+        } else {
+            MoesiState::Exclusive
+        };
 
         // Fill the L1, handling the victim.
         self.fill_l1(core, line, new_state, class, fill_values);
@@ -694,8 +784,9 @@ impl MemorySystem {
             None => return Cycle::ZERO,
         };
         let mut worst = Cycle::ZERO;
-        let sharers: Vec<CoreId> = entry.sharers_except(requestor).collect();
-        for sharer in sharers {
+        // `entry` is a copy of the directory word, so the sharer bitmask can
+        // be walked directly while the caches are updated.
+        for sharer in entry.sharers_except(requestor) {
             self.l1d[sharer.index()].invalidate(line);
             if let Some(vals) = &mut self.values {
                 // The requestor's own copy (about to be written) is at least
@@ -703,7 +794,7 @@ impl MemorySystem {
                 // values is needed here.
                 vals.l1d[sharer.index()].remove_line(line);
             }
-            self.counters.invalidations += 1;
+            self.stats.inc(self.handles.invalidations);
             let inv = self
                 .noc
                 .send(home.node(), sharer.node(), MessageClass::WbRepl, 8);
@@ -741,7 +832,7 @@ impl MemorySystem {
                 .and_then(|v| v.l1d[core.index()].remove_line(victim.line));
             if victim.state.is_dirty() {
                 // Write the dirty victim back to its home L2 slice.
-                self.counters.l1_writebacks += 1;
+                self.stats.inc(self.handles.l1_writebacks);
                 let _ = self.noc.send(
                     core.node(),
                     victim_home.node(),
@@ -785,10 +876,10 @@ impl MemorySystem {
     ) -> (Cycle, ServedBy) {
         let home = self.home_slice(line);
         let request = self.noc.send(core.node(), home.node(), class, 8);
-        self.counters.l2_accesses += 1;
+        self.stats.inc(self.handles.l2_accesses);
         let l2_latency = self.config.l2_slice.latency;
         if self.l2[home.index()].access(line).is_some() {
-            self.counters.l2_hits += 1;
+            self.stats.inc(self.handles.l2_hits);
             let data = self.noc.send(home.node(), core.node(), class, LINE_BYTES);
             (request + l2_latency + data, ServedBy::L2)
         } else {
@@ -801,7 +892,7 @@ impl MemorySystem {
     /// Fetches a line from DRAM into the home L2 slice (allocating it there)
     /// and returns the latency of the DRAM leg.
     fn dram_fetch(&mut self, home: CoreId, line: LineAddr, class: MessageClass) -> Cycle {
-        self.counters.dram_accesses += 1;
+        self.stats.inc(self.handles.dram_accesses);
         let mem_node = self.dram.node_for(line);
         let to_mem = self.noc.send(home.node(), mem_node, class, 8);
         let dram_latency = self.dram.access(line);
@@ -815,12 +906,11 @@ impl MemorySystem {
     /// data to memory).
     fn allocate_in_l2(&mut self, home: CoreId, line: LineAddr, entry: DirectoryEntry) {
         if let Some(victim) = self.l2[home.index()].insert(line, entry) {
-            self.counters.l2_evictions += 1;
+            self.stats.inc(self.handles.l2_evictions);
             // Back-invalidate every L1 holding the victim (inclusive L2).
             let mut any_dirty_l1 = false;
             let mut dirty_l1_values: Option<LineValues> = None;
-            let sharers: Vec<CoreId> = victim.state.sharers().collect();
-            for sharer in sharers {
+            for sharer in victim.state.sharers() {
                 let dropped_values = self
                     .values
                     .as_mut()
@@ -831,7 +921,7 @@ impl MemorySystem {
                         dirty_l1_values = dropped_values.or(dirty_l1_values);
                     }
                 }
-                self.counters.invalidations += 1;
+                self.stats.inc(self.handles.invalidations);
                 let _ = self
                     .noc
                     .send(home.node(), sharer.node(), MessageClass::WbRepl, 8);
@@ -845,7 +935,7 @@ impl MemorySystem {
                 .and_then(|v| v.l2[home.index()].remove_line(victim.line));
             if victim.state.l2_dirty || any_dirty_l1 {
                 // Write the dirty victim back to memory.
-                self.counters.dram_accesses += 1;
+                self.stats.inc(self.handles.dram_accesses);
                 let mem_node = self.dram.node_for(victim.line);
                 let _ = self
                     .noc
@@ -871,17 +961,17 @@ impl MemorySystem {
         if self.l1d[core.index()].contains(line) {
             return;
         }
-        self.counters.prefetches += 1;
+        self.stats.inc(self.handles.prefetches);
         let home = self.home_slice(line);
         // Prefetch request + data response are real traffic (Read group).
         let _ = self
             .noc
             .send(core.node(), home.node(), MessageClass::Read, 8);
-        self.counters.l2_accesses += 1;
+        self.stats.inc(self.handles.l2_accesses);
         if self.l2[home.index()].access(line).is_none() {
             self.dram_prefetch_fill(home, line);
         } else {
-            self.counters.l2_hits += 1;
+            self.stats.inc(self.handles.l2_hits);
         }
         let entry = self.l2[home.index()]
             .lookup(line)
@@ -894,7 +984,7 @@ impl MemorySystem {
             // later writes go through an upgrade (and invalidate this copy)
             // instead of happening silently next to a stale prefetched line.
             let owner = entry.owner().expect("dirty owner");
-            self.counters.forwards += 1;
+            self.stats.inc(self.handles.forwards);
             let _ = self
                 .noc
                 .send(home.node(), owner.node(), MessageClass::Read, 8);
@@ -932,7 +1022,7 @@ impl MemorySystem {
     }
 
     fn dram_prefetch_fill(&mut self, home: CoreId, line: LineAddr) {
-        self.counters.dram_accesses += 1;
+        self.stats.inc(self.handles.dram_accesses);
         let mem_node = self.dram.node_for(line);
         let _ = self.noc.send(home.node(), mem_node, MessageClass::Read, 8);
         let _ = self.dram.access(line);
@@ -973,20 +1063,20 @@ impl MemorySystem {
         requestor: CoreId,
         line: LineAddr,
     ) -> (Cycle, Option<LineValues>) {
-        self.counters.dma_line_reads += 1;
+        self.stats.inc(self.handles.dma_line_reads);
         let home = self.home_slice(line);
         let request = self
             .noc
             .send(requestor.node(), home.node(), MessageClass::Dma, 8);
-        self.counters.l2_accesses += 1;
+        self.stats.inc(self.handles.l2_accesses);
         let l2_latency = self.config.l2_slice.latency;
 
         let entry = self.l2[home.index()].lookup(line).copied();
         let mut read_values: Option<LineValues> = None;
         let beyond = match entry {
             Some(e) if e.has_dirty_owner() => {
-                self.counters.l2_hits += 1;
-                self.counters.forwards += 1;
+                self.stats.inc(self.handles.l2_hits);
+                self.stats.inc(self.handles.forwards);
                 let owner = e.owner().expect("dirty owner");
                 if let Some(vals) = &self.values {
                     read_values = Some(
@@ -1008,7 +1098,7 @@ impl MemorySystem {
                 fwd + data
             }
             Some(_) => {
-                self.counters.l2_hits += 1;
+                self.stats.inc(self.handles.l2_hits);
                 if let Some(vals) = &self.values {
                     read_values = Some(
                         vals.l2[home.index()]
@@ -1022,7 +1112,7 @@ impl MemorySystem {
                     .send(home.node(), requestor.node(), MessageClass::Dma, LINE_BYTES)
             }
             None => {
-                self.counters.dram_accesses += 1;
+                self.stats.inc(self.handles.dram_accesses);
                 if let Some(vals) = &self.values {
                     read_values = Some(vals.dram.line(line).copied().unwrap_or_default());
                 }
@@ -1058,12 +1148,12 @@ impl MemorySystem {
         line: LineAddr,
         words: Option<&[Option<u64>; WORDS_PER_LINE]>,
     ) -> Cycle {
-        self.counters.dma_line_writes += 1;
+        self.stats.inc(self.handles.dma_line_writes);
         let home = self.home_slice(line);
         let data = self
             .noc
             .send(requestor.node(), home.node(), MessageClass::Dma, LINE_BYTES);
-        self.counters.l2_accesses += 1;
+        self.stats.inc(self.handles.l2_accesses);
         let l2_latency = self.config.l2_slice.latency;
 
         // A partial-line put merges with the current line contents: flush
@@ -1077,13 +1167,12 @@ impl MemorySystem {
 
         // Invalidate every cached copy.
         if let Some(entry) = self.l2[home.index()].lookup(line).copied() {
-            let sharers: Vec<CoreId> = entry.sharers().collect();
-            for sharer in sharers {
+            for sharer in entry.sharers() {
                 self.l1d[sharer.index()].invalidate(line);
                 if let Some(vals) = &mut self.values {
                     vals.l1d[sharer.index()].remove_line(line);
                 }
-                self.counters.invalidations += 1;
+                self.stats.inc(self.handles.invalidations);
                 let _ = self
                     .noc
                     .send(home.node(), sharer.node(), MessageClass::Dma, 8);
@@ -1098,7 +1187,7 @@ impl MemorySystem {
         }
 
         // Write the line to memory.
-        self.counters.dram_accesses += 1;
+        self.stats.inc(self.handles.dram_accesses);
         if let (Some(vals), Some(words)) = (&mut self.values, words) {
             for (w, value) in words.iter().enumerate() {
                 if let Some(value) = value {
@@ -1121,28 +1210,17 @@ impl MemorySystem {
 
     /// Exports the hierarchy counters into a [`StatRegistry`], together with
     /// the NoC traffic.
+    ///
+    /// The interned counters flush under their registered `mem.*` names in
+    /// one batch; only the derived figures (misses, hit ratio) are computed
+    /// here.
     pub fn export_stats(&self, stats: &mut StatRegistry) {
-        let c = &self.counters;
-        stats.add_count("mem.l1d.accesses", c.l1d_accesses);
-        stats.add_count("mem.l1d.hits", c.l1d_hits);
-        stats.add_count("mem.l1d.misses", c.l1d_accesses - c.l1d_hits);
-        stats.add_count("mem.l1i.accesses", c.l1i_accesses);
-        stats.add_count("mem.l1i.hits", c.l1i_hits);
-        stats.add_count("mem.l2.accesses", c.l2_accesses);
-        stats.add_count("mem.l2.hits", c.l2_hits);
-        stats.add_count("mem.dram.accesses", c.dram_accesses);
-        stats.add_count("mem.l1.writebacks", c.l1_writebacks);
-        stats.add_count("mem.l2.evictions", c.l2_evictions);
-        stats.add_count("mem.invalidations", c.invalidations);
-        stats.add_count("mem.prefetches", c.prefetches);
-        stats.add_count("mem.forwards", c.forwards);
-        stats.add_count("mem.dma.line_reads", c.dma_line_reads);
-        stats.add_count("mem.dma.line_writes", c.dma_line_writes);
-        if c.l1d_accesses > 0 {
-            stats.set_value(
-                "mem.l1d.hit_ratio",
-                c.l1d_hits as f64 / c.l1d_accesses as f64,
-            );
+        self.stats.export_into(stats);
+        let accesses = self.stats.get(self.handles.l1d_accesses);
+        let hits = self.stats.get(self.handles.l1d_hits);
+        stats.add_count("mem.l1d.misses", accesses - hits);
+        if accesses > 0 {
+            stats.set_value("mem.l1d.hit_ratio", hits as f64 / accesses as f64);
         }
         self.noc.export_stats(stats);
     }

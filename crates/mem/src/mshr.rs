@@ -6,8 +6,6 @@
 //! the buffered L1 access of a guarded load while the filter/filterDir
 //! resolution is in flight (Figure 5c/5d).
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 use simkernel::Cycle;
 
@@ -48,7 +46,11 @@ struct MshrEntry {
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct MshrFile {
     capacity: usize,
-    entries: HashMap<LineAddr, MshrEntry>,
+    /// Parallel arrays (`lines[i]` is the address of `slots[i]`): the file
+    /// holds at most a handful of entries, so a linear scan over a dense
+    /// line array is cheaper than hashing on the miss path.
+    lines: Vec<LineAddr>,
+    slots: Vec<MshrEntry>,
     merges: u64,
     allocations: u64,
     full_stalls: u64,
@@ -64,59 +66,77 @@ impl MshrFile {
         assert!(capacity > 0, "MSHR file needs at least one entry");
         MshrFile {
             capacity,
-            entries: HashMap::with_capacity(capacity),
+            lines: Vec::with_capacity(capacity),
+            slots: Vec::with_capacity(capacity),
             merges: 0,
             allocations: 0,
             full_stalls: 0,
         }
     }
 
+    #[inline]
+    fn position(&self, line: LineAddr) -> Option<usize> {
+        self.lines.iter().position(|&l| l == line)
+    }
+
     /// Registers a miss for `line` whose fill completes at `ready_at`.
     pub fn register(&mut self, line: LineAddr, ready_at: Cycle) -> MshrOutcome {
-        if let Some(entry) = self.entries.get_mut(&line) {
-            entry.merged_requests += 1;
+        if let Some(pos) = self.position(line) {
+            self.slots[pos].merged_requests += 1;
             self.merges += 1;
             return MshrOutcome::Merged;
         }
-        if self.entries.len() >= self.capacity {
+        if self.lines.len() >= self.capacity {
             self.full_stalls += 1;
             return MshrOutcome::Full;
         }
-        self.entries.insert(
-            line,
-            MshrEntry {
-                ready_at,
-                merged_requests: 0,
-            },
-        );
+        self.lines.push(line);
+        self.slots.push(MshrEntry {
+            ready_at,
+            merged_requests: 0,
+        });
         self.allocations += 1;
         MshrOutcome::Allocated
     }
 
     /// Returns the fill completion time of an outstanding miss, if any.
     pub fn ready_at(&self, line: LineAddr) -> Option<Cycle> {
-        self.entries.get(&line).map(|e| e.ready_at)
+        self.position(line).map(|pos| self.slots[pos].ready_at)
     }
 
     /// Returns `true` if a miss on `line` is outstanding.
     pub fn is_outstanding(&self, line: LineAddr) -> bool {
-        self.entries.contains_key(&line)
+        self.position(line).is_some()
     }
 
     /// Retires every entry whose fill has completed by `now`.
     pub fn retire_ready(&mut self, now: Cycle) {
-        self.entries.retain(|_, e| e.ready_at > now);
+        let mut i = 0;
+        while i < self.lines.len() {
+            if self.slots[i].ready_at > now {
+                i += 1;
+            } else {
+                self.lines.swap_remove(i);
+                self.slots.swap_remove(i);
+            }
+        }
     }
 
     /// Explicitly retires one entry (e.g. when a buffered guarded access is
     /// discarded because the data turned out to live in a remote SPM).
     pub fn retire(&mut self, line: LineAddr) -> bool {
-        self.entries.remove(&line).is_some()
+        if let Some(pos) = self.position(line) {
+            self.lines.swap_remove(pos);
+            self.slots.swap_remove(pos);
+            true
+        } else {
+            false
+        }
     }
 
     /// Number of currently outstanding misses.
     pub fn outstanding(&self) -> usize {
-        self.entries.len()
+        self.lines.len()
     }
 
     /// Total capacity of the file.
@@ -126,7 +146,7 @@ impl MshrFile {
 
     /// Returns `true` when no entry is free.
     pub fn is_full(&self) -> bool {
-        self.entries.len() >= self.capacity
+        self.lines.len() >= self.capacity
     }
 
     /// Number of merged (secondary) misses recorded.

@@ -7,8 +7,6 @@
 //! effects emerge naturally from this model because the prefetched lines are
 //! really inserted in the (finite, 4-way) L1 tag array of [`crate::hierarchy`].
 
-use std::collections::HashMap;
-
 use serde::{Deserialize, Serialize};
 
 use crate::addr::{Addr, LineAddr};
@@ -86,7 +84,11 @@ struct StreamEntry {
 #[derive(Debug, Clone)]
 pub struct StridePrefetcher {
     config: PrefetcherConfig,
-    table: HashMap<u64, StreamEntry>,
+    /// `(reference id, stream)` pairs, linearly scanned: the table is small
+    /// (64 entries) and hit on every demand access, where a scan over a
+    /// dense array beats hashing the key.  Eviction picks the minimum `lru`
+    /// tick, which is unique, so the scan order never affects behaviour.
+    table: Vec<(u64, StreamEntry)>,
     tick: u64,
     issued: u64,
 }
@@ -95,8 +97,8 @@ impl StridePrefetcher {
     /// Creates a prefetcher with the given configuration.
     pub fn new(config: PrefetcherConfig) -> Self {
         StridePrefetcher {
+            table: Vec::with_capacity(config.table_entries),
             config,
-            table: HashMap::new(),
             tick: 0,
             issued: 0,
         }
@@ -121,7 +123,12 @@ impl StridePrefetcher {
         self.tick += 1;
         let tick = self.tick;
 
-        let (stride_confirmed, stride) = match self.table.get_mut(&reference_id) {
+        let hit = self
+            .table
+            .iter_mut()
+            .find(|(id, _)| *id == reference_id)
+            .map(|(_, e)| e);
+        let (stride_confirmed, stride) = match hit {
             Some(entry) => {
                 let new_stride = addr.raw() as i64 - entry.last_addr.raw() as i64;
                 if new_stride == entry.stride && new_stride != 0 {
@@ -140,11 +147,17 @@ impl StridePrefetcher {
             None => {
                 if self.table.len() >= self.config.table_entries {
                     // Evict the least recently used stream.
-                    if let Some((&victim, _)) = self.table.iter().min_by_key(|(_, e)| e.lru) {
-                        self.table.remove(&victim);
+                    if let Some(victim) = self
+                        .table
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, (_, e))| e.lru)
+                        .map(|(i, _)| i)
+                    {
+                        self.table.swap_remove(victim);
                     }
                 }
-                self.table.insert(
+                self.table.push((
                     reference_id,
                     StreamEntry {
                         last_addr: addr,
@@ -152,7 +165,7 @@ impl StridePrefetcher {
                         confidence: 0,
                         lru: tick,
                     },
-                );
+                ));
                 (false, 0)
             }
         };

@@ -45,10 +45,14 @@ impl LinkGrid {
 
     /// The index of the directed link from `from` to the adjacent node `to`.
     ///
+    /// The event loop routes through [`LinkGrid::next_toward`]; this direct
+    /// form remains as the test oracle for it.
+    ///
     /// # Panics
     ///
     /// Panics if the nodes are not mesh neighbours (XY routes only ever
     /// traverse neighbouring tiles).
+    #[cfg(test)]
     pub(crate) fn index_between(&self, from: NodeId, to: NodeId) -> usize {
         let (fc, fr) = self.topology.coords(from);
         let (tc, tr) = self.topology.coords(to);
@@ -60,6 +64,29 @@ impl LinkGrid {
             _ => panic!("nodes {from} and {to} are not mesh neighbours"),
         };
         from.index() * 4 + dir
+    }
+
+    /// The next XY hop from `at` toward `to` with the directed-link index it
+    /// traverses, or `None` when the packet is already at its destination.
+    ///
+    /// One coordinate decomposition serves both the routing decision and the
+    /// link index, so the event loop never materialises a route.
+    #[inline]
+    pub(crate) fn next_toward(&self, at: NodeId, to: NodeId) -> Option<(NodeId, usize)> {
+        let (ac, ar) = self.topology.coords(at);
+        let (tc, tr) = self.topology.coords(to);
+        let (next, dir) = if ac < tc {
+            (at.index() + 1, EAST)
+        } else if ac > tc {
+            (at.index() - 1, WEST)
+        } else if ar < tr {
+            (at.index() + self.topology.cols(), SOUTH)
+        } else if ar > tr {
+            (at.index() - self.topology.cols(), NORTH)
+        } else {
+            return None;
+        };
+        Some((NodeId::new(next), at.index() * 4 + dir))
     }
 
     pub(crate) fn state_mut(&mut self, index: usize) -> &mut LinkState {

@@ -33,22 +33,32 @@ use crate::traffic::TrafficAccountant;
 use link::LinkGrid;
 
 /// One packet in flight (or delivered) within the current batch.
-#[derive(Debug, Clone)]
+///
+/// No route is stored: XY routing is deterministic, so each event computes
+/// the next hop from the packet's current node and `dst`
+/// ([`LinkGrid::next_toward`]) instead of walking a materialised `Vec`.
+#[derive(Debug, Clone, Copy)]
 struct PacketState {
-    route: Vec<NodeId>,
+    src: NodeId,
+    dst: NodeId,
     vc: usize,
     flits: u64,
     injected_at: Cycle,
     delivered_at: Option<Cycle>,
 }
 
-/// Hop-level events of the mesh.
+/// A hop-level event of the mesh: a packet's head flit reaches the router at
+/// `node` on its XY route.
+///
+/// Injections are *not* events: pending packets wait in a time-sorted flat
+/// list and are merged into the event order by [`DesNoc::run_events`].  That
+/// keeps the event heap at the size of the in-flight population (tens of
+/// packets) instead of the whole batch (thousands), which is where a
+/// binary-heap DES spends its time.
 #[derive(Debug, Clone, Copy)]
-enum DesEvent {
-    /// A packet asks its source node's injection port for a slot.
-    Inject { packet: usize },
-    /// A packet's head flit reaches router `route[leg]`.
-    Arrive { packet: usize, leg: usize },
+struct Arrive {
+    packet: usize,
+    node: NodeId,
 }
 
 /// The discrete-event network backend.
@@ -75,8 +85,15 @@ pub struct DesNoc {
     now: Cycle,
     /// Latest delivery seen — the denominator of the utilisation figures.
     horizon: Cycle,
-    queue: EventQueue<DesEvent>,
+    queue: EventQueue<Arrive>,
     packets: Vec<PacketState>,
+    /// Packets injected but not yet granted their source's injection port:
+    /// `(injection cycle, packet index)`, in call order.  Sorted stably by
+    /// cycle at drain time, which reproduces the exact `(time, seq)` order a
+    /// per-packet heap event would give — injections are always scheduled
+    /// before the drain starts, so at equal cycles they process ahead of
+    /// every arrival, and among themselves in call order.
+    pending: Vec<(Cycle, usize)>,
     links: LinkGrid,
     inject_free: Vec<[Cycle; NUM_VIRTUAL_CHANNELS]>,
     eject_free: Vec<[Cycle; NUM_VIRTUAL_CHANNELS]>,
@@ -99,6 +116,7 @@ impl DesNoc {
             horizon: Cycle::ZERO,
             queue: EventQueue::new(),
             packets: Vec::new(),
+            pending: Vec::new(),
             links: LinkGrid::new(config.topology),
             inject_free: vec![[Cycle::ZERO; NUM_VIRTUAL_CHANNELS]; nodes],
             eject_free: vec![[Cycle::ZERO; NUM_VIRTUAL_CHANNELS]; nodes],
@@ -134,86 +152,106 @@ impl DesNoc {
         self.traffic.record(class, kind, hops.max(1));
         let id = self.packets.len();
         self.packets.push(PacketState {
-            route: self.config.topology.route(from, to),
+            src: from,
+            dst: to,
             vc: VirtualChannel::for_packet(class, kind).index(),
             flits: kind.flits(),
             injected_at: at,
             delivered_at: None,
         });
-        self.queue.schedule(at, DesEvent::Inject { packet: id });
+        self.pending.push((at, id));
         id
+    }
+
+    /// Processes every pending injection and in-flight arrival in global
+    /// `(cycle, schedule order)` order until the network is empty.
+    fn run_events(&mut self) {
+        let mut pending = std::mem::take(&mut self.pending);
+        // A stable sort keeps call order among same-cycle injections — the
+        // FIFO tie-break the event queue would apply.
+        pending.sort_by_key(|&(at, _)| at);
+        let mut next = 0;
+        loop {
+            // Injections were scheduled before any arrival of this drain,
+            // so at equal cycles the injection goes first.
+            let take_inject = match (pending.get(next), self.queue.peek_time()) {
+                (Some(&(at, _)), Some(arrive)) => at <= arrive,
+                (Some(_), None) => true,
+                (None, Some(_)) => false,
+                (None, None) => break,
+            };
+            if take_inject {
+                let (at, packet) = pending[next];
+                next += 1;
+                self.inject(at, packet);
+            } else {
+                let (when, event) = self.queue.pop().expect("peeked");
+                self.step(when, event);
+            }
+        }
+        pending.clear();
+        self.pending = pending;
     }
 
     /// Runs the event queue until every in-flight packet is delivered,
     /// folds the batch into the cumulative statistics, and returns how many
     /// packets were delivered.
     pub fn drain(&mut self) -> u64 {
-        while let Some((when, event)) = self.queue.pop() {
-            self.step(when, event);
-        }
+        self.run_events();
         let batch = self.packets.len() as u64;
-        for p in &self.packets {
+        for p in self.packets.drain(..) {
             let delivered = p
                 .delivered_at
                 .expect("drained queue leaves no packet in flight");
             self.latency.record((delivered - p.injected_at).as_f64());
         }
         self.delivered += batch;
-        self.packets.clear();
         batch
     }
 
-    fn step(&mut self, when: Cycle, event: DesEvent) {
-        match event {
-            DesEvent::Inject { packet } => {
-                let (src, vc, flits) = {
-                    let p = &self.packets[packet];
-                    (p.route[0], p.vc, p.flits)
-                };
-                let port = &mut self.inject_free[src.index()][vc];
-                let start = when.max(*port);
-                *port = start + Cycle::new(flits);
-                self.inject_wait[src.index()] += (start - when).as_u64();
-                self.queue
-                    .schedule(start, DesEvent::Arrive { packet, leg: 0 });
-            }
-            DesEvent::Arrive { packet, leg } => {
-                let (node, vc, flits, last) = {
-                    let p = &self.packets[packet];
-                    (p.route[leg], p.vc, p.flits, leg + 1 == p.route.len())
-                };
-                if last {
-                    // Local (same-tile) packets still loop through their
-                    // router once, matching the analytic `hops.max(1)`.
-                    let ready = if leg == 0 {
-                        when + Cycle::new(self.config.hop_latency())
-                    } else {
-                        when
-                    };
-                    let port = &mut self.eject_free[node.index()][vc];
-                    let granted = ready.max(*port);
-                    *port = granted + Cycle::new(flits);
-                    self.eject_wait[node.index()] += (granted - ready).as_u64();
-                    let delivered = granted + Cycle::new(flits - 1);
-                    self.packets[packet].delivered_at = Some(delivered);
-                    self.horizon = self.horizon.max(delivered);
+    /// A packet asks its source node's injection port for a slot.
+    fn inject(&mut self, when: Cycle, packet: usize) {
+        let (src, vc, flits) = {
+            let p = &self.packets[packet];
+            (p.src, p.vc, p.flits)
+        };
+        let port = &mut self.inject_free[src.index()][vc];
+        let start = when.max(*port);
+        *port = start + Cycle::new(flits);
+        self.inject_wait[src.index()] += (start - when).as_u64();
+        self.queue.schedule(start, Arrive { packet, node: src });
+    }
+
+    fn step(&mut self, when: Cycle, Arrive { packet, node }: Arrive) {
+        let p = self.packets[packet];
+        match self.links.next_toward(node, p.dst) {
+            None => {
+                // Local (same-tile) packets still loop through their
+                // router once, matching the analytic `hops.max(1)`.
+                let ready = if node == p.src {
+                    when + Cycle::new(self.config.hop_latency())
                 } else {
-                    let next = self.packets[packet].route[leg + 1];
-                    let ready = when + self.config.router_latency;
-                    let index = self.links.index_between(node, next);
-                    let state = self.links.state_mut(index);
-                    let depart = ready.max(state.free_at[vc]);
-                    state.free_at[vc] = depart + Cycle::new(flits);
-                    state.busy_cycles += flits;
-                    state.packets += 1;
-                    self.queue.schedule(
-                        depart + self.config.link_latency,
-                        DesEvent::Arrive {
-                            packet,
-                            leg: leg + 1,
-                        },
-                    );
-                }
+                    when
+                };
+                let port = &mut self.eject_free[node.index()][p.vc];
+                let granted = ready.max(*port);
+                *port = granted + Cycle::new(p.flits);
+                self.eject_wait[node.index()] += (granted - ready).as_u64();
+                let delivered = granted + Cycle::new(p.flits - 1);
+                self.packets[packet].delivered_at = Some(delivered);
+                self.horizon = self.horizon.max(delivered);
+            }
+            Some((next, link)) => {
+                let ready = when + self.config.router_latency;
+                let state = self.links.state_mut(link);
+                let depart = ready.max(state.free_at[p.vc]);
+                state.free_at[p.vc] = depart + Cycle::new(p.flits);
+                state.busy_cycles += p.flits;
+                state.packets += 1;
+                self.queue.schedule(
+                    depart + self.config.link_latency,
+                    Arrive { packet, node: next },
+                );
             }
         }
     }
@@ -297,13 +335,17 @@ impl Clone for DesNoc {
     /// The event queue is always empty then (every public entry point drains
     /// it before returning), so the clone starts from a fresh queue.
     fn clone(&self) -> Self {
-        debug_assert!(self.queue.is_empty(), "clone with packets in flight");
+        debug_assert!(
+            self.queue.is_empty() && self.pending.is_empty(),
+            "clone with packets in flight"
+        );
         DesNoc {
             config: self.config,
             now: self.now,
             horizon: self.horizon,
             queue: EventQueue::new(),
             packets: self.packets.clone(),
+            pending: Vec::new(),
             links: self.links.clone(),
             inject_free: self.inject_free.clone(),
             eject_free: self.eject_free.clone(),
@@ -333,9 +375,7 @@ impl NocBackend for DesNoc {
 
     fn send(&mut self, from: NodeId, to: NodeId, class: MessageClass, payload_bytes: u64) -> Cycle {
         let id = self.inject_at(self.now, from, to, class, payload_bytes);
-        while let Some((when, event)) = self.queue.pop() {
-            self.step(when, event);
-        }
+        self.run_events();
         let p = &self.packets[id];
         let latency = p.delivered_at.expect("drained") - p.injected_at;
         self.drain();

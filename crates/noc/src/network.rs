@@ -212,10 +212,19 @@ impl NocBackend for AnalyticNoc {
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, class: MessageClass, payload_bytes: u64) -> Cycle {
+        // Route and classify once; `latency()` would recompute both (and
+        // `zero_load_latency` a third time), and the contention term is
+        // exactly zero on an idle network, so the f64 path is skipped there.
         let hops = self.config.topology.hops(from, to).max(1);
         let kind = PacketKind::for_payload(payload_bytes);
         self.traffic.record(class, kind, hops);
-        self.latency(from, to, payload_bytes)
+        let serialization = kind.flits().saturating_sub(1);
+        let contention = if self.utilization <= 0.0 {
+            0
+        } else {
+            (self.contention_delay_per_hop() * hops as f64).round() as u64
+        };
+        Cycle::new(hops * self.config.hop_latency() + serialization + contention)
     }
 
     fn traffic(&self) -> &TrafficAccountant {
@@ -360,7 +369,12 @@ impl Noc {
     /// that core's memory traffic, so discrete-event queueing happens in
     /// simulation time rather than piling every packet onto cycle zero.
     pub fn advance_to(&mut self, now: Cycle) {
-        self.backend_mut().advance_to(now);
+        // Statically dispatched (as is `send`): both sit in the per-op hot
+        // loop, where the virtual call through `backend_mut` is measurable.
+        match &mut self.engine {
+            NocEngine::Analytic(a) => NocBackend::advance_to(a, now),
+            NocEngine::DiscreteEvent(d) => NocBackend::advance_to(d, now),
+        }
     }
 
     /// Latency of a packet between two nodes *without* recording traffic.
@@ -368,14 +382,19 @@ impl Noc {
     /// Useful for "ideal" oracle models that must not perturb the traffic
     /// statistics; under the discrete-event model this is the zero-load
     /// latency, since an unsent packet occupies no links.
+    #[inline]
     pub fn latency(&self, from: NodeId, to: NodeId, payload_bytes: u64) -> Cycle {
-        self.backend().latency(from, to, payload_bytes)
+        match &self.engine {
+            NocEngine::Analytic(a) => NocBackend::latency(a, from, to, payload_bytes),
+            NocEngine::DiscreteEvent(d) => NocBackend::latency(d, from, to, payload_bytes),
+        }
     }
 
     /// Sends one packet and returns its latency, recording the traffic.
     ///
     /// `payload_bytes` chooses between control packets (< 32 bytes: requests,
     /// acks, invalidations) and data packets (a cache line).
+    #[inline]
     pub fn send(
         &mut self,
         from: NodeId,
@@ -383,7 +402,10 @@ impl Noc {
         class: MessageClass,
         payload_bytes: u64,
     ) -> Cycle {
-        self.backend_mut().send(from, to, class, payload_bytes)
+        match &mut self.engine {
+            NocEngine::Analytic(a) => NocBackend::send(a, from, to, class, payload_bytes),
+            NocEngine::DiscreteEvent(d) => NocBackend::send(d, from, to, class, payload_bytes),
+        }
     }
 
     /// Sends a request/response pair and returns the round-trip latency.

@@ -73,6 +73,7 @@ impl MeshTopology {
     /// # Panics
     ///
     /// Panics if the node is outside the mesh.
+    #[inline]
     pub fn coords(&self, node: NodeId) -> (usize, usize) {
         let idx = node.index();
         assert!(
@@ -81,7 +82,15 @@ impl MeshTopology {
             self.cols,
             self.rows
         );
-        (idx % self.cols, idx / self.cols)
+        // Meshes built for power-of-two core counts (the common case) can
+        // decompose the row-major index with a mask and a shift instead of
+        // an integer division, which sits on the latency path of every
+        // `hops`/`route` call.
+        if self.cols.is_power_of_two() {
+            (idx & (self.cols - 1), idx >> self.cols.trailing_zeros())
+        } else {
+            (idx % self.cols, idx / self.cols)
+        }
     }
 
     /// Returns the node at a `(column, row)` coordinate.
@@ -98,6 +107,7 @@ impl MeshTopology {
     }
 
     /// Manhattan (XY-routed) hop count between two nodes.
+    #[inline]
     pub fn hops(&self, from: NodeId, to: NodeId) -> u64 {
         let (fc, fr) = self.coords(from);
         let (tc, tr) = self.coords(to);
@@ -107,9 +117,19 @@ impl MeshTopology {
     /// The sequence of nodes visited by XY routing from `from` to `to`,
     /// including both endpoints.
     pub fn route(&self, from: NodeId, to: NodeId) -> Vec<NodeId> {
+        let mut path = Vec::with_capacity(self.hops(from, to) as usize + 1);
+        self.route_into(from, to, &mut path);
+        path
+    }
+
+    /// Fills `path` with the XY route from `from` to `to` (both endpoints
+    /// included), clearing any previous contents.  Lets callers on the
+    /// per-packet path reuse one buffer instead of allocating per route.
+    pub fn route_into(&self, from: NodeId, to: NodeId, path: &mut Vec<NodeId>) {
+        path.clear();
         let (fc, fr) = self.coords(from);
         let (tc, tr) = self.coords(to);
-        let mut path = Vec::with_capacity(self.hops(from, to) as usize + 1);
+        path.reserve(fc.abs_diff(tc) + fr.abs_diff(tr) + 1);
         let mut c = fc;
         let mut r = fr;
         path.push(self.node_at(c, r));
@@ -129,7 +149,6 @@ impl MeshTopology {
             }
             path.push(self.node_at(c, r));
         }
-        path
     }
 
     /// Average hop count from `from` to every node of the mesh (including itself).

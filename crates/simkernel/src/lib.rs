@@ -43,6 +43,7 @@
 pub mod cycles;
 pub mod events;
 pub mod ids;
+pub mod interned;
 pub mod json;
 pub mod mem_units;
 pub mod rng;
@@ -52,6 +53,7 @@ pub mod table;
 pub use cycles::{Cycle, Frequency};
 pub use events::EventQueue;
 pub use ids::{CoreId, NodeId};
+pub use interned::{InternedStats, StatHandle};
 pub use json::Json;
 pub use mem_units::ByteSize;
 pub use rng::SimRng;

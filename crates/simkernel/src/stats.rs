@@ -40,16 +40,21 @@ impl Counter {
         Counter { value: 0 }
     }
 
-    /// Increments the counter by one.
+    /// Increments the counter by one, saturating at `u64::MAX`.
     #[inline]
     pub fn inc(&mut self) {
-        self.value += 1;
+        self.value = self.value.saturating_add(1);
     }
 
-    /// Increments the counter by `n`.
+    /// Increments the counter by `n`, saturating at `u64::MAX`.
+    ///
+    /// Event counters approaching `u64::MAX` are already meaningless as
+    /// measurements; pinning at the ceiling keeps a long campaign from
+    /// aborting on overflow in debug builds (or silently wrapping to a
+    /// small number in release builds).
     #[inline]
     pub fn add(&mut self, n: u64) {
-        self.value += n;
+        self.value = self.value.saturating_add(n);
     }
 
     /// Returns the current count.
@@ -309,9 +314,10 @@ impl StatRegistry {
     }
 
     /// Adds `n` to the counter named `name`, creating it if necessary.
+    /// Counters saturate at `u64::MAX` instead of wrapping.
     pub fn add_count(&mut self, name: &str, n: u64) {
         match self.entries.get_mut(name) {
-            Some(StatValue::Count(c)) => *c += n,
+            Some(StatValue::Count(c)) => *c = c.saturating_add(n),
             Some(StatValue::Value(v)) => *v += n as f64,
             None => {
                 self.entries.insert(name.to_owned(), StatValue::Count(n));
@@ -445,6 +451,24 @@ mod tests {
         assert_eq!(c.to_string(), "10");
         c.reset();
         assert_eq!(c.get(), 0);
+    }
+
+    #[test]
+    fn counter_saturates_at_u64_max() {
+        let mut c = Counter::new();
+        c.add(u64::MAX - 1);
+        c.inc();
+        assert_eq!(c.get(), u64::MAX);
+        c.inc();
+        c.add(1_000);
+        assert_eq!(c.get(), u64::MAX, "counter must pin, not wrap");
+
+        let mut reg = StatRegistry::new();
+        reg.add_count("events", u64::MAX);
+        reg.add_count("events", 42);
+        assert_eq!(reg.count("events"), u64::MAX);
+        reg.record_max("events", 7);
+        assert_eq!(reg.count("events"), u64::MAX);
     }
 
     #[test]

@@ -355,9 +355,10 @@ pub(crate) fn step_op(
         }
     }
 
-    // Instruction fetches implied by the executed instructions.
-    let fetches = ctx.cores[c].take_due_ifetches(ctx.program.code_base(), ctx.program.code_size());
-    for fetch in fetches {
+    // Instruction fetches implied by the executed instructions, drained one
+    // at a time so the common no-fetch case costs one branch.
+    let (code_base, code_size) = (ctx.program.code_base(), ctx.program.code_size());
+    while let Some(fetch) = ctx.cores[c].next_due_ifetch(code_base, code_size) {
         let result = ctx
             .memsys
             .access(core_id, fetch, AccessKind::Ifetch, MessageClass::Ifetch, 0);
