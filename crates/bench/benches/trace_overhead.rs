@@ -1,0 +1,57 @@
+//! Cost of the structured event tracer (`SystemConfig.trace`) on the
+//! machine-step throughput workload, at three settings:
+//!
+//! - `off` — the shipping default: the hot loop pays one `Option` check;
+//! - `events` — all categories recorded, sampling disabled;
+//! - `events+samples` — all categories plus the stat time-series.
+//!
+//! Timing results are bit-identical in every mode — the tracer is a pure
+//! observer (pinned by `tracing_leaves_timing_untouched`) — so this bench
+//! is what justifies keeping it off by default: the README's
+//! "Observability" section records the measured overhead.
+
+use bench::{bench_config, BENCH_SCALE};
+use criterion::{criterion_group, criterion_main, Criterion};
+use simkernel::TraceSettings;
+use system::{Machine, MachineKind};
+use workloads::nas::NasBenchmark;
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let benchmark = NasBenchmark::Cg;
+    let spec = benchmark.spec_scaled(benchmark.recommended_scale() * BENCH_SCALE);
+    let mut group = c.benchmark_group("trace_overhead");
+    group.sample_size(10);
+    let modes = [
+        ("off", TraceSettings::default()),
+        (
+            "events",
+            TraceSettings {
+                sample_interval: 0,
+                ..TraceSettings::enabled()
+            },
+        ),
+        ("events+samples", TraceSettings::enabled()),
+    ];
+    for (label, trace) in modes {
+        let mut config = bench_config();
+        config.trace = trace;
+        let result = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
+        println!(
+            "{}/{label}: {} instructions in {} cycles",
+            benchmark.name(),
+            result.instructions,
+            result.execution_time.as_u64(),
+        );
+        group.bench_function(format!("{}/{label}", benchmark.name()), |b| {
+            b.iter(|| {
+                std::hint::black_box(
+                    Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec),
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

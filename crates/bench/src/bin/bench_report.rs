@@ -243,12 +243,22 @@ fn check(path: &Path, entries: &[Entry]) -> Vec<String> {
         };
         let fresh = e.best_ops_per_sec();
         if fresh < recorded * (1.0 - REGRESSION_BUDGET) {
+            // Name the regressing entry with both medians and the relative
+            // slowdown, so a CI failure is actionable without re-running.
+            let delta = (fresh / recorded - 1.0) * 100.0;
+            let recorded_median = scrape(line, "median_ns")
+                .map(|m| format!("{m:.0}"))
+                .unwrap_or_else(|| "?".into());
             failures.push(format!(
-                "{}: {:.0} {}/s vs recorded {:.0} — beyond the {:.0}% budget",
+                "{}: measured median {} ns vs recorded {} ns \
+                 ({:.0} {}/s vs {:.0}, {:+.1}% — beyond the {:.0}% budget)",
                 e.name,
+                e.median_ns,
+                recorded_median,
                 fresh,
                 e.unit,
                 recorded,
+                delta,
                 REGRESSION_BUDGET * 100.0
             ));
         }

@@ -348,6 +348,13 @@ impl MemorySystem {
         self.noc.advance_to(now);
     }
 
+    /// The interned hot-path statistics, live: cumulative `mem.*` counter
+    /// values mid-run, which the trace sampler differentiates into a
+    /// time-series without waiting for end-of-run export.
+    pub fn interned_stats(&self) -> &InternedStats {
+        &self.stats
+    }
+
     /// A snapshot of the aggregate counters for reports and the energy model.
     pub fn counters(&self) -> HierarchyCounters {
         let s = &self.stats;

@@ -110,6 +110,11 @@ impl LinkGrid {
         self.links.iter().map(|l| l.busy_cycles).sum()
     }
 
+    /// Cumulative busy cycles of every directed link, in link index order.
+    pub(crate) fn busy_cycles_per_link(&self) -> impl Iterator<Item = u64> + '_ {
+        self.links.iter().map(|l| l.busy_cycles)
+    }
+
     /// Total packets over all links (one count per link traversed).
     pub(crate) fn total_link_traversals(&self) -> u64 {
         self.links.iter().map(|l| l.packets).sum()

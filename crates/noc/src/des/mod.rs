@@ -279,6 +279,13 @@ impl DesNoc {
         self.links.utilizations(self.horizon).collect()
     }
 
+    /// Cumulative busy cycles of every directed link (same indexing as
+    /// [`DesNoc::link_utilizations`]) — the counter the trace sampler
+    /// differentiates into per-link utilisation over time windows.
+    pub fn link_busy_cycles(&self) -> Vec<u64> {
+        self.links.busy_cycles_per_link().collect()
+    }
+
     /// Cycles packets spent queued at each node's ejection port — the
     /// per-home-node pressure figure for filterDir hotspot analysis.
     pub fn eject_wait_cycles(&self) -> &[u64] {
@@ -288,6 +295,32 @@ impl DesNoc {
     /// Cycles packets spent queued at each node's injection port.
     pub fn inject_wait_cycles(&self) -> &[u64] {
         &self.inject_wait
+    }
+
+    /// Instantaneous home-node queue depth: for each node, how many cycles
+    /// past `at` its ejection port is already committed, summed over virtual
+    /// channels.  Zero means the port is free — packets arriving at `at`
+    /// eject immediately.
+    ///
+    /// This is the mid-run counterpart of [`DesNoc::eject_wait_cycles`]
+    /// (which accumulates to end of run): the stat sampler and the
+    /// contention ablation read it while the simulation is still moving to
+    /// see *when* a filterDir home tile backs up, not just that it did.
+    pub fn home_queue_depths(&self, at: Cycle) -> Vec<u64> {
+        self.eject_free
+            .iter()
+            .map(|ports| {
+                ports
+                    .iter()
+                    .map(|&free| free.as_u64().saturating_sub(at.as_u64()))
+                    .sum()
+            })
+            .collect()
+    }
+
+    /// [`DesNoc::home_queue_depths`] at the engine's current cycle.
+    pub fn home_queue_depths_now(&self) -> Vec<u64> {
+        self.home_queue_depths(self.now)
     }
 
     /// The node with the largest ejection-queue wait, with that wait.
@@ -498,6 +531,27 @@ mod tests {
             "converging traffic must queue at the hot ejection port"
         );
         assert_eq!(noc.hottest_node().0, target);
+    }
+
+    #[test]
+    fn home_queue_snapshot_tracks_instantaneous_backlog() {
+        let mut noc = des(16);
+        let target = NodeId::new(5);
+        for src in [0usize, 1, 2, 4, 8, 12] {
+            let _ = noc.send(NodeId::new(src), target, MessageClass::Read, 64);
+        }
+        // Just after the burst the hot ejection port is still committed into
+        // the future; every other node is idle.
+        let depths = noc.home_queue_depths_now();
+        assert!(depths[target.index()] > 0, "hot home must show backlog");
+        for (node, &depth) in depths.iter().enumerate() {
+            if node != target.index() {
+                assert_eq!(depth, 0, "node {node} saw no converging traffic");
+            }
+        }
+        // Far enough in the future the backlog has fully drained.
+        let later = noc.horizon() + Cycle::new(1);
+        assert!(noc.home_queue_depths(later).iter().all(|&d| d == 0));
     }
 
     #[test]

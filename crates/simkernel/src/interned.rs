@@ -161,6 +161,19 @@ impl InternedStats {
         self.names.is_empty()
     }
 
+    /// Every registered statistic with its accumulated-since-last-flush
+    /// value, in interning order.
+    ///
+    /// For sets that are only ever exported (never flushed), the values are
+    /// cumulative over the whole run — which is what the trace sampler
+    /// differentiates into a time-series.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.names
+            .iter()
+            .zip(self.slots.iter())
+            .map(|(name, slot)| (name.as_str(), slot.pending))
+    }
+
     /// Flushes every touched statistic into `registry` and resets the
     /// pending values — the per-segment batch flush.
     ///

@@ -173,6 +173,12 @@ impl Json {
         Json::Obj(members.into_iter().map(|(k, v)| (k.into(), v)).collect())
     }
 
+    /// An object with no members (`{}`); [`Json::obj`] cannot spell this
+    /// without a type annotation on the empty iterator.
+    pub fn empty_obj() -> Json {
+        Json::Obj(BTreeMap::new())
+    }
+
     fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
         match self {
             Json::Null => out.push_str("null"),

@@ -22,6 +22,9 @@
 //!   offline, so there is no `serde_json`).
 //! * [`table`] — aligned-column plain-text table rendering shared by every
 //!   report layer.
+//! * [`trace`] — zero-cost-when-disabled structured event tracing: per-core
+//!   event rings, a periodic stat-sampling time-series, and Chrome
+//!   trace-event / Perfetto JSON export built on [`json`].
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ pub mod mem_units;
 pub mod rng;
 pub mod stats;
 pub mod table;
+pub mod trace;
 
 pub use cycles::{Cycle, Frequency};
 pub use events::EventQueue;
@@ -59,3 +63,7 @@ pub use mem_units::ByteSize;
 pub use rng::SimRng;
 pub use stats::{Counter, Histogram, RunningStat, StatRegistry};
 pub use table::TableBuilder;
+pub use trace::{
+    CategoryMask, ChromeTrace, EventRing, StatTimeSeries, TraceCategory, TraceEvent, TraceKind,
+    TraceSettings, Tracer,
+};

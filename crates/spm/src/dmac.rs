@@ -231,6 +231,14 @@ impl Dmac {
         self.pending.len()
     }
 
+    /// Number of tagged transfers still in flight at `at` — the mid-run
+    /// queue-depth gauge the trace sampler reads, as opposed to
+    /// [`Dmac::outstanding`] (which also counts completed-but-unsynced
+    /// transfers waiting for their `dma-synch`).
+    pub fn in_flight_at(&self, at: Cycle) -> usize {
+        self.pending.values().filter(|&&done| done > at).count()
+    }
+
     /// Total DMA commands processed.
     pub fn commands(&self) -> u64 {
         self.commands
@@ -373,6 +381,33 @@ mod tests {
         );
         let done = d.dma_synch(&[7], Cycle::ZERO);
         assert_eq!(done, c1.max(c2));
+    }
+
+    #[test]
+    fn in_flight_snapshot_distinguishes_done_from_moving() {
+        let mut m = memsys();
+        let mut d = dmac();
+        let c1 = d.dma_get(
+            1,
+            AddressRange::new(Addr::new(0x1000), 512),
+            Cycle::ZERO,
+            &mut m,
+            None,
+        );
+        let c2 = d.dma_get(
+            2,
+            AddressRange::new(Addr::new(0x2000), 2048),
+            Cycle::ZERO,
+            &mut m,
+            None,
+        );
+        assert!(c2 > c1);
+        assert_eq!(d.in_flight_at(Cycle::ZERO), 2);
+        // After the first completes but before the second, one is moving —
+        // even though both are still outstanding (unsynced).
+        assert_eq!(d.in_flight_at(c1), 1);
+        assert_eq!(d.outstanding(), 2);
+        assert_eq!(d.in_flight_at(c2), 0);
     }
 
     #[test]

@@ -26,6 +26,17 @@
 //! --track-values     thread real data values through the memory system
 //!                    (functional memory; timing results are unchanged —
 //!                    see the README's "Verification" section)
+//! --trace PATH       after the report, run the first selected benchmark
+//!                    once with event tracing armed and write a Chrome
+//!                    trace-event JSON (open in Perfetto / chrome://tracing)
+//!                    to PATH, or to stdout when PATH is `-` — see the
+//!                    README's "Observability" section
+//! --trace-categories LIST
+//!                    comma-separated trace categories (engine, protocol,
+//!                    dma, noc, sample; default: all)
+//! --sample-interval N
+//!                    stat-sampling period in cycles for the trace
+//!                    time-series (default 5000; 0 disables sampling)
 //! ```
 //!
 //! The cache is content-addressed over the complete run inputs, so it only
@@ -92,6 +103,12 @@ pub struct CliOptions {
     pub debug_cores: bool,
     /// Thread real data values through the memory system.
     pub track_values: bool,
+    /// Where to write a Chrome trace of one traced run (`-` for stdout).
+    pub trace: Option<String>,
+    /// Which trace categories to record.
+    pub trace_categories: simkernel::CategoryMask,
+    /// Stat-sampling period in cycles; `None` keeps the default.
+    pub sample_interval: Option<u64>,
 }
 
 impl Default for CliOptions {
@@ -107,6 +124,9 @@ impl Default for CliOptions {
             engine: ExecutionEngine::Legacy,
             debug_cores: false,
             track_values: false,
+            trace: None,
+            trace_categories: simkernel::CategoryMask::all(),
+            sample_interval: None,
         }
     }
 }
@@ -167,6 +187,24 @@ impl CliOptions {
                 }
                 "--debug-cores" => options.debug_cores = true,
                 "--track-values" => options.track_values = true,
+                "--trace" => {
+                    if let Some(path) = args.next() {
+                        options.trace = Some(path);
+                    }
+                }
+                "--trace-categories" => {
+                    if let Some(mask) = args
+                        .next()
+                        .and_then(|list| simkernel::CategoryMask::parse(&list).ok())
+                    {
+                        options.trace_categories = mask;
+                    }
+                }
+                "--sample-interval" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        options.sample_interval = Some(v);
+                    }
+                }
                 _ => {}
             }
         }
@@ -180,6 +218,11 @@ impl CliOptions {
         config.engine = self.engine;
         config.debug_cores = self.debug_cores;
         config.track_values = self.track_values;
+        config.trace.enabled = self.trace.is_some();
+        config.trace.categories = self.trace_categories;
+        if let Some(interval) = self.sample_interval {
+            config.trace.sample_interval = interval;
+        }
         config
     }
 
@@ -190,6 +233,34 @@ impl CliOptions {
             Executor::new(self.jobs),
             self.cache_dir.clone().map(ResultCache::new),
         )
+    }
+
+    /// When `--trace PATH` was given: runs the first selected benchmark once
+    /// on the proposed machine with tracing armed, writes the Chrome
+    /// trace-event JSON to PATH (`-` for stdout) and returns a one-line
+    /// summary.  Returns `None` when tracing was not requested.
+    ///
+    /// The traced run is a dedicated run — suite runs go through the result
+    /// cache, which a presentation-only artefact must not address (the cache
+    /// key pins `trace` to its default), so the trace rides on its own
+    /// uncached execution instead.
+    pub fn write_trace(&self) -> Option<Result<String, String>> {
+        let target = self.trace.as_deref()?;
+        let benchmark = *self.benchmarks.first()?;
+        let machine =
+            crate::Machine::new(crate::config::MachineKind::HybridProposed, self.config());
+        let spec = benchmark.spec_scaled(self.scale);
+        let (_, capture) = machine.run_traced(&spec);
+        let json = capture.to_chrome().dump();
+        Some(write_export(target, &json).map(|()| {
+            format!(
+                "trace: {} events ({} dropped), {} samples -> {}",
+                capture.events(),
+                capture.dropped(),
+                capture.tracer.series().len(),
+                target
+            )
+        }))
     }
 
     /// Runs the suite implied by the options.
@@ -228,7 +299,25 @@ pub enum Report {
 }
 
 /// Runs the requested report and returns the text to print.
+///
+/// When `--trace PATH` was given, also performs the traced run (see
+/// [`CliOptions::write_trace`]) and appends its one-line summary.
 pub fn run_report(report: Report, options: &CliOptions) -> String {
+    let mut out = run_report_body(report, options);
+    if let Some(traced) = options.write_trace() {
+        if !out.ends_with('\n') && !out.is_empty() {
+            out.push('\n');
+        }
+        match traced {
+            Ok(summary) => out.push_str(&summary),
+            Err(error) => out.push_str(&format!("trace failed: {error}")),
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn run_report_body(report: Report, options: &CliOptions) -> String {
     match report {
         Report::Table1 => options.config().table1(),
         Report::Table2 => workloads::characterize::to_table(&characterize()),

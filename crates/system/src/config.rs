@@ -1,6 +1,7 @@
 //! System configuration (Table 1) and machine kinds.
 
 use serde::{Deserialize, Serialize};
+use simkernel::trace::TraceSettings;
 use simkernel::{ByteSize, Frequency};
 
 use cpu::CoreConfig;
@@ -148,6 +149,13 @@ pub struct SystemConfig {
     /// `value_tracking_overhead` bench for the throughput cost), and the
     /// verification entry points arm it themselves.
     pub track_values: bool,
+    /// Structured event tracing (`--trace` on the report binaries).
+    ///
+    /// Presentation-only, like `debug_cores`: a traced run's timing, traffic
+    /// and statistics are bit-identical to an untraced one (pinned by
+    /// `tracing_leaves_timing_untouched`), so the campaign cache key pins
+    /// this to its default.
+    pub trace: TraceSettings,
 }
 
 impl SystemConfig {
@@ -172,6 +180,7 @@ impl SystemConfig {
             engine: ExecutionEngine::Legacy,
             debug_cores: false,
             track_values: false,
+            trace: TraceSettings::default(),
         }
     }
 

@@ -34,6 +34,7 @@
 //! armed, checks every observed load and staged DMA word against the flat
 //! reference memory (see [`crate::verify`]).
 
+use simkernel::trace::{TraceKind, Tracer};
 use simkernel::{ByteSize, CoreId, Cycle, EventQueue};
 
 use cpu::CoreTimingModel;
@@ -42,7 +43,7 @@ use noc::MessageClass;
 use spm::{Dmac, Scratchpad};
 use spm_coherence::{CoherenceSupport, GuardedTarget};
 use workloads::{
-    CompiledKernel, KernelExecution, MemRefClass, OpCursor, Phase, RawKernel, TraceOp,
+    CompiledKernel, KernelExecution, MemRefClass, OpCursor, Phase, RawKernel, Segment, TraceOp,
 };
 
 use crate::verify::ValueTracking;
@@ -117,6 +118,15 @@ enum OpStream<'a> {
 }
 
 impl OpStream<'_> {
+    /// The segment the next op comes from (compiled kernels only; a raw
+    /// kernel's rounds carry no segment structure).
+    fn segment(&self) -> Option<Segment> {
+        match self {
+            OpStream::Compiled(cursor) => Some(cursor.segment()),
+            OpStream::Raw { .. } => None,
+        }
+    }
+
     fn next_op(&mut self) -> Option<TraceOp> {
         match self {
             OpStream::Compiled(cursor) => cursor.next_op(),
@@ -153,6 +163,12 @@ pub(crate) struct KernelCtx<'a> {
     pub track_noc_clock: bool,
     /// Functional-memory state (+ optional oracle), when values are tracked.
     pub values: Option<&'a mut ValueTracking>,
+    /// Structured event tracer (`SystemConfig.trace` / `--debug-cores`).
+    ///
+    /// Strictly an observer, like `values`: a `None` tracer costs the hot
+    /// loop one discriminant check, and an attached one never touches
+    /// simulated time or any statistic.
+    pub tracer: Option<&'a mut Tracer>,
 }
 
 /// What [`step_op`] does when a `dma-synch` has to wait.
@@ -217,7 +233,7 @@ pub(crate) fn step_op(
         TraceOp::DmaGet { tag, buffer, chunk } => {
             let now = ctx.cores[c].now();
             let spm_values = ctx.values.as_deref_mut().map(|vt| vt.spm_store_raw(c));
-            let _completion = ctx.dmacs[c].dma_get(*tag, *chunk, now, ctx.memsys, spm_values);
+            let completion = ctx.dmacs[c].dma_get(*tag, *chunk, now, ctx.memsys, spm_values);
             ctx.spms[c].record_dma_fill(chunk.len());
             let _ = ctx.protocol.on_map(core_id, *buffer, *chunk, ctx.memsys);
             if let Some(vt) = ctx.values.as_deref_mut() {
@@ -225,20 +241,43 @@ pub(crate) fn step_op(
                 // DMA read is a read of global memory.
                 vt.note_get(c, *buffer, *chunk, &*ctx.protocol);
             }
+            if let Some(tr) = ctx.tracer.as_deref_mut() {
+                let at = now.as_u64();
+                tr.record(c, at, TraceKind::DmaGet, [completion.as_u64(), chunk.len()]);
+                tr.record(c, at, TraceKind::Map, [*buffer as u64, chunk.start().raw()]);
+            }
         }
         TraceOp::DmaPut { tag, buffer, chunk } => {
             let now = ctx.cores[c].now();
             let spm_values = ctx.values.as_deref_mut().map(|vt| vt.spm_store_raw(c));
-            let _completion = ctx.dmacs[c].dma_put(*tag, *chunk, now, ctx.memsys, spm_values);
+            let completion = ctx.dmacs[c].dma_put(*tag, *chunk, now, ctx.memsys, spm_values);
             ctx.spms[c].record_dma_drain(chunk.len());
             let _ = ctx.protocol.on_unmap(core_id, *buffer);
             if let Some(vt) = ctx.values.as_deref_mut() {
                 vt.note_put(c, *buffer, *chunk);
             }
+            if let Some(tr) = ctx.tracer.as_deref_mut() {
+                let at = now.as_u64();
+                tr.record(c, at, TraceKind::DmaPut, [completion.as_u64(), chunk.len()]);
+                tr.record(
+                    c,
+                    at,
+                    TraceKind::Unmap,
+                    [*buffer as u64, chunk.start().raw()],
+                );
+            }
         }
         TraceOp::DmaSync { tags } => {
             let now = ctx.cores[c].now();
             let done = ctx.dmacs[c].dma_synch(tags, now);
+            if let Some(tr) = ctx.tracer.as_deref_mut() {
+                tr.record(
+                    c,
+                    now.as_u64(),
+                    TraceKind::DmaSync,
+                    [done.as_u64(), tags.len() as u64],
+                );
+            }
             if policy == SyncPolicy::Park && done > now {
                 // The transfer completion is a scheduled event: the core
                 // parks and another core may run in the meantime.  The
@@ -254,6 +293,9 @@ pub(crate) fn step_op(
             ctx.cores[c].drain_memory();
             if let Some(vt) = ctx.values.as_deref_mut() {
                 vt.note_loop_end(c);
+            }
+            if let Some(tr) = ctx.tracer.as_deref_mut() {
+                tr.record(c, ctx.cores[c].now().as_u64(), TraceKind::LoopEnd, [0, 0]);
             }
         }
         TraceOp::Load {
@@ -295,6 +337,19 @@ pub(crate) fn step_op(
                         .protocol
                         .guarded_access(core_id, *addr, is_store, ctx.memsys, ctx.spms);
                     ctx.cores[c].issue_memory_access(outcome.latency, true);
+                    if let Some(tr) = ctx.tracer.as_deref_mut() {
+                        let kind = match outcome.target {
+                            GuardedTarget::GlobalMemory { .. } => TraceKind::GuardedGm,
+                            GuardedTarget::LocalSpm { .. } => TraceKind::GuardedLocalSpm,
+                            GuardedTarget::RemoteSpm { .. } => TraceKind::GuardedRemoteSpm,
+                        };
+                        tr.record(
+                            c,
+                            ctx.cores[c].now().as_u64(),
+                            kind,
+                            [addr.raw(), outcome.latency.as_u64()],
+                        );
+                    }
                     let mut value = None;
                     if ctx.values.is_some() {
                         let v_new = is_store.then(|| ctx.cores[c].next_store_value(c, *addr));
@@ -364,7 +419,41 @@ pub(crate) fn step_op(
             .access(core_id, fetch, AccessKind::Ifetch, MessageClass::Ifetch, 0);
         ctx.cores[c].apply_ifetch(result.latency, result.l1_hit);
     }
+
+    // Periodic stat sampling, keyed off the stepping core's clock (under
+    // the interleaved engine that clock is global simulation time).
+    if let Some(tr) = ctx.tracer.as_deref_mut() {
+        let now = ctx.cores[c].now();
+        if tr.sample_due(now.as_u64()) {
+            sample_stats(tr, ctx.memsys, ctx.dmacs, now);
+        }
+    }
     outcome
+}
+
+/// Snapshots the live counters into the tracer's time-series: `mem.*`
+/// interned deltas, per-home-node instantaneous queue depth and per-link
+/// busy-cycle deltas from the discrete-event NoC, and DMA in-flight counts.
+///
+/// Reads only `&self` state — sampling can never perturb the simulation.
+pub(crate) fn sample_stats(tracer: &mut Tracer, memsys: &MemorySystem, dmacs: &[Dmac], now: Cycle) {
+    let mut sample = tracer.begin_sample(now.as_u64());
+    for (name, value) in memsys.interned_stats().iter() {
+        sample.counter(name, value as f64);
+    }
+    sample.gauge(
+        "dmac.in_flight",
+        dmacs.iter().map(|d| d.in_flight_at(now)).sum::<usize>() as f64,
+    );
+    if let Some(des) = memsys.noc().des() {
+        for (node, depth) in des.home_queue_depths(now).into_iter().enumerate() {
+            sample.gauge(&format!("noc.des.home_queue.{node}"), depth as f64);
+        }
+        for (link, busy) in des.link_busy_cycles().into_iter().enumerate() {
+            sample.counter(&format!("noc.des.link_busy.{link}"), busy as f64);
+        }
+        sample.counter("noc.des.packets.delivered", des.delivered() as f64);
+    }
 }
 
 /// Moves (and checks) the value of one guarded access along the path the
@@ -434,6 +523,7 @@ pub(crate) fn run_kernel_legacy(ctx: &mut KernelCtx<'_>, trace_seed: u64) {
             // Prologue on every core.
             for (i, exec) in execs.iter_mut().enumerate() {
                 let ops = exec.prologue();
+                segment_begin(ctx, i, Segment::Prologue);
                 execute_ops(&ops, CoreId::new(i), ctx);
             }
 
@@ -447,6 +537,7 @@ pub(crate) fn run_kernel_legacy(ctx: &mut KernelCtx<'_>, trace_seed: u64) {
                         continue;
                     }
                     let ops = exec.tile(tile);
+                    segment_begin(ctx, i, Segment::Tile(tile));
                     execute_ops(&ops, CoreId::new(i), ctx);
                 }
             }
@@ -454,6 +545,7 @@ pub(crate) fn run_kernel_legacy(ctx: &mut KernelCtx<'_>, trace_seed: u64) {
             // Epilogue on every core.
             for (i, exec) in execs.iter_mut().enumerate() {
                 let ops = exec.epilogue();
+                segment_begin(ctx, i, Segment::Epilogue);
                 execute_ops(&ops, CoreId::new(i), ctx);
             }
         }
@@ -473,6 +565,18 @@ pub(crate) fn run_kernel_legacy(ctx: &mut KernelCtx<'_>, trace_seed: u64) {
 fn execute_ops(ops: &[TraceOp], core_id: CoreId, ctx: &mut KernelCtx<'_>) {
     for op in ops {
         let _ = step_op(op, core_id, ctx, SyncPolicy::StallInline);
+    }
+}
+
+/// Records a segment-boundary event on `core`'s track at its current clock.
+fn segment_begin(ctx: &mut KernelCtx<'_>, core: usize, segment: Segment) {
+    if let Some(tr) = ctx.tracer.as_deref_mut() {
+        tr.record(
+            core,
+            ctx.cores[core].now().as_u64(),
+            TraceKind::SegmentBegin,
+            [segment.code(), segment.tile_index().unwrap_or(0)],
+        );
     }
 }
 
@@ -501,6 +605,10 @@ pub(crate) fn run_kernel_interleaved(ctx: &mut KernelCtx<'_>, trace_seed: u64) {
     // because every event scheduled below fires at or after the pop that
     // scheduled it (a yield fires at the core's advanced clock, a wake at a
     // completion in the future).
+    // Last segment each core was seen in, for boundary events (compiled
+    // kernels only — raw rounds carry no segment structure).
+    let mut segments: Vec<Option<Segment>> = vec![None; cores];
+
     let mut global = Cycle::ZERO;
     while let Some((when, c)) = queue.pop() {
         debug_assert!(when >= global, "scheduler time ran backwards");
@@ -508,14 +616,34 @@ pub(crate) fn run_kernel_interleaved(ctx: &mut KernelCtx<'_>, trace_seed: u64) {
         if ctx.cores[c].is_parked() {
             debug_assert!(ctx.cores[c].runnable_at() <= when, "core woke early");
             ctx.cores[c].resume();
+            if let Some(tr) = ctx.tracer.as_deref_mut() {
+                tr.record(c, when.as_u64(), TraceKind::Resume, [when.as_u64(), 0]);
+            }
         }
         // A core that streams its last op simply leaves the scheduler and
         // waits at the kernel barrier (applied by the caller).
         while let Some(op) = cursors[c].next_op() {
+            if ctx.tracer.is_some() {
+                let segment = cursors[c].segment();
+                if segment != segments[c] {
+                    segments[c] = segment;
+                    if let Some(s) = segment {
+                        segment_begin(ctx, c, s);
+                    }
+                }
+            }
             match step_op(&op, CoreId::new(c), ctx, SyncPolicy::Park) {
                 StepOutcome::Parked { wake } => {
                     ctx.cores[c].park_until(wake);
                     queue.schedule(wake, c);
+                    if let Some(tr) = ctx.tracer.as_deref_mut() {
+                        tr.record(
+                            c,
+                            ctx.cores[c].now().as_u64(),
+                            TraceKind::Park,
+                            [wake.as_u64(), 0],
+                        );
+                    }
                     break;
                 }
                 StepOutcome::Ran => {

@@ -37,7 +37,7 @@ pub mod verify;
 pub use cli::{CliOptions, Report};
 pub use config::{ExecutionEngine, MachineKind, SystemConfig};
 pub use experiments::ExperimentSuite;
-pub use machine::{EngineAudit, KernelAudit, Machine, RunResult};
+pub use machine::{EngineAudit, KernelAudit, Machine, RunResult, TraceCapture};
 pub use report::TableBuilder;
 pub use resultio::run_result_codec;
 pub use verify::{verification_config, MemoryImage, VerifyOutcome};

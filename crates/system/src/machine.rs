@@ -1,7 +1,10 @@
 //! The full machine: drives workload traces through every hardware model.
 
 use serde::{Deserialize, Serialize};
-use simkernel::{CoreId, Cycle, StatRegistry};
+use simkernel::trace::{
+    CategoryMask, ChromeTrace, TraceCategory, TraceEvent, TraceKind, TraceSettings, Tracer,
+};
+use simkernel::{CoreId, Cycle, Json, StatRegistry};
 
 use cpu::{CoreConfig, CoreTimingModel, PhaseBreakdown};
 use energy::model::MachineFeatures;
@@ -91,6 +94,78 @@ pub struct KernelAudit {
     pub barrier: Cycle,
 }
 
+/// Everything one traced run recorded: the event rings, the sampled
+/// time-series and the per-kernel clock audit, plus enough context to render
+/// a self-describing Chrome trace-event document.
+///
+/// Produced by [`Machine::run_traced`]; [`TraceCapture::to_chrome`] renders
+/// the JSON that Perfetto / `chrome://tracing` opens directly.
+#[derive(Debug)]
+pub struct TraceCapture {
+    /// The benchmark that was traced.
+    pub benchmark: String,
+    /// Core count of the traced machine (one timeline track per core).
+    pub cores: usize,
+    /// Per-kernel start/end/barrier clocks (the kernel + barrier spans).
+    pub audit: EngineAudit,
+    /// The recorded events and sampled time-series.
+    pub tracer: Tracer,
+}
+
+impl TraceCapture {
+    /// Events currently held over all per-core rings.
+    pub fn events(&self) -> usize {
+        self.tracer.events()
+    }
+
+    /// Events evicted by ring overflow.
+    pub fn dropped(&self) -> u64 {
+        self.tracer.dropped()
+    }
+
+    /// Renders the capture as a Chrome trace-event JSON document:
+    /// per-core thread tracks carrying kernel/barrier duration spans (from
+    /// the audit), DMA/park wait spans and instant events (from the rings),
+    /// and the sampled statistics as counter tracks.  Timestamps are cycles.
+    pub fn to_chrome(&self) -> Json {
+        let mut chrome = ChromeTrace::new();
+        for core in 0..self.cores {
+            chrome.thread_name(0, core as u64, &format!("core {core}"));
+        }
+        for kernel in &self.audit.kernels {
+            for (core, (&start, &end)) in kernel.start.iter().zip(kernel.end.iter()).enumerate() {
+                chrome.duration(
+                    0,
+                    core as u64,
+                    "engine",
+                    &kernel.name,
+                    start.as_u64(),
+                    (end - start).as_u64(),
+                    Json::empty_obj(),
+                );
+                if kernel.barrier > end {
+                    chrome.duration(
+                        0,
+                        core as u64,
+                        "engine",
+                        "barrier",
+                        end.as_u64(),
+                        (kernel.barrier - end).as_u64(),
+                        Json::empty_obj(),
+                    );
+                }
+            }
+        }
+        chrome.add_tracer(&self.tracer, 0, 1);
+        chrome.finish([
+            ("benchmark", Json::str(&self.benchmark)),
+            ("cores", Json::from(self.cores as u64)),
+            ("droppedEvents", Json::from(self.dropped())),
+            ("displayTimeUnit", Json::str("ms")),
+        ])
+    }
+}
+
 /// A machine of one of the three [`MachineKind`]s, ready to run benchmarks.
 ///
 /// # Example
@@ -147,6 +222,26 @@ impl Machine {
         self.run_inner(Workload::Spec(spec), None, false).0
     }
 
+    /// Like [`Machine::run`], with event tracing forced on: returns the run
+    /// result together with the recorded [`TraceCapture`].
+    ///
+    /// Tracing honours the machine's `SystemConfig.trace` knobs (categories,
+    /// ring capacity, sampling period) but arms the tracer even when
+    /// `trace.enabled` is off, so callers need not thread the flag through.
+    pub fn run_traced(&self, spec: &BenchmarkSpec) -> (RunResult, TraceCapture) {
+        let mut machine = self.clone();
+        machine.config.trace.enabled = true;
+        let mut audit = EngineAudit::default();
+        let (result, _, tracer) = machine.run_inner(Workload::Spec(spec), Some(&mut audit), false);
+        let capture = TraceCapture {
+            benchmark: spec.name.clone(),
+            cores: machine.config.cores,
+            audit,
+            tracer: tracer.expect("tracing was armed"),
+        };
+        (result, capture)
+    }
+
     /// Like [`Machine::run`], also returning the per-kernel clock audit.
     ///
     /// Used by the scheduler-equivalence tests: the audit exposes each
@@ -170,7 +265,7 @@ impl Machine {
     /// Runs a benchmark with value tracking and the differential coherence
     /// oracle armed, regardless of `SystemConfig.track_values`.
     pub fn verify_spec(&self, spec: &BenchmarkSpec) -> VerifyOutcome {
-        let (result, verified) = self.run_inner(Workload::Spec(spec), None, true);
+        let (result, verified, _) = self.run_inner(Workload::Spec(spec), None, true);
         let (report, image) = verified.expect("oracle was armed");
         VerifyOutcome {
             result,
@@ -181,7 +276,7 @@ impl Machine {
 
     /// Runs a raw (litmus / fuzz) program under the differential oracle.
     pub fn verify_raw(&self, program: &RawKernel) -> VerifyOutcome {
-        let (result, verified) = self.run_inner(Workload::Raw(program), None, true);
+        let (result, verified, _) = self.run_inner(Workload::Raw(program), None, true);
         let (report, image) = verified.expect("oracle was armed");
         VerifyOutcome {
             result,
@@ -198,6 +293,7 @@ impl Machine {
     ) -> (
         RunResult,
         Option<(oracle::OracleReport, crate::verify::MemoryImage)>,
+        Option<Tracer>,
     ) {
         let cores = self.config.cores;
         let mode = if self.kind == MachineKind::CacheOnly {
@@ -264,6 +360,22 @@ impl Machine {
             self.warm_shared_data(compiled, &mut memsys);
         }
 
+        // One tracer serves two sinks: the trace file (when armed via the
+        // config) and the `--debug-cores` pretty-printer, which now reads the
+        // same CoreReport events instead of owning a private eprintln path.
+        // A debug-only tracer restricts itself to engine events and never
+        // samples, so it costs nothing beyond what the flag already printed.
+        let mut tracer: Option<Tracer> = if self.config.trace.enabled {
+            Some(Tracer::new(cores, &self.config.trace))
+        } else if self.config.debug_cores {
+            let mut settings = TraceSettings::enabled();
+            settings.categories = CategoryMask::NONE.with(TraceCategory::Engine);
+            settings.sample_interval = 0;
+            Some(Tracer::new(cores, &settings))
+        } else {
+            None
+        };
+
         for program in &programs {
             let start: Vec<Cycle> = if audit.is_some() {
                 core_models.iter().map(|c| c.now()).collect()
@@ -288,6 +400,7 @@ impl Machine {
                 cores: &mut core_models,
                 track_noc_clock,
                 values: values.as_mut(),
+                tracer: tracer.as_mut(),
             };
             match self.config.engine {
                 ExecutionEngine::Legacy => {
@@ -297,17 +410,31 @@ impl Machine {
                     engine::run_kernel_interleaved(&mut ctx, self.config.trace_seed)
                 }
             }
-            if self.config.debug_cores {
-                let times: Vec<u64> = core_models.iter().map(|c| c.now().as_u64()).collect();
-                let works: Vec<u64> = core_models
+            // Per-core kernel report: one CoreReport event per core on the
+            // shared tracer; `--debug-cores` pretty-prints the same events.
+            if let Some(tr) = tracer.as_mut() {
+                let reports: Vec<TraceEvent> = core_models
                     .iter()
-                    .map(|c| c.breakdown().phase(Phase::Work).as_u64())
+                    .enumerate()
+                    .map(|(core, c)| TraceEvent {
+                        cycle: c.now().as_u64(),
+                        core: core as u32,
+                        kind: TraceKind::CoreReport,
+                        payload: [c.breakdown().phase(Phase::Work).as_u64(), c.stall_cycles()],
+                    })
                     .collect();
-                let stalls: Vec<u64> = core_models.iter().map(|c| c.stall_cycles()).collect();
-                eprintln!(
-                    "kernel {} times={times:?}\n  works={works:?}\n  stalls={stalls:?}",
-                    program.name()
-                );
+                for event in &reports {
+                    tr.record(event.core as usize, event.cycle, event.kind, event.payload);
+                }
+                if self.config.debug_cores {
+                    let times: Vec<u64> = reports.iter().map(|e| e.cycle).collect();
+                    let works: Vec<u64> = reports.iter().map(|e| e.payload[0]).collect();
+                    let stalls: Vec<u64> = reports.iter().map(|e| e.payload[1]).collect();
+                    eprintln!(
+                        "kernel {} times={times:?}\n  works={works:?}\n  stalls={stalls:?}",
+                        program.name()
+                    );
+                }
             }
             // Kernel barrier: every core waits for the slowest one.
             let end: Vec<Cycle> = core_models.iter().map(|c| c.now()).collect();
@@ -317,6 +444,13 @@ impl Machine {
                 core.drain_memory();
                 // Idle barrier wait: load imbalance, not a loop phase.
                 core.idle_until(barrier);
+            }
+            // Close the kernel with one forced sample at the barrier, so
+            // short runs still get at least one time-series point per kernel.
+            if self.config.trace.enabled && self.config.trace.sample_interval != 0 {
+                if let Some(tr) = tracer.as_mut() {
+                    engine::sample_stats(tr, &memsys, &dmacs, barrier);
+                }
             }
             if let Some(audit) = audit.as_deref_mut() {
                 audit.kernels.push(KernelAudit {
@@ -334,7 +468,7 @@ impl Machine {
             (report, image)
         });
         let result = self.collect(&name, memsys, protocol, spms, dmacs, core_models);
-        (result, verified)
+        (result, verified, tracer)
     }
 
     /// Touches the shared (non-partitioned) data of every kernel — the

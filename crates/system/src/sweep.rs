@@ -93,6 +93,7 @@ pub fn run_cache_key(kind: MachineKind, config: &SystemConfig, spec: &BenchmarkS
     // different cache entries.
     let mut config = config.clone();
     config.debug_cores = false;
+    config.trace = simkernel::trace::TraceSettings::default();
     CacheKey::from_fields([
         ("format", CACHE_FORMAT.to_string()),
         ("kind", kind.id().to_owned()),
@@ -288,6 +289,10 @@ mod tests {
         let mut debug = config.clone();
         debug.debug_cores = true;
         assert_eq!(base, run_cache_key(kind, &debug, &spec));
+        let mut traced = config.clone();
+        traced.trace = simkernel::trace::TraceSettings::enabled();
+        traced.trace.sample_interval = 123;
+        assert_eq!(base, run_cache_key(kind, &traced, &spec));
         let mut rescaled = spec.clone();
         rescaled.kernels[0].outer_repeats += 1;
         assert_ne!(base, run_cache_key(kind, &config, &rescaled));

@@ -314,6 +314,37 @@ pub enum Segment {
     Done,
 }
 
+impl Segment {
+    /// A stable short name for reports and trace events.
+    pub fn label(self) -> &'static str {
+        match self {
+            Segment::Prologue => "prologue",
+            Segment::Tile(_) => "tile",
+            Segment::Epilogue => "epilogue",
+            Segment::Done => "done",
+        }
+    }
+
+    /// A dense numeric code (`payload`-friendly): 0 prologue, 1 tile,
+    /// 2 epilogue, 3 done.
+    pub fn code(self) -> u64 {
+        match self {
+            Segment::Prologue => 0,
+            Segment::Tile(_) => 1,
+            Segment::Epilogue => 2,
+            Segment::Done => 3,
+        }
+    }
+
+    /// The tile index, for tile segments.
+    pub fn tile_index(self) -> Option<u64> {
+        match self {
+            Segment::Tile(t) => Some(t),
+            _ => None,
+        }
+    }
+}
+
 /// A resumable, streaming view of one core's kernel trace.
 ///
 /// [`KernelExecution`] materializes each segment (prologue, tile, epilogue)
