@@ -3,12 +3,15 @@
 //!
 //! - `off` — the shipping default: the hot loop pays one `Option` check;
 //! - `events` — all categories recorded, sampling disabled;
-//! - `events+samples` — all categories plus the stat time-series.
+//! - `events+samples` — all categories plus the stat time-series;
+//! - `accounting` — cycle accounting (`SystemConfig.cycle_accounting`).
 //!
-//! Timing results are bit-identical in every mode — the tracer is a pure
-//! observer (pinned by `tracing_leaves_timing_untouched`) — so this bench
-//! is what justifies keeping it off by default: the README's
-//! "Observability" section records the measured overhead.
+//! Timing results are bit-identical in every mode — the tracer and the
+//! cycle accountant are pure observers (pinned by
+//! `tracing_leaves_timing_untouched` and
+//! `cycle_accounting_leaves_timing_untouched`) — so this bench is what
+//! justifies keeping both off by default: the README's "Observability"
+//! section records the measured overhead.
 
 use bench::{bench_config, BENCH_SCALE};
 use criterion::{criterion_group, criterion_main, Criterion};
@@ -22,19 +25,22 @@ fn bench_trace_overhead(c: &mut Criterion) {
     let mut group = c.benchmark_group("trace_overhead");
     group.sample_size(10);
     let modes = [
-        ("off", TraceSettings::default()),
+        ("off", TraceSettings::default(), false),
         (
             "events",
             TraceSettings {
                 sample_interval: 0,
                 ..TraceSettings::enabled()
             },
+            false,
         ),
-        ("events+samples", TraceSettings::enabled()),
+        ("events+samples", TraceSettings::enabled(), false),
+        ("accounting", TraceSettings::default(), true),
     ];
-    for (label, trace) in modes {
+    for (label, trace, accounting) in modes {
         let mut config = bench_config();
         config.trace = trace;
+        config.cycle_accounting = accounting;
         let result = Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec);
         println!(
             "{}/{label}: {} instructions in {} cycles",

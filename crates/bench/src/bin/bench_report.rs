@@ -30,7 +30,7 @@ use std::time::Instant;
 
 use bench::{bench_config, BENCH_SCALE};
 use noc::{run_synthetic, MessageClass, Noc, NocConfig, NocModel, SyntheticTraffic};
-use simkernel::{Cycle, NodeId};
+use simkernel::{Cycle, NodeId, TraceSettings};
 use system::{ExecutionEngine, Machine, MachineKind};
 use workloads::nas::NasBenchmark;
 
@@ -106,6 +106,63 @@ fn measure_step_throughput(samples: usize) -> Vec<Entry> {
                     ExecutionEngine::Legacy => 31_412_855,
                     ExecutionEngine::Interleaved => 45_565_334,
                 },
+            }
+        })
+        .collect()
+}
+
+/// The observer cost on the machine-step workload: the shipping default
+/// (tracing and accounting both off), events-only tracing, events plus the
+/// stat time-series, and cycle accounting.  Baselines are the medians
+/// recorded when the entries were introduced; `--check` gates them like
+/// every other entry, so an observer that silently becomes always-on (or
+/// grows past its budget) fails CI.
+fn measure_trace_overhead(samples: usize) -> Vec<Entry> {
+    let benchmark = NasBenchmark::Cg;
+    let spec = benchmark.spec_scaled(benchmark.recommended_scale() * BENCH_SCALE);
+    let modes: [(&'static str, TraceSettings, bool, u64); 4] = [
+        ("observers_off", TraceSettings::default(), false, 13_968_579),
+        (
+            "trace_events",
+            TraceSettings {
+                sample_interval: 0,
+                ..TraceSettings::enabled()
+            },
+            false,
+            16_453_285,
+        ),
+        (
+            "trace_events_samples",
+            TraceSettings::enabled(),
+            false,
+            15_132_363,
+        ),
+        (
+            "cycle_accounting",
+            TraceSettings::default(),
+            true,
+            14_499_311,
+        ),
+    ];
+    modes
+        .into_iter()
+        .map(|(name, trace, accounting, baseline_median_ns)| {
+            let mut config = bench_config();
+            config.trace = trace;
+            config.cycle_accounting = accounting;
+            let ops = Machine::new(MachineKind::HybridProposed, config.clone())
+                .run(&spec)
+                .instructions;
+            let (min_ns, median_ns) = sample(samples, || {
+                Machine::new(MachineKind::HybridProposed, config.clone()).run(&spec)
+            });
+            Entry {
+                name,
+                ops,
+                unit: "instructions",
+                min_ns,
+                median_ns,
+                baseline_median_ns,
             }
         })
         .collect()
@@ -288,6 +345,8 @@ fn main() {
     let step = measure_step_throughput(samples);
     eprintln!("measuring noc_des_throughput ({samples} samples per backend)...");
     let des = measure_noc_des(samples);
+    eprintln!("measuring trace_overhead ({samples} samples per mode)...");
+    let trace = measure_trace_overhead(samples);
 
     let reports = [
         (
@@ -311,6 +370,17 @@ fn main() {
                 &des,
             ),
             des,
+        ),
+        (
+            "BENCH_trace_overhead.json",
+            render(
+                "trace_overhead",
+                &rev,
+                "16 cores, NAS CG at 0.125x bench scale, HybridProposed",
+                samples,
+                &trace,
+            ),
+            trace,
         ),
     ];
 

@@ -9,7 +9,7 @@
 
 use std::collections::BTreeMap;
 
-use simkernel::{Json, TableBuilder};
+use simkernel::{CycleCategory, Json, TableBuilder};
 
 use crate::hash::f64_field;
 use crate::spec::RunDescriptor;
@@ -27,6 +27,10 @@ pub struct PointMetrics {
     pub instructions: u64,
     /// Filter hit ratio, when the proposed protocol ran and used filters.
     pub filter_hit_ratio: Option<f64>,
+    /// Machine-wide cycle-accounting totals in [`CycleCategory::ALL`]
+    /// order, when the campaign ran dedicated accounted passes
+    /// (`--cycle-accounting`).  Like the knob itself, presentation-only.
+    pub breakdown: Option<[u64; CycleCategory::COUNT]>,
 }
 
 /// One campaign point with its measurements.
@@ -167,7 +171,12 @@ pub fn summarize(records: &[PointRecord]) -> CampaignSummary {
 }
 
 /// The CSV column order used by [`to_csv`].
-pub const CSV_COLUMNS: [&str; 15] = [
+///
+/// The nine `cycles_*` columns come strictly **after** every pre-existing
+/// column (consumers that slice the first fifteen keep working); they render
+/// empty unless the campaign ran accounted passes.  A test pins their names
+/// to [`CycleCategory::ALL`].
+pub const CSV_COLUMNS: [&str; 24] = [
     "benchmark",
     "machine",
     "cores",
@@ -183,6 +192,15 @@ pub const CSV_COLUMNS: [&str; 15] = [
     "total_energy_j",
     "instructions",
     "filter_hit_ratio",
+    "cycles_compute",
+    "cycles_ifetch",
+    "cycles_lsq_stall",
+    "cycles_miss_wait",
+    "cycles_dma_wait",
+    "cycles_barrier_wait",
+    "cycles_noc_queue",
+    "cycles_protocol",
+    "cycles_park",
 ];
 
 /// Exports every record as CSV, one row per point, header included.
@@ -196,7 +214,7 @@ pub fn to_csv(records: &[PointRecord]) -> String {
         let d = &r.descriptor;
         let m = &r.metrics;
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             d.benchmark,
             d.machine,
             d.cores,
@@ -213,6 +231,13 @@ pub fn to_csv(records: &[PointRecord]) -> String {
             m.instructions,
             opt(&m.filter_hit_ratio),
         ));
+        for i in 0..CycleCategory::COUNT {
+            out.push(',');
+            if let Some(breakdown) = &m.breakdown {
+                out.push_str(&breakdown[i].to_string());
+            }
+        }
+        out.push('\n');
     }
     out
 }
@@ -268,6 +293,18 @@ pub fn to_json(records: &[PointRecord]) -> String {
                         ("total_energy_j", Json::from(m.total_energy_j)),
                         ("instructions", Json::from(m.instructions)),
                         ("filter_hit_ratio", Json::from(m.filter_hit_ratio)),
+                        (
+                            "breakdown",
+                            m.breakdown.map_or(Json::Null, |counts| {
+                                Json::obj(
+                                    CycleCategory::ALL
+                                        .iter()
+                                        .zip(counts)
+                                        .map(|(category, count)| (category.id(), Json::from(count)))
+                                        .collect::<Vec<_>>(),
+                                )
+                            }),
+                        ),
                     ]),
                 ),
             ])
@@ -289,6 +326,7 @@ mod tests {
                 total_energy_j: energy,
                 instructions: 1000,
                 filter_hit_ratio: (machine == "hybrid-proposed").then_some(0.97),
+                breakdown: None,
             },
         }
     }
@@ -355,6 +393,28 @@ mod tests {
         // Optional fields render empty, not "None".
         assert!(!csv.contains("None"));
         assert!(lines[3].contains("0.97"));
+        // Every row has every column; unaccounted breakdowns are blank.
+        for line in &lines[1..] {
+            assert_eq!(line.matches(',').count(), CSV_COLUMNS.len() - 1);
+            assert!(line.ends_with(",,,,,,,,"), "{line}");
+        }
+    }
+
+    #[test]
+    fn csv_breakdown_columns_mirror_the_category_order() {
+        // The appended column names are the category ids, in ALL order, so
+        // the campaign CSV and the `cycle_report --csv` export agree.
+        for (column, category) in CSV_COLUMNS[15..].iter().zip(CycleCategory::ALL) {
+            assert_eq!(*column, format!("cycles_{}", category.id()));
+        }
+        let mut records = three_machines();
+        records[0].metrics.breakdown = Some(std::array::from_fn(|i| 100 + i as u64));
+        let csv = to_csv(&records);
+        let accounted: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
+        assert_eq!(
+            accounted[15..],
+            ["100", "101", "102", "103", "104", "105", "106", "107", "108"]
+        );
     }
 
     #[test]
@@ -383,5 +443,27 @@ mod tests {
             .get("filter_hit_ratio")
             .unwrap()
             .is_null());
+        assert!(first
+            .get("metrics")
+            .unwrap()
+            .get("breakdown")
+            .unwrap()
+            .is_null());
+    }
+
+    #[test]
+    fn json_export_carries_breakdowns_by_category_id() {
+        let mut records = three_machines();
+        records[2].metrics.breakdown = Some(std::array::from_fn(|i| 10 * i as u64));
+        let parsed = Json::parse(&to_json(&records)).unwrap();
+        let breakdown = parsed.as_array().unwrap()[2]
+            .get("metrics")
+            .unwrap()
+            .get("breakdown")
+            .unwrap()
+            .clone();
+        assert_eq!(breakdown.get("compute").unwrap().as_u64(), Some(0));
+        assert_eq!(breakdown.get("noc_queue").unwrap().as_u64(), Some(60));
+        assert_eq!(breakdown.get("park").unwrap().as_u64(), Some(80));
     }
 }

@@ -3,6 +3,7 @@
 use std::collections::VecDeque;
 
 use serde::{Deserialize, Serialize};
+use simkernel::attrib::{CycleAccount, CycleCategory};
 use simkernel::{Cycle, StatRegistry};
 
 use mem::Addr;
@@ -99,6 +100,15 @@ pub struct CoreTimingModel {
     /// Monotone sequence feeding [`CoreTimingModel::next_store_value`].
     store_seq: u64,
     lsq: LoadStoreQueue,
+    /// Per-category cycle attribution, when cycle accounting is enabled.
+    ///
+    /// Boxed so the shipping default (off) costs the model one pointer and
+    /// the hot path one discriminant check — the same contract as the
+    /// tracer.  Every clock movement funnels through
+    /// [`CoreTimingModel::advance`] or [`CoreTimingModel::idle_until`], and
+    /// both charge the account, so the categories sum bit-exactly to
+    /// [`CoreTimingModel::now`] by construction.
+    account: Option<Box<CycleAccount>>,
 }
 
 impl CoreTimingModel {
@@ -122,7 +132,28 @@ impl CoreTimingModel {
             parked_until: None,
             parks: 0,
             store_seq: 0,
+            account: None,
         }
+    }
+
+    /// Switches cycle accounting on: from here every cycle the clock moves
+    /// is charged to a [`CycleCategory`].  Accounting is a pure observer —
+    /// it never changes the timing itself.
+    pub fn enable_cycle_accounting(&mut self) {
+        if self.account.is_none() {
+            self.account = Some(Box::default());
+        }
+    }
+
+    /// Whether cycle accounting is on.
+    #[inline]
+    pub fn accounting_enabled(&self) -> bool {
+        self.account.is_some()
+    }
+
+    /// The per-category account, when accounting is enabled.
+    pub fn cycle_account(&self) -> Option<&CycleAccount> {
+        self.account.as_deref()
     }
 
     /// The configuration in use.
@@ -175,7 +206,7 @@ impl CoreTimingModel {
         self.phase
     }
 
-    fn advance(&mut self, cycles: Cycle, is_stall: bool) {
+    fn advance(&mut self, cycles: Cycle, is_stall: bool, category: CycleCategory) {
         if cycles.is_zero() {
             return;
         }
@@ -183,6 +214,9 @@ impl CoreTimingModel {
         self.breakdown.add(self.phase, cycles);
         if is_stall {
             self.stall_cycles += cycles.as_u64();
+        }
+        if let Some(account) = &mut self.account {
+            account.charge(category, cycles.as_u64());
         }
     }
 
@@ -194,7 +228,7 @@ impl CoreTimingModel {
         self.instructions += insts;
         self.fetch_bytes_accum += insts * self.config.instruction_bytes;
         let cycles = self.config.compute_cycles(insts);
-        self.advance(cycles, false);
+        self.advance(cycles, false, CycleCategory::Compute);
     }
 
     /// Issues one memory access whose hierarchy latency is `latency`.
@@ -205,6 +239,30 @@ impl CoreTimingModel {
     /// stalls the core.  Independent accesses (strided loads/stores) overlap
     /// up to the configured memory-level parallelism.
     pub fn issue_memory_access(&mut self, latency: Cycle, dependent: bool) {
+        self.issue_memory_access_classified(
+            latency,
+            dependent,
+            CycleCategory::MissWait,
+            Cycle::ZERO,
+        )
+    }
+
+    /// [`CoreTimingModel::issue_memory_access`] with explicit attribution:
+    /// a visible dependent stall is charged to `stall_category`, except for
+    /// the `noc_queue` share of `latency` (queueing/contention beyond the
+    /// NoC's zero-load latency), which is pro-rated onto
+    /// [`CycleCategory::NocQueue`].
+    ///
+    /// The pro-rating splits one `advance` into two whose cycle counts sum
+    /// to the same visible stall, so the timing (clock, phase breakdown,
+    /// stall counter) is bit-identical to the unclassified call.
+    pub fn issue_memory_access_classified(
+        &mut self,
+        latency: Cycle,
+        dependent: bool,
+        stall_category: CycleCategory,
+        noc_queue: Cycle,
+    ) {
         self.memory_accesses += 1;
         self.instructions += 1;
         self.fetch_bytes_accum += self.config.instruction_bytes;
@@ -213,7 +271,7 @@ impl CoreTimingModel {
         self.mem_issue_accum += 1.0 / 3.0;
         if self.mem_issue_accum >= 1.0 {
             self.mem_issue_accum -= 1.0;
-            self.advance(Cycle::new(1), false);
+            self.advance(Cycle::new(1), false, CycleCategory::Compute);
         }
 
         let hide = self.config.hide_window;
@@ -224,7 +282,21 @@ impl CoreTimingModel {
         if dependent {
             // The consumer is waiting: only the ROB lookahead hides latency.
             let visible = latency.saturating_sub(hide);
-            self.advance(visible, true);
+            // The queueing share of the total latency is the same share of
+            // the visible stall (integer pro-rating; the remainder stays on
+            // `stall_category` so the two charges sum exactly to `visible`).
+            let queue = noc_queue.min(latency).as_u64();
+            let queue_visible = if queue == 0 {
+                0
+            } else {
+                (visible.as_u64() as u128 * queue as u128 / latency.as_u64().max(1) as u128) as u64
+            };
+            self.advance(Cycle::new(queue_visible), true, CycleCategory::NocQueue);
+            self.advance(
+                visible.saturating_sub(Cycle::new(queue_visible)),
+                true,
+                stall_category,
+            );
             return;
         }
 
@@ -235,7 +307,9 @@ impl CoreTimingModel {
             if let Some(earliest) = self.outstanding.pop_front() {
                 if earliest > self.now {
                     let wait = earliest - self.now;
-                    self.advance(wait, true);
+                    // A structural stall — the LSQ's MLP window is full —
+                    // not a latency charge for any one miss.
+                    self.advance(wait, true, CycleCategory::LsqStall);
                 }
             }
         }
@@ -253,15 +327,16 @@ impl CoreTimingModel {
         self.outstanding.clear();
         if latest > self.now {
             let wait = latest - self.now;
-            self.advance(wait, true);
+            self.advance(wait, true, CycleCategory::MissWait);
         }
     }
 
-    /// Stalls the core until `cycle` (e.g. a `dma-synch` completion time).
-    pub fn stall_until(&mut self, cycle: Cycle) {
+    /// Stalls the core until `cycle` (e.g. a `dma-synch` completion time),
+    /// charging the wait to `category`.
+    pub fn stall_until(&mut self, cycle: Cycle, category: CycleCategory) {
         if cycle > self.now {
             let wait = cycle - self.now;
-            self.advance(wait, true);
+            self.advance(wait, true, category);
         }
     }
 
@@ -301,9 +376,14 @@ impl CoreTimingModel {
 
     /// Wakes a parked core, stalling it to its wake cycle; a no-op on a
     /// running core.
+    ///
+    /// The parked span is charged to [`CycleCategory::Park`] — the
+    /// event-driven counterpart of the legacy engine's inline
+    /// [`CycleCategory::DmaWait`], so a cross-engine breakdown diff shows
+    /// the engines' ordering gap as movement between those two categories.
     pub fn resume(&mut self) {
         if let Some(wake) = self.parked_until.take() {
-            self.stall_until(wake);
+            self.stall_until(wake, CycleCategory::Park);
         }
     }
 
@@ -313,8 +393,15 @@ impl CoreTimingModel {
     /// Used for fork-join barriers: the idle time of the early-finishing
     /// cores is load imbalance of the parallel region, not a phase of the
     /// transformed loop, and the paper's Figure 9 does not attribute it.
+    /// The cycle account still charges it (to
+    /// [`CycleCategory::BarrierWait`]) — the account must be exhaustive,
+    /// and barrier imbalance is precisely what the ROADMAP's placement
+    /// studies need attributed.
     pub fn idle_until(&mut self, cycle: Cycle) {
         if cycle > self.now {
+            if let Some(account) = &mut self.account {
+                account.charge(CycleCategory::BarrierWait, (cycle - self.now).as_u64());
+            }
             self.now = cycle;
         }
     }
@@ -360,7 +447,7 @@ impl CoreTimingModel {
             self.flushes += 1;
             self.lsq.flush();
             let penalty = self.config.flush_penalty();
-            self.advance(penalty, true);
+            self.advance(penalty, true, CycleCategory::LsqStall);
             true
         } else {
             false
@@ -407,7 +494,7 @@ impl CoreTimingModel {
             return;
         }
         let stall = (latency.as_f64() * self.config.ifetch_stall_fraction).round() as u64;
-        self.advance(Cycle::new(stall), true);
+        self.advance(Cycle::new(stall), true, CycleCategory::IFetch);
     }
 
     /// Exports the core's counters under `cpu.*` names.
@@ -505,7 +592,7 @@ mod tests {
         c.set_phase(Phase::Control);
         c.execute_compute(120);
         c.set_phase(Phase::Sync);
-        c.stall_until(c.now() + Cycle::new(50));
+        c.stall_until(c.now() + Cycle::new(50), CycleCategory::DmaWait);
         c.set_phase(Phase::Work);
         c.execute_compute(600);
         let b = c.breakdown();
@@ -521,7 +608,7 @@ mod tests {
         inline.set_phase(Phase::Sync);
         inline.execute_compute(60);
         let wake = inline.now() + Cycle::new(500);
-        inline.stall_until(wake);
+        inline.stall_until(wake, CycleCategory::DmaWait);
 
         let mut parked = core();
         parked.set_phase(Phase::Sync);
@@ -551,9 +638,9 @@ mod tests {
         let mut c = core();
         c.execute_compute(600);
         let t = c.now();
-        c.stall_until(Cycle::new(1)); // already past: no-op
+        c.stall_until(Cycle::new(1), CycleCategory::DmaWait); // already past: no-op
         assert_eq!(c.now(), t);
-        c.stall_until(t + Cycle::new(40));
+        c.stall_until(t + Cycle::new(40), CycleCategory::DmaWait);
         assert_eq!(c.now(), t + Cycle::new(40));
     }
 
@@ -609,6 +696,137 @@ mod tests {
         assert_eq!(m.phase(Phase::Sync), Cycle::new(5));
         a.merge(&b);
         assert_eq!(a.phase(Phase::Work), Cycle::new(40));
+    }
+
+    /// Drives every charge site and checks the structural invariant: the
+    /// cycle account is exhaustive (categories sum bit-exactly to the
+    /// elapsed clock) and exclusive (each category holds only its own
+    /// charge sites' cycles).
+    #[test]
+    fn cycle_account_is_exhaustive_and_exclusive() {
+        let mut c = core();
+        assert!(!c.accounting_enabled());
+        assert!(c.cycle_account().is_none());
+        c.enable_cycle_accounting();
+        assert!(c.accounting_enabled());
+
+        c.execute_compute(600);
+        c.issue_memory_access(Cycle::new(200), true); // dependent miss
+        c.issue_memory_access_classified(
+            Cycle::new(100),
+            true,
+            CycleCategory::MissWait,
+            Cycle::new(40), // 40 of the 100 cycles were NoC queueing
+        );
+        c.issue_memory_access_classified(
+            Cycle::new(150),
+            true,
+            CycleCategory::Protocol,
+            Cycle::ZERO,
+        );
+        for _ in 0..40 {
+            c.issue_memory_access(Cycle::new(200), false); // fill the MLP window
+        }
+        c.drain_memory();
+        c.stall_until(c.now() + Cycle::new(75), CycleCategory::DmaWait);
+        c.park_until(c.now() + Cycle::new(33));
+        c.resume();
+        c.record_in_lsq(Addr::new(0x9000), true);
+        assert!(c.recheck_ordering(Addr::new(0x9000), false));
+        c.apply_ifetch(Cycle::new(40), false);
+        c.idle_until(c.now() + Cycle::new(12)); // barrier imbalance
+
+        let account = *c.cycle_account().unwrap();
+        assert_eq!(
+            account.total(),
+            c.now().as_u64(),
+            "categories must sum bit-exactly to the elapsed clock"
+        );
+        for (category, minimum) in [
+            (CycleCategory::Compute, 1),
+            (CycleCategory::MissWait, 1),
+            (CycleCategory::NocQueue, 1),
+            (CycleCategory::Protocol, 1),
+            (CycleCategory::LsqStall, 1),
+            (CycleCategory::DmaWait, 75),
+            (CycleCategory::Park, 33),
+            (CycleCategory::IFetch, 20),
+            (CycleCategory::BarrierWait, 12),
+        ] {
+            assert!(
+                account.get(category) >= minimum,
+                "{category}: {} < {minimum}",
+                account.get(category)
+            );
+        }
+        assert_eq!(account.get(CycleCategory::DmaWait), 75);
+        assert_eq!(account.get(CycleCategory::Park), 33);
+        assert_eq!(account.get(CycleCategory::BarrierWait), 12);
+        // Every stall category except the unaccounted-by-design barrier
+        // idle is also in the legacy stall counter.
+        assert_eq!(account.stall_total(), c.stall_cycles() + 12);
+    }
+
+    /// Enabling accounting must not move a single observable number — same
+    /// clock, stalls, phase breakdown and instruction count as the plain
+    /// run of an identical op sequence.
+    #[test]
+    fn accounting_is_a_pure_observer() {
+        let drive = |c: &mut CoreTimingModel| {
+            c.set_phase(Phase::Work);
+            c.execute_compute(300);
+            c.issue_memory_access_classified(
+                Cycle::new(220),
+                true,
+                CycleCategory::MissWait,
+                Cycle::new(60),
+            );
+            for _ in 0..20 {
+                c.issue_memory_access(Cycle::new(180), false);
+            }
+            c.drain_memory();
+            c.stall_until(c.now() + Cycle::new(44), CycleCategory::DmaWait);
+            c.apply_ifetch(Cycle::new(30), false);
+            c.idle_until(c.now() + Cycle::new(9));
+        };
+        let mut plain = core();
+        drive(&mut plain);
+        let mut accounted = core();
+        accounted.enable_cycle_accounting();
+        drive(&mut accounted);
+        assert_eq!(plain.now(), accounted.now());
+        assert_eq!(plain.stall_cycles(), accounted.stall_cycles());
+        assert_eq!(plain.breakdown(), accounted.breakdown());
+        assert_eq!(plain.instructions(), accounted.instructions());
+    }
+
+    /// The NocQueue pro-rating splits the visible stall without changing
+    /// its sum, and clamps a queue estimate larger than the latency.
+    #[test]
+    fn noc_queue_share_is_prorated_and_clamped() {
+        let mut c = core();
+        c.enable_cycle_accounting();
+        let hide = c.config().hide_window;
+        c.issue_memory_access_classified(
+            hide + Cycle::new(100),
+            true,
+            CycleCategory::MissWait,
+            hide + Cycle::new(100), // the whole latency was queueing
+        );
+        let account = *c.cycle_account().unwrap();
+        assert_eq!(account.get(CycleCategory::NocQueue), 100);
+        assert_eq!(account.get(CycleCategory::MissWait), 0);
+
+        let mut c = core();
+        c.enable_cycle_accounting();
+        c.issue_memory_access_classified(
+            Cycle::new(1),
+            true,
+            CycleCategory::MissWait,
+            Cycle::new(400), // clamped to the latency: no overdraw
+        );
+        let account = *c.cycle_account().unwrap();
+        assert_eq!(account.total(), c.now().as_u64());
     }
 
     #[test]

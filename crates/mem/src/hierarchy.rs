@@ -10,7 +10,7 @@
 //! Figure 10.
 
 use serde::{Deserialize, Serialize};
-use simkernel::{ByteSize, CoreId, Cycle, InternedStats, StatHandle, StatRegistry};
+use simkernel::{ByteSize, CoreId, Cycle, InternedStats, NodeId, StatHandle, StatRegistry};
 
 use noc::{MessageClass, Noc, NocConfig};
 
@@ -252,6 +252,14 @@ pub struct MemorySystem {
     /// Optional functional memory: per-L1, per-L2-slice and DRAM value
     /// copies, moved along the same paths as the modelled transactions.
     values: Option<HierarchyValues>,
+    /// Presentation-only latency attribution (`SystemConfig.cycle_accounting`):
+    /// when on, demand-miss-path NoC legs accumulate their queueing component
+    /// (measured latency minus the backend-agreed zero-load latency) here, and
+    /// the engine drains it per access to split stall cycles between the
+    /// `NocQueue` and `MissWait` accounting categories.  One branch per send
+    /// when off; never changes any modelled latency.
+    attrib_queue: Cycle,
+    attrib_enabled: bool,
 }
 
 /// The value copies of every level of the hierarchy (one [`ValueStore`] per
@@ -303,6 +311,8 @@ impl MemorySystem {
             cores_mask: (cores as u64).wrapping_sub(1),
             cores_pow2: cores.is_power_of_two(),
             values: None,
+            attrib_queue: Cycle::ZERO,
+            attrib_enabled: false,
         }
     }
 
@@ -319,6 +329,55 @@ impl MemorySystem {
     /// Returns `true` when data values are being tracked.
     pub fn tracks_values(&self) -> bool {
         self.values.is_some()
+    }
+
+    /// Turns on demand-miss latency attribution (cycle accounting).
+    ///
+    /// Presentation-only, like `enable_value_tracking`: the modelled
+    /// latencies are untouched; the hierarchy merely starts accumulating
+    /// the queueing component of demand-miss-path NoC legs for
+    /// [`take_attributed_queue`](Self::take_attributed_queue).
+    pub fn enable_latency_attribution(&mut self) {
+        self.attrib_enabled = true;
+    }
+
+    /// Returns `true` when demand-miss latency attribution is on.
+    pub fn attributes_latency(&self) -> bool {
+        self.attrib_enabled
+    }
+
+    /// Drains the queueing cycles accumulated since the last call: the sum,
+    /// over the demand-miss-path NoC legs of the accesses in between, of
+    /// measured send latency minus the backend-agreed zero-load latency.
+    ///
+    /// Under the discrete-event NoC this is real home/link queueing; under
+    /// the analytic backend it is the modelled contention term.  Always zero
+    /// while attribution is off.  The engine calls this after every demand
+    /// access so the accumulator never spans unrelated instructions.
+    pub fn take_attributed_queue(&mut self) -> Cycle {
+        std::mem::replace(&mut self.attrib_queue, Cycle::ZERO)
+    }
+
+    /// Sends one packet on a demand-miss critical-path leg, accumulating its
+    /// queueing component when latency attribution is on.
+    ///
+    /// Off-critical-path traffic (prefetch fills, write-backs, DMA line
+    /// moves) and invalidation fan-out (only the slowest sharer's round trip
+    /// is on the critical path) go straight to [`Noc::send`] instead.
+    #[inline]
+    fn send_demand(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        class: MessageClass,
+        payload_bytes: u64,
+    ) -> Cycle {
+        let latency = self.noc.send(from, to, class, payload_bytes);
+        if self.attrib_enabled {
+            let zero_load = self.noc.config().zero_load_latency(from, to, payload_bytes);
+            self.attrib_queue += latency.saturating_sub(zero_load);
+        }
+        latency
     }
 
     /// The configuration in use.
@@ -657,7 +716,7 @@ impl MemorySystem {
         let core_node = core.node();
 
         // Request to the home slice.
-        let request = self.noc.send(core_node, home_node, class, 8);
+        let request = self.send_demand(core_node, home_node, class, 8);
         let l2_latency = self.config.l2_slice.latency;
         self.stats.inc(self.handles.l2_accesses);
 
@@ -669,8 +728,8 @@ impl MemorySystem {
                 // Forward from the dirty owner's L1 straight to the requestor.
                 let owner = entry.owner().expect("dirty owner");
                 self.stats.inc(self.handles.forwards);
-                let fwd = self.noc.send(home_node, owner.node(), class, 8);
-                let data = self.noc.send(owner.node(), core_node, class, LINE_BYTES);
+                let fwd = self.send_demand(home_node, owner.node(), class, 8);
+                let data = self.send_demand(owner.node(), core_node, class, LINE_BYTES);
                 if let Some(vals) = &self.values {
                     // The forwarded data is the owner's copy (captured
                     // before a write invalidates it below).
@@ -707,7 +766,7 @@ impl MemorySystem {
                         .or_else(|| vals.dram.line(line))
                         .copied();
                 }
-                let data = self.noc.send(home_node, core_node, class, LINE_BYTES);
+                let data = self.send_demand(home_node, core_node, class, LINE_BYTES);
                 (data, ServedBy::L2)
             }
         } else {
@@ -716,7 +775,7 @@ impl MemorySystem {
             if let Some(vals) = &self.values {
                 fill_values = vals.dram.line(line).copied();
             }
-            let data = self.noc.send(home_node, core_node, class, LINE_BYTES);
+            let data = self.send_demand(home_node, core_node, class, LINE_BYTES);
             (dram_latency + data, ServedBy::Dram)
         };
 
@@ -765,6 +824,14 @@ impl MemorySystem {
     fn upgrade_for_write(&mut self, core: CoreId, line: LineAddr, class: MessageClass) -> Cycle {
         let home = self.home_slice(line);
         let rt = self.noc.round_trip(core.node(), home.node(), class, 8, 8);
+        if self.attrib_enabled {
+            // `round_trip` is two sends; its queueing component is whatever
+            // it took beyond the two zero-load legs.
+            let cfg = self.noc.config();
+            let zero_load = cfg.zero_load_latency(core.node(), home.node(), 8)
+                + cfg.zero_load_latency(home.node(), core.node(), 8);
+            self.attrib_queue += rt.saturating_sub(zero_load);
+        }
         let inv = self.invalidate_other_sharers(core, line, class);
         if let Some(entry) = self.l2[home.index()].lookup_mut(line) {
             entry.clear_sharers();
@@ -882,16 +949,16 @@ impl MemorySystem {
         class: MessageClass,
     ) -> (Cycle, ServedBy) {
         let home = self.home_slice(line);
-        let request = self.noc.send(core.node(), home.node(), class, 8);
+        let request = self.send_demand(core.node(), home.node(), class, 8);
         self.stats.inc(self.handles.l2_accesses);
         let l2_latency = self.config.l2_slice.latency;
         if self.l2[home.index()].access(line).is_some() {
             self.stats.inc(self.handles.l2_hits);
-            let data = self.noc.send(home.node(), core.node(), class, LINE_BYTES);
+            let data = self.send_demand(home.node(), core.node(), class, LINE_BYTES);
             (request + l2_latency + data, ServedBy::L2)
         } else {
             let dram = self.dram_fetch(home, line, class);
-            let data = self.noc.send(home.node(), core.node(), class, LINE_BYTES);
+            let data = self.send_demand(home.node(), core.node(), class, LINE_BYTES);
             (request + l2_latency + dram + data, ServedBy::Dram)
         }
     }
@@ -901,9 +968,9 @@ impl MemorySystem {
     fn dram_fetch(&mut self, home: CoreId, line: LineAddr, class: MessageClass) -> Cycle {
         self.stats.inc(self.handles.dram_accesses);
         let mem_node = self.dram.node_for(line);
-        let to_mem = self.noc.send(home.node(), mem_node, class, 8);
+        let to_mem = self.send_demand(home.node(), mem_node, class, 8);
         let dram_latency = self.dram.access(line);
-        let back = self.noc.send(mem_node, home.node(), class, LINE_BYTES);
+        let back = self.send_demand(mem_node, home.node(), class, LINE_BYTES);
         self.allocate_in_l2(home, line, DirectoryEntry::new());
         to_mem + dram_latency + back
     }
@@ -1519,5 +1586,57 @@ mod tests {
             let a = Addr::new(0x100_0000 + i * 64);
             assert_eq!(m.read_word(CoreId::new(1), a), Some(i + 1), "line {i}");
         }
+    }
+
+    #[test]
+    fn latency_attribution_is_a_pure_observer() {
+        let mut plain = small_system();
+        let mut attributed = small_system();
+        attributed.enable_latency_attribution();
+        assert!(attributed.attributes_latency());
+        for i in 0..64u64 {
+            let a = Addr::new(0x200_0000 + i * 64);
+            let kind = if i % 3 == 0 {
+                AccessKind::Store
+            } else {
+                AccessKind::Load
+            };
+            let class = if kind.is_write() {
+                MessageClass::Write
+            } else {
+                MessageClass::Read
+            };
+            let core = CoreId::new((i % 4) as usize);
+            let p = plain.access(core, a, kind, class, i);
+            let q = attributed.access(core, a, kind, class, i);
+            assert_eq!(p.latency, q.latency, "access {i}");
+            assert_eq!(p.served_by, q.served_by, "access {i}");
+            // Drained or not, accumulation never leaks into timing; a
+            // non-attributing system always drains zero.
+            assert_eq!(plain.take_attributed_queue(), Cycle::ZERO);
+            let _ = attributed.take_attributed_queue();
+        }
+        assert_eq!(
+            plain.counters().dram_accesses,
+            attributed.counters().dram_accesses
+        );
+    }
+
+    #[test]
+    fn attributed_queue_drains_once() {
+        let mut cfg = MemorySystemConfig::small(4);
+        cfg.noc.model = noc::NocModel::DiscreteEvent;
+        let mut m = MemorySystem::new(cfg);
+        m.enable_latency_attribution();
+        // Back-to-back misses at clock zero share links, so the DES backend
+        // measures real queueing on at least one demand leg.
+        let mut total = Cycle::ZERO;
+        for i in 0..32u64 {
+            let a = Addr::new(0x300_0000 + i * 64);
+            let _ = m.access(CoreId::new(0), a, AccessKind::Load, MessageClass::Read, 1);
+            total += m.take_attributed_queue();
+        }
+        assert!(total > Cycle::ZERO, "DES demand legs saw no queueing");
+        assert_eq!(m.take_attributed_queue(), Cycle::ZERO, "drain resets");
     }
 }

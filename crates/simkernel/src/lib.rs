@@ -22,6 +22,9 @@
 //!   offline, so there is no `serde_json`).
 //! * [`table`] — aligned-column plain-text table rendering shared by every
 //!   report layer.
+//! * [`attrib`] — cycle accounting: dense per-core category counters with an
+//!   exhaustiveness invariant (categories sum bit-exactly to elapsed
+//!   cycles), plus the top-down/JSON renderings `cycle_report` consumes.
 //! * [`trace`] — zero-cost-when-disabled structured event tracing: per-core
 //!   event rings, a periodic stat-sampling time-series, and Chrome
 //!   trace-event / Perfetto JSON export built on [`json`].
@@ -43,6 +46,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod attrib;
 pub mod cycles;
 pub mod events;
 pub mod ids;
@@ -54,6 +58,7 @@ pub mod stats;
 pub mod table;
 pub mod trace;
 
+pub use attrib::{CycleAccount, CycleBreakdown, CycleCategory};
 pub use cycles::{Cycle, Frequency};
 pub use events::EventQueue;
 pub use ids::{CoreId, NodeId};

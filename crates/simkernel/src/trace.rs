@@ -367,9 +367,15 @@ impl SampleBuilder<'_> {
 
     /// Records a cumulative counter on `name`'s track; the stored value is
     /// the delta against the previous sample of the same track.
+    ///
+    /// The delta is clamped at zero: once the underlying counter saturates
+    /// at `u64::MAX` (every counter in the simulator saturates rather than
+    /// wraps), consecutive cumulative readings can stop growing — or, after
+    /// the `f64` cast rounds near 2^64, even appear to shrink — and a
+    /// negative "activity" sample would be nonsense.
     pub fn counter(&mut self, name: &str, cumulative: f64) {
         let idx = self.series.track_index(name);
-        let delta = cumulative - self.series.tracks[idx].previous.unwrap_or(0.0);
+        let delta = (cumulative - self.series.tracks[idx].previous.unwrap_or(0.0)).max(0.0);
         self.series.tracks[idx].previous = Some(cumulative);
         if idx >= self.values.len() {
             self.values.resize(idx + 1, None);
@@ -758,6 +764,46 @@ mod tests {
         // Second sample: delta 15 on the counter, gauge absent.
         assert_eq!(samples[1].0, 250);
         assert_eq!(samples[1].1, &[Some(15.0)]);
+    }
+
+    /// A counter that saturates at `u64::MAX` must produce clamped deltas,
+    /// never negative ones: after saturation the cumulative value stops
+    /// growing (and the `f64` cast can round it), so later samples read 0
+    /// activity instead of wrapping below zero.
+    #[test]
+    fn saturated_counter_deltas_clamp_at_zero() {
+        let mut settings = TraceSettings::enabled();
+        settings.sample_interval = 10;
+        let mut tracer = Tracer::new(1, &settings);
+        let saturated = u64::MAX as f64;
+        {
+            let mut s = tracer.begin_sample(0);
+            s.counter("hits", saturated - 1024.0);
+        }
+        {
+            let mut s = tracer.begin_sample(10);
+            s.counter("hits", saturated); // the counter just saturated
+        }
+        {
+            let mut s = tracer.begin_sample(20);
+            s.counter("hits", saturated); // pinned at the ceiling: delta 0
+        }
+        {
+            // A reading below the previous one (rounding near 2^64, or a
+            // reconstructed cumulative) clamps instead of going negative.
+            let mut s = tracer.begin_sample(30);
+            s.counter("hits", saturated - 2048.0);
+        }
+        let samples: Vec<f64> = tracer
+            .series()
+            .samples()
+            .map(|(_, v)| v[0].unwrap())
+            .collect();
+        assert!(samples[0] > 0.0);
+        assert!(samples[1] >= 0.0);
+        assert_eq!(samples[2], 0.0, "saturated counter: no phantom activity");
+        assert_eq!(samples[3], 0.0, "shrinking cumulative clamps, not wraps");
+        assert!(samples.iter().all(|&d| d >= 0.0), "{samples:?}");
     }
 
     #[test]

@@ -15,7 +15,7 @@
 
 use campaign::{summarize, Executor, ResultCache, SweepSpec};
 use system::cli::{parse_list, write_export};
-use system::sweep::{records_of, run_points, RunContext};
+use system::sweep::{attach_breakdowns, records_of, run_points, RunContext};
 
 const USAGE: &str = "\
 campaign — parameter-space sweeps over the ISCA'15 machines
@@ -36,6 +36,9 @@ options (LIST = comma-separated values):
   --no-cache          execute every point, read and write no cache
   --csv PATH          write per-point metrics as CSV ('-' for stdout)
   --json PATH         write per-point metrics as JSON ('-' for stdout)
+  --cycle-accounting  re-run every point with cycle accounting and append the
+                      machine-wide cycles_* breakdown to the CSV/JSON exports
+                      (dedicated passes, never cached)
   --quiet             suppress the summary table (accounting still prints)
   --help              this text
 ";
@@ -47,6 +50,7 @@ struct Options {
     cache_dir: Option<std::path::PathBuf>,
     csv: Option<String>,
     json: Option<String>,
+    cycle_accounting: bool,
     quiet: bool,
 }
 
@@ -57,6 +61,7 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
         cache_dir: Some(ResultCache::default_dir()),
         csv: None,
         json: None,
+        cycle_accounting: false,
         quiet: false,
     };
     let mut args = args.into_iter();
@@ -106,6 +111,7 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
             "--no-cache" => options.cache_dir = None,
             "--csv" => options.csv = Some(value("--csv")?),
             "--json" => options.json = Some(value("--json")?),
+            "--cycle-accounting" => options.cycle_accounting = true,
             "--quiet" => options.quiet = true,
             "--help" | "-h" => return Err(USAGE.to_owned()),
             other => return Err(format!("unknown argument '{other}'\n\n{USAGE}")),
@@ -135,7 +141,13 @@ fn main() {
         }
     };
 
-    let records = records_of(&points, &report.results);
+    let mut records = records_of(&points, &report.results);
+    if options.cycle_accounting {
+        if let Err(message) = attach_breakdowns(&ctx.executor, &points, &mut records) {
+            eprintln!("error: {message}");
+            std::process::exit(1);
+        }
+    }
     if let Some(target) = &options.csv {
         if let Err(message) = write_export(target, &campaign::aggregate::to_csv(&records)) {
             eprintln!("error: {message}");

@@ -33,10 +33,17 @@
 //!                    README's "Observability" section
 //! --trace-categories LIST
 //!                    comma-separated trace categories (engine, protocol,
-//!                    dma, noc, sample; default: all)
+//!                    dma, noc, sample; default: all).  An unknown name
+//!                    fails with exit code 2, listing the valid names
 //! --sample-interval N
 //!                    stat-sampling period in cycles for the trace
 //!                    time-series (default 5000; 0 disables sampling)
+//! --cycle-accounting PATH
+//!                    after the report, run the first selected benchmark
+//!                    once with cycle accounting armed and write the
+//!                    per-core breakdown JSON (the `cycle_report` input)
+//!                    to PATH, or to stdout when PATH is `-` — see the
+//!                    README's "Cycle accounting" section
 //! ```
 //!
 //! The cache is content-addressed over the complete run inputs, so it only
@@ -68,6 +75,22 @@ pub fn parse_list<T: std::str::FromStr>(flag: &str, list: &str) -> Result<Vec<T>
                 .map_err(|_| format!("{flag}: cannot parse '{s}'"))
         })
         .collect()
+}
+
+/// Parses the `--trace-categories` value, turning an unknown category name
+/// into an error that lists the valid names instead of silently recording
+/// the default mask.
+pub fn parse_trace_categories(list: &str) -> Result<simkernel::CategoryMask, String> {
+    simkernel::CategoryMask::parse(list).map_err(|error| {
+        let valid: Vec<&str> = simkernel::trace::TraceCategory::ALL
+            .iter()
+            .map(|c| c.id())
+            .collect();
+        format!(
+            "--trace-categories: {error} (valid categories: {})",
+            valid.join(", ")
+        )
+    })
 }
 
 /// Writes an export to a file, or to stdout when `target` is `-`.
@@ -109,6 +132,8 @@ pub struct CliOptions {
     pub trace_categories: simkernel::CategoryMask,
     /// Stat-sampling period in cycles; `None` keeps the default.
     pub sample_interval: Option<u64>,
+    /// Where to write one accounted run's cycle breakdown (`-` for stdout).
+    pub cycle_accounting: Option<String>,
 }
 
 impl Default for CliOptions {
@@ -127,6 +152,7 @@ impl Default for CliOptions {
             trace: None,
             trace_categories: simkernel::CategoryMask::all(),
             sample_interval: None,
+            cycle_accounting: None,
         }
     }
 }
@@ -193,16 +219,27 @@ impl CliOptions {
                     }
                 }
                 "--trace-categories" => {
-                    if let Some(mask) = args
-                        .next()
-                        .and_then(|list| simkernel::CategoryMask::parse(&list).ok())
-                    {
-                        options.trace_categories = mask;
+                    if let Some(list) = args.next() {
+                        match parse_trace_categories(&list) {
+                            Ok(mask) => options.trace_categories = mask,
+                            Err(error) => {
+                                // A silently ignored typo would record the
+                                // default (all categories) and look like a
+                                // successful filter; fail loudly instead.
+                                eprintln!("{error}");
+                                std::process::exit(2);
+                            }
+                        }
                     }
                 }
                 "--sample-interval" => {
                     if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
                         options.sample_interval = Some(v);
+                    }
+                }
+                "--cycle-accounting" => {
+                    if let Some(path) = args.next() {
+                        options.cycle_accounting = Some(path);
                     }
                 }
                 _ => {}
@@ -263,6 +300,41 @@ impl CliOptions {
         }))
     }
 
+    /// When `--cycle-accounting PATH` was given: runs the first selected
+    /// benchmark once on the proposed machine with cycle accounting armed,
+    /// verifies the exhaustiveness invariant, writes the breakdown JSON (the
+    /// `cycle_report` input format) to PATH (`-` for stdout) and returns a
+    /// one-line summary.  Returns `None` when accounting was not requested.
+    ///
+    /// Like `--trace`, this is a dedicated uncached run: the campaign cache
+    /// key pins `cycle_accounting` to false, so a presentation-only
+    /// breakdown never addresses (or misses) a cache entry.
+    pub fn write_cycle_accounting(&self) -> Option<Result<String, String>> {
+        let target = self.cycle_accounting.as_deref()?;
+        let benchmark = *self.benchmarks.first()?;
+        let machine =
+            crate::Machine::new(crate::config::MachineKind::HybridProposed, self.config());
+        let spec = benchmark.spec_scaled(self.scale);
+        let (_, breakdown) = machine.run_accounted(&spec);
+        if let Err(error) = breakdown.check_exhaustive() {
+            return Some(Err(format!("exhaustiveness invariant violated: {error}")));
+        }
+        let mut doc = breakdown.to_json();
+        if let simkernel::Json::Obj(fields) = &mut doc {
+            fields.insert("benchmark".to_owned(), simkernel::Json::str(&spec.name));
+        }
+        let totals = breakdown.totals();
+        Some(write_export(target, &doc.dump()).map(|()| {
+            format!(
+                "cycle accounting: {} cores, {} cycles ({} stall) -> {}",
+                breakdown.cores.len(),
+                breakdown.elapsed_total(),
+                totals.stall_total(),
+                target
+            )
+        }))
+    }
+
     /// Runs the suite implied by the options.
     pub fn run_suite(&self) -> ExperimentSuite {
         ExperimentSuite::run_with(
@@ -300,8 +372,9 @@ pub enum Report {
 
 /// Runs the requested report and returns the text to print.
 ///
-/// When `--trace PATH` was given, also performs the traced run (see
-/// [`CliOptions::write_trace`]) and appends its one-line summary.
+/// When `--trace PATH` or `--cycle-accounting PATH` was given, also performs
+/// the dedicated traced/accounted run (see [`CliOptions::write_trace`] and
+/// [`CliOptions::write_cycle_accounting`]) and appends its one-line summary.
 pub fn run_report(report: Report, options: &CliOptions) -> String {
     let mut out = run_report_body(report, options);
     if let Some(traced) = options.write_trace() {
@@ -311,6 +384,16 @@ pub fn run_report(report: Report, options: &CliOptions) -> String {
         match traced {
             Ok(summary) => out.push_str(&summary),
             Err(error) => out.push_str(&format!("trace failed: {error}")),
+        }
+        out.push('\n');
+    }
+    if let Some(accounted) = options.write_cycle_accounting() {
+        if !out.ends_with('\n') && !out.is_empty() {
+            out.push('\n');
+        }
+        match accounted {
+            Ok(summary) => out.push_str(&summary),
+            Err(error) => out.push_str(&format!("cycle accounting failed: {error}")),
         }
         out.push('\n');
     }
@@ -496,6 +579,45 @@ mod tests {
         // Unknown engine names are ignored, like every other malformed flag.
         let o = CliOptions::parse(["--engine".to_string(), "warp".to_string()]);
         assert_eq!(o.engine, ExecutionEngine::Legacy);
+    }
+
+    #[test]
+    fn trace_category_parsing_names_the_valid_set() {
+        let mask = parse_trace_categories("engine,dma").unwrap();
+        assert!(mask.contains(simkernel::trace::TraceCategory::Engine));
+        assert!(!mask.contains(simkernel::trace::TraceCategory::Noc));
+        let error = parse_trace_categories("engine,typo").unwrap_err();
+        assert!(error.contains("typo"), "{error}");
+        for category in simkernel::trace::TraceCategory::ALL {
+            assert!(error.contains(category.id()), "{error}");
+        }
+    }
+
+    #[test]
+    fn cycle_accounting_flag_parses_and_writes() {
+        let o = CliOptions::parse(Vec::<String>::new());
+        assert_eq!(o.cycle_accounting, None);
+        assert!(o.write_cycle_accounting().is_none());
+
+        let path = std::env::temp_dir().join("cycle-accounting-cli-test.json");
+        let path = path.to_str().unwrap().to_owned();
+        let mut o = CliOptions::parse(["--cycle-accounting".to_string(), path.clone()]);
+        assert_eq!(o.cycle_accounting.as_deref(), Some(path.as_str()));
+        // A real accounted run on a tiny machine: the summary reports the
+        // written path and the file round-trips as a breakdown document.
+        o.cores = 4;
+        o.scale = 1.0 / 512.0;
+        o.benchmarks = vec![NasBenchmark::Cg];
+        let summary = o.write_cycle_accounting().unwrap().unwrap();
+        assert!(summary.contains(&path), "{summary}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let doc = simkernel::Json::parse(&text).unwrap();
+        let breakdown = simkernel::CycleBreakdown::from_json(&doc).unwrap();
+        breakdown.check_exhaustive().unwrap();
+        assert_eq!(
+            doc.get("benchmark").and_then(simkernel::Json::as_str),
+            Some("CG")
+        );
     }
 
     #[test]

@@ -156,6 +156,15 @@ pub struct SystemConfig {
     /// `tracing_leaves_timing_untouched`), so the campaign cache key pins
     /// this to its default.
     pub trace: TraceSettings,
+    /// Cycle accounting (`--cycle-accounting` on the report binaries):
+    /// per-core [`simkernel::attrib`] category counters whose sum is pinned
+    /// bit-exactly to each core's elapsed cycles.
+    ///
+    /// Presentation-only, like `trace` and `debug_cores`: an accounted run's
+    /// timing, traffic and statistics are bit-identical to a plain one
+    /// (pinned by `cycle_accounting_leaves_timing_untouched`), so the
+    /// campaign cache key pins this to false.
+    pub cycle_accounting: bool,
 }
 
 impl SystemConfig {
@@ -181,6 +190,7 @@ impl SystemConfig {
             debug_cores: false,
             track_values: false,
             trace: TraceSettings::default(),
+            cycle_accounting: false,
         }
     }
 

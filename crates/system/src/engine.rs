@@ -35,7 +35,7 @@
 //! reference memory (see [`crate::verify`]).
 
 use simkernel::trace::{TraceKind, Tracer};
-use simkernel::{ByteSize, CoreId, Cycle, EventQueue};
+use simkernel::{ByteSize, CoreId, Cycle, CycleCategory, EventQueue};
 
 use cpu::CoreTimingModel;
 use mem::{AccessKind, Addr, MemorySystem};
@@ -282,10 +282,14 @@ pub(crate) fn step_op(
                 // The transfer completion is a scheduled event: the core
                 // parks and another core may run in the meantime.  The
                 // stall to `done` is charged on resume, so the core-local
-                // timing is identical to the inline path.
+                // timing is identical to the inline path.  Accounting-wise
+                // the deferred stall lands in `Park`, not `DmaWait`: the
+                // legacy engine's inline wait below is exactly the
+                // serialized-replay artifact, so the split keeps the
+                // engines' ordering gap attributable in a breakdown diff.
                 outcome = StepOutcome::Parked { wake: done };
             } else {
-                ctx.cores[c].stall_until(done);
+                ctx.cores[c].stall_until(done, CycleCategory::DmaWait);
             }
         }
         TraceOp::LoopEnd => {
@@ -336,7 +340,20 @@ pub(crate) fn step_op(
                     let outcome = ctx
                         .protocol
                         .guarded_access(core_id, *addr, is_store, ctx.memsys, ctx.spms);
-                    ctx.cores[c].issue_memory_access(outcome.latency, true);
+                    // Guarded refs stall on the protocol's routing decision:
+                    // their visible wait is `Protocol`, minus whatever NoC
+                    // queueing the underlying legs measured.
+                    let queue = if ctx.cores[c].accounting_enabled() {
+                        ctx.memsys.take_attributed_queue()
+                    } else {
+                        Cycle::ZERO
+                    };
+                    ctx.cores[c].issue_memory_access_classified(
+                        outcome.latency,
+                        true,
+                        CycleCategory::Protocol,
+                        queue,
+                    );
                     if let Some(tr) = ctx.tracer.as_deref_mut() {
                         let kind = match outcome.target {
                             GuardedTarget::GlobalMemory { .. } => TraceKind::GuardedGm,
@@ -388,7 +405,17 @@ pub(crate) fn step_op(
                     // work; strided and stack accesses are
                     // independent and overlap under the MLP window.
                     let dependent = matches!(class, MemRefClass::Gm);
-                    ctx.cores[c].issue_memory_access(result.latency, dependent);
+                    let queue = if ctx.cores[c].accounting_enabled() {
+                        ctx.memsys.take_attributed_queue()
+                    } else {
+                        Cycle::ZERO
+                    };
+                    ctx.cores[c].issue_memory_access_classified(
+                        result.latency,
+                        dependent,
+                        CycleCategory::MissWait,
+                        queue,
+                    );
                     let mut value = None;
                     if ctx.values.is_some() {
                         if is_store {
@@ -419,13 +446,18 @@ pub(crate) fn step_op(
             .access(core_id, fetch, AccessKind::Ifetch, MessageClass::Ifetch, 0);
         ctx.cores[c].apply_ifetch(result.latency, result.l1_hit);
     }
+    if ctx.cores[c].accounting_enabled() {
+        // Fetch misses are charged wholesale to `IFetch`; drop their queue
+        // component so it cannot leak into the next data access's split.
+        let _ = ctx.memsys.take_attributed_queue();
+    }
 
     // Periodic stat sampling, keyed off the stepping core's clock (under
     // the interleaved engine that clock is global simulation time).
     if let Some(tr) = ctx.tracer.as_deref_mut() {
         let now = ctx.cores[c].now();
         if tr.sample_due(now.as_u64()) {
-            sample_stats(tr, ctx.memsys, ctx.dmacs, now);
+            sample_stats(tr, ctx.memsys, ctx.dmacs, ctx.cores, now);
         }
     }
     outcome
@@ -433,10 +465,18 @@ pub(crate) fn step_op(
 
 /// Snapshots the live counters into the tracer's time-series: `mem.*`
 /// interned deltas, per-home-node instantaneous queue depth and per-link
-/// busy-cycle deltas from the discrete-event NoC, and DMA in-flight counts.
+/// busy-cycle deltas from the discrete-event NoC, DMA in-flight counts and,
+/// when cycle accounting is on, the machine-wide `cycles.*` category totals
+/// (so attribution renders as counter tracks on the trace timelines).
 ///
 /// Reads only `&self` state — sampling can never perturb the simulation.
-pub(crate) fn sample_stats(tracer: &mut Tracer, memsys: &MemorySystem, dmacs: &[Dmac], now: Cycle) {
+pub(crate) fn sample_stats(
+    tracer: &mut Tracer,
+    memsys: &MemorySystem,
+    dmacs: &[Dmac],
+    cores: &[CoreTimingModel],
+    now: Cycle,
+) {
     let mut sample = tracer.begin_sample(now.as_u64());
     for (name, value) in memsys.interned_stats().iter() {
         sample.counter(name, value as f64);
@@ -445,6 +485,16 @@ pub(crate) fn sample_stats(tracer: &mut Tracer, memsys: &MemorySystem, dmacs: &[
         "dmac.in_flight",
         dmacs.iter().map(|d| d.in_flight_at(now)).sum::<usize>() as f64,
     );
+    if cores.first().is_some_and(|c| c.accounting_enabled()) {
+        for category in CycleCategory::ALL {
+            let total: u64 = cores
+                .iter()
+                .filter_map(|c| c.cycle_account())
+                .map(|a| a.get(category))
+                .sum();
+            sample.counter(&format!("cycles.{}", category.id()), total as f64);
+        }
+    }
     if let Some(des) = memsys.noc().des() {
         for (node, depth) in des.home_queue_depths(now).into_iter().enumerate() {
             sample.gauge(&format!("noc.des.home_queue.{node}"), depth as f64);

@@ -34,7 +34,7 @@ pub mod resultio;
 pub mod sweep;
 pub mod verify;
 
-pub use cli::{CliOptions, Report};
+pub use cli::{write_export, CliOptions, Report};
 pub use config::{ExecutionEngine, MachineKind, SystemConfig};
 pub use experiments::ExperimentSuite;
 pub use machine::{EngineAudit, KernelAudit, Machine, RunResult, TraceCapture};

@@ -1,10 +1,11 @@
 //! The full machine: drives workload traces through every hardware model.
 
 use serde::{Deserialize, Serialize};
+use simkernel::attrib::CoreBreakdown;
 use simkernel::trace::{
     CategoryMask, ChromeTrace, TraceCategory, TraceEvent, TraceKind, TraceSettings, Tracer,
 };
-use simkernel::{CoreId, Cycle, Json, StatRegistry};
+use simkernel::{CoreId, Cycle, CycleBreakdown, Json, StatRegistry};
 
 use cpu::{CoreConfig, CoreTimingModel, PhaseBreakdown};
 use energy::model::MachineFeatures;
@@ -222,6 +223,28 @@ impl Machine {
         self.run_inner(Workload::Spec(spec), None, false).0
     }
 
+    /// Like [`Machine::run`], with cycle accounting forced on: returns the
+    /// run result together with the per-core [`CycleBreakdown`].
+    ///
+    /// Accounting is presentation-only — the result is bit-identical to a
+    /// plain [`Machine::run`] — and the breakdown satisfies the
+    /// exhaustiveness invariant: on every core the categories sum
+    /// bit-exactly to that core's elapsed cycles.
+    pub fn run_accounted(&self, spec: &BenchmarkSpec) -> (RunResult, CycleBreakdown) {
+        let mut machine = self.clone();
+        machine.config.cycle_accounting = true;
+        let (result, _, _, breakdown) = machine.run_inner(Workload::Spec(spec), None, false);
+        (result, breakdown.expect("accounting was armed"))
+    }
+
+    /// [`Machine::run_accounted`] for a raw (litmus / fuzz) program.
+    pub fn run_raw_accounted(&self, program: &RawKernel) -> (RunResult, CycleBreakdown) {
+        let mut machine = self.clone();
+        machine.config.cycle_accounting = true;
+        let (result, _, _, breakdown) = machine.run_inner(Workload::Raw(program), None, false);
+        (result, breakdown.expect("accounting was armed"))
+    }
+
     /// Like [`Machine::run`], with event tracing forced on: returns the run
     /// result together with the recorded [`TraceCapture`].
     ///
@@ -232,7 +255,8 @@ impl Machine {
         let mut machine = self.clone();
         machine.config.trace.enabled = true;
         let mut audit = EngineAudit::default();
-        let (result, _, tracer) = machine.run_inner(Workload::Spec(spec), Some(&mut audit), false);
+        let (result, _, tracer, _) =
+            machine.run_inner(Workload::Spec(spec), Some(&mut audit), false);
         let capture = TraceCapture {
             benchmark: spec.name.clone(),
             cores: machine.config.cores,
@@ -265,7 +289,7 @@ impl Machine {
     /// Runs a benchmark with value tracking and the differential coherence
     /// oracle armed, regardless of `SystemConfig.track_values`.
     pub fn verify_spec(&self, spec: &BenchmarkSpec) -> VerifyOutcome {
-        let (result, verified, _) = self.run_inner(Workload::Spec(spec), None, true);
+        let (result, verified, _, _) = self.run_inner(Workload::Spec(spec), None, true);
         let (report, image) = verified.expect("oracle was armed");
         VerifyOutcome {
             result,
@@ -276,7 +300,7 @@ impl Machine {
 
     /// Runs a raw (litmus / fuzz) program under the differential oracle.
     pub fn verify_raw(&self, program: &RawKernel) -> VerifyOutcome {
-        let (result, verified, _) = self.run_inner(Workload::Raw(program), None, true);
+        let (result, verified, _, _) = self.run_inner(Workload::Raw(program), None, true);
         let (report, image) = verified.expect("oracle was armed");
         VerifyOutcome {
             result,
@@ -290,11 +314,7 @@ impl Machine {
         workload: Workload<'_>,
         mut audit: Option<&mut EngineAudit>,
         with_oracle: bool,
-    ) -> (
-        RunResult,
-        Option<(oracle::OracleReport, crate::verify::MemoryImage)>,
-        Option<Tracer>,
-    ) {
+    ) -> InnerOutcome {
         let cores = self.config.cores;
         let mode = if self.kind == MachineKind::CacheOnly {
             ExecMode::CacheOnly
@@ -349,6 +369,12 @@ impl Machine {
         let mut core_models: Vec<CoreTimingModel> = (0..cores)
             .map(|_| CoreTimingModel::new(self.config.core))
             .collect();
+        if self.config.cycle_accounting {
+            for core in core_models.iter_mut() {
+                core.enable_cycle_accounting();
+            }
+            memsys.enable_latency_attribution();
+        }
 
         // Parallel initialisation: the NAS benchmarks initialise their data in
         // parallel loops before the timed kernels, so shared read-mostly data
@@ -449,7 +475,7 @@ impl Machine {
             // short runs still get at least one time-series point per kernel.
             if self.config.trace.enabled && self.config.trace.sample_interval != 0 {
                 if let Some(tr) = tracer.as_mut() {
-                    engine::sample_stats(tr, &memsys, &dmacs, barrier);
+                    engine::sample_stats(tr, &memsys, &dmacs, &core_models, barrier);
                 }
             }
             if let Some(audit) = audit.as_deref_mut() {
@@ -467,8 +493,17 @@ impl Machine {
             let image = merge_image(memsys.value_image(), &spm_values);
             (report, image)
         });
+        let breakdown = self.config.cycle_accounting.then(|| CycleBreakdown {
+            cores: core_models
+                .iter()
+                .map(|c| CoreBreakdown {
+                    account: *c.cycle_account().expect("accounting was armed"),
+                    elapsed: c.now().as_u64(),
+                })
+                .collect(),
+        });
         let result = self.collect(&name, memsys, protocol, spms, dmacs, core_models);
-        (result, verified, tracer)
+        (result, verified, tracer, breakdown)
     }
 
     /// Touches the shared (non-partitioned) data of every kernel — the
@@ -578,6 +613,16 @@ impl Machine {
     }
 }
 
+/// Everything one inner run can produce: the result itself plus the
+/// optional oracle verdict, trace capture and cycle breakdown (each present
+/// only when the corresponding knob armed it).
+type InnerOutcome = (
+    RunResult,
+    Option<(oracle::OracleReport, crate::verify::MemoryImage)>,
+    Option<Tracer>,
+    Option<CycleBreakdown>,
+);
+
 /// The workload a run executes: a compiled benchmark spec or a raw
 /// (litmus / fuzz) program.
 #[derive(Debug, Clone, Copy)]
@@ -594,6 +639,7 @@ pub fn default_core_config() -> CoreConfig {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use simkernel::CycleCategory;
     use workloads::nas::NasBenchmark;
 
     fn small_spec() -> BenchmarkSpec {
@@ -702,6 +748,43 @@ mod tests {
         assert_eq!(a.execution_time, b.execution_time);
         assert_eq!(a.total_packets(), b.total_packets());
         assert_eq!(a.instructions, b.instructions);
+    }
+
+    #[test]
+    fn accounted_run_is_exhaustive_and_observable_free() {
+        let spec = small_spec();
+        for kind in MachineKind::ALL {
+            let machine = Machine::new(kind, config());
+            let plain = machine.run(&spec);
+            let (accounted, breakdown) = machine.run_accounted(&spec);
+            // Bit-identical observables: accounting is a pure observer.
+            assert_eq!(plain.execution_time, accounted.execution_time, "{kind}");
+            assert_eq!(plain.stats, accounted.stats, "{kind}");
+            assert_eq!(plain.traffic, accounted.traffic, "{kind}");
+            // Exhaustive: categories sum bit-exactly to elapsed cycles.
+            assert_eq!(breakdown.cores.len(), 4, "{kind}");
+            breakdown.check_exhaustive().unwrap();
+            assert!(breakdown.totals().get(CycleCategory::Compute) > 0, "{kind}");
+        }
+    }
+
+    #[test]
+    fn accounting_splits_dma_wait_by_engine() {
+        // The legacy engine stalls `dma-synch` inline (`DmaWait`); the
+        // interleaved engine parks and pays the wait on resume (`Park`).
+        // That split is exactly the serialized-replay artifact of PR 4.
+        let spec = small_spec();
+        let legacy = Machine::new(MachineKind::HybridProposed, config());
+        let mut inter_cfg = config();
+        inter_cfg.engine = ExecutionEngine::Interleaved;
+        let interleaved = Machine::new(MachineKind::HybridProposed, inter_cfg);
+        let (_, l) = legacy.run_accounted(&spec);
+        let (_, i) = interleaved.run_accounted(&spec);
+        l.check_exhaustive().unwrap();
+        i.check_exhaustive().unwrap();
+        assert_eq!(l.totals().get(CycleCategory::Park), 0);
+        assert!(l.totals().get(CycleCategory::DmaWait) > 0);
+        assert!(i.totals().get(CycleCategory::Park) > 0);
     }
 
     #[test]

@@ -94,6 +94,7 @@ pub fn run_cache_key(kind: MachineKind, config: &SystemConfig, spec: &BenchmarkS
     let mut config = config.clone();
     config.debug_cores = false;
     config.trace = simkernel::trace::TraceSettings::default();
+    config.cycle_accounting = false;
     CacheKey::from_fields([
         ("format", CACHE_FORMAT.to_string()),
         ("kind", kind.id().to_owned()),
@@ -179,6 +180,7 @@ pub fn metrics_of(r: &RunResult) -> PointMetrics {
         total_energy_j: r.total_energy(),
         instructions: r.instructions,
         filter_hit_ratio: r.filter_hit_ratio,
+        breakdown: None,
     }
 }
 
@@ -192,6 +194,37 @@ pub fn records_of(points: &[RunDescriptor], results: &[RunResult]) -> Vec<PointR
             metrics: metrics_of(r),
         })
         .collect()
+}
+
+/// Fills every record's machine-wide cycle breakdown by re-running its
+/// point with cycle accounting enabled.
+///
+/// These are dedicated passes on `executor`'s workers, never cached: the
+/// cache key pins `cycle_accounting` to false (the knob is presentation
+/// only), so accounted runs neither consult nor pollute the result cache.
+/// Each pass re-verifies the exhaustiveness invariant before its totals are
+/// exported.
+pub fn attach_breakdowns(
+    executor: &Executor,
+    points: &[RunDescriptor],
+    records: &mut [PointRecord],
+) -> Result<(), String> {
+    assert_eq!(points.len(), records.len());
+    let lowered: Vec<LoweredRun> = points
+        .iter()
+        .map(|d| lower_descriptor(d).map_err(|e| format!("point {}: {e}", d.label())))
+        .collect::<Result<_, _>>()?;
+    let breakdowns = executor.run(&lowered, |_, (config, spec, kind)| {
+        let (_, breakdown) = Machine::new(*kind, config.clone()).run_accounted(spec);
+        breakdown
+    });
+    for ((point, record), breakdown) in points.iter().zip(records).zip(breakdowns) {
+        breakdown
+            .check_exhaustive()
+            .map_err(|e| format!("point {}: {e}", point.label()))?;
+        record.metrics.breakdown = Some(*breakdown.totals().counts());
+    }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -293,6 +326,9 @@ mod tests {
         traced.trace = simkernel::trace::TraceSettings::enabled();
         traced.trace.sample_interval = 123;
         assert_eq!(base, run_cache_key(kind, &traced, &spec));
+        let mut accounted = config.clone();
+        accounted.cycle_accounting = true;
+        assert_eq!(base, run_cache_key(kind, &accounted, &spec));
         let mut rescaled = spec.clone();
         rescaled.kernels[0].outer_repeats += 1;
         assert_ne!(base, run_cache_key(kind, &config, &rescaled));
@@ -324,6 +360,25 @@ mod tests {
         assert!(row.protocol_overhead.unwrap() >= 1.0);
         for r in &report.results {
             assert!(metrics_of(r).execution_cycles > 0);
+        }
+    }
+
+    #[test]
+    fn attached_breakdowns_cover_the_elapsed_cycles() {
+        let spec = SweepSpec::new(&["CG"])
+            .with_cores(&[4])
+            .with_scales(&[1.0 / 512.0])
+            .small();
+        let points = spec.points();
+        let report = run_points(&RunContext::serial(), &points).unwrap();
+        let mut records = records_of(&points, &report.results);
+        attach_breakdowns(&Executor::serial(), &points, &mut records).unwrap();
+        for record in &records {
+            let breakdown = record.metrics.breakdown.expect("accounted pass ran");
+            // The accounted pass replays the same run, so its per-core
+            // elapsed sum covers at least the headline execution time.
+            let total: u64 = breakdown.iter().sum();
+            assert!(total >= record.metrics.execution_cycles, "{record:?}");
         }
     }
 }
