@@ -61,7 +61,7 @@ pub mod spec;
 
 pub use aggregate::{summarize, CampaignSummary, PointMetrics, PointRecord, SummaryRow};
 pub use cache::ResultCache;
-pub use executor::Executor;
+pub use executor::{Executor, WorkerPool};
 pub use hash::{fnv1a64, CacheKey};
 pub use run::{run_campaign, CampaignReport, Codec, CACHE_FORMAT};
 pub use spec::{RunDescriptor, SweepSpec, ENGINE_IDS, MACHINE_IDS, NOC_MODEL_IDS};

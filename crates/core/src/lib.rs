@@ -70,6 +70,8 @@ pub use filterdir::FilterDir;
 pub use ideal::IdealCoherence;
 pub use masks::AddressMasks;
 pub use outcome::{GuardedOutcome, GuardedTarget};
-pub use protocol::{CoherenceSupport, ProtocolConfig, ProtocolFault, SpmCoherenceProtocol};
+pub use protocol::{
+    CoherenceSupport, ProtocolConfig, ProtocolFault, ProtocolLane, SpmCoherenceProtocol,
+};
 pub use spmdir::SpmDir;
 pub use stats::ProtocolStats;

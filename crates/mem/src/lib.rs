@@ -37,7 +37,9 @@ pub mod values;
 pub use addr::{Addr, AddressRange, LineAddr, LINE_BYTES};
 pub use cache::{CacheArray, CacheConfig, EvictedLine};
 pub use dram::{DramConfig, DramModel};
-pub use hierarchy::{AccessKind, MemAccessResult, MemorySystem, MemorySystemConfig, ServedBy};
+pub use hierarchy::{
+    AccessKind, CoreLane, MemAccessResult, MemorySystem, MemorySystemConfig, ServedBy,
+};
 pub use moesi::{DirectoryEntry, MoesiState};
 pub use mshr::MshrFile;
 pub use prefetcher::{PrefetcherConfig, StridePrefetcher};

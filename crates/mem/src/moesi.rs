@@ -58,11 +58,100 @@ impl fmt::Display for MoesiState {
     }
 }
 
+/// Which private caches hold a line: one bit per core.
+///
+/// The paper's machine is 64 cores, so the common representation is a
+/// single word.  The parallel engine's big meshes (256–1024 cores) promote
+/// the set to a boxed multi-word bitmap on the first sharer past core 63;
+/// every ≤64-core configuration only ever touches the narrow form, so the
+/// wide path costs nothing where the goldens pin behaviour.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+enum SharerSet {
+    /// One `u64`, bit per core — cores 0..64.
+    Narrow(u64),
+    /// One word per 64 cores, grown on demand.
+    Wide(Box<[u64]>),
+}
+
+impl Default for SharerSet {
+    fn default() -> Self {
+        SharerSet::Narrow(0)
+    }
+}
+
+impl SharerSet {
+    fn insert(&mut self, idx: usize) {
+        match self {
+            SharerSet::Narrow(bits) if idx < 64 => *bits |= 1u64 << idx,
+            SharerSet::Narrow(bits) => {
+                let mut words = vec![0u64; idx / 64 + 1];
+                words[0] = *bits;
+                words[idx / 64] |= 1u64 << (idx % 64);
+                *self = SharerSet::Wide(words.into_boxed_slice());
+            }
+            SharerSet::Wide(words) => {
+                if idx / 64 >= words.len() {
+                    let mut grown = vec![0u64; idx / 64 + 1];
+                    grown[..words.len()].copy_from_slice(words);
+                    *words = grown.into_boxed_slice();
+                }
+                words[idx / 64] |= 1u64 << (idx % 64);
+            }
+        }
+    }
+
+    fn remove(&mut self, idx: usize) {
+        match self {
+            SharerSet::Narrow(bits) => {
+                if idx < 64 {
+                    *bits &= !(1u64 << idx);
+                }
+            }
+            SharerSet::Wide(words) => {
+                if let Some(word) = words.get_mut(idx / 64) {
+                    *word &= !(1u64 << (idx % 64));
+                }
+            }
+        }
+    }
+
+    fn contains(&self, idx: usize) -> bool {
+        let words = self.words();
+        words
+            .get(idx / 64)
+            .is_some_and(|w| (w >> (idx % 64)) & 1 == 1)
+    }
+
+    fn words(&self) -> &[u64] {
+        match self {
+            SharerSet::Narrow(bits) => std::slice::from_ref(bits),
+            SharerSet::Wide(words) => words,
+        }
+    }
+
+    fn count(&self) -> u32 {
+        self.words().iter().map(|w| w.count_ones()).sum()
+    }
+
+    fn is_empty(&self) -> bool {
+        self.words().iter().all(|&w| w == 0)
+    }
+
+    fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words().iter().enumerate().flat_map(|(w, &bits)| {
+            (0..64)
+                .filter(move |b| (bits >> b) & 1 == 1)
+                .map(move |b| w * 64 + b)
+        })
+    }
+}
+
 /// Directory bookkeeping for one line of the shared L2.
 ///
-/// Tracks which L1 caches hold the line (a 64-bit sharer vector, enough for
-/// the paper's 64-core machine), which of them — if any — owns a dirty copy,
-/// and whether the L2's own copy is dirty with respect to memory.
+/// Tracks which L1 caches hold the line (a sharer bit-vector: one word up
+/// to the paper's 64-core machine, a multi-word bitmap on the bigger
+/// parallel-engine meshes), which of them — if any — owns a dirty copy, and
+/// whether the L2's own copy is dirty with respect to memory.
 ///
 /// # Example
 ///
@@ -76,9 +165,9 @@ impl fmt::Display for MoesiState {
 /// dir.add_sharer(CoreId::new(5), MoesiState::Shared);
 /// assert_eq!(dir.sharer_count(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub struct DirectoryEntry {
-    sharers: u64,
+    sharers: SharerSet,
     owner: Option<CoreId>,
     owner_state: MoesiState,
     /// Whether the L2 copy is newer than main memory.
@@ -94,13 +183,8 @@ impl DirectoryEntry {
     /// Adds a private-cache sharer in the given state.
     ///
     /// A `Modified`, `Owned` or `Exclusive` state makes that core the owner.
-    ///
-    /// # Panics
-    ///
-    /// Panics if the core index does not fit the 64-bit sharer vector.
     pub fn add_sharer(&mut self, core: CoreId, state: MoesiState) {
-        assert!(core.index() < 64, "sharer vector supports up to 64 cores");
-        self.sharers |= 1u64 << core.index();
+        self.sharers.insert(core.index());
         if matches!(
             state,
             MoesiState::Modified | MoesiState::Owned | MoesiState::Exclusive
@@ -112,9 +196,7 @@ impl DirectoryEntry {
 
     /// Removes a sharer (e.g. on an L1 eviction or invalidation).
     pub fn remove_sharer(&mut self, core: CoreId) {
-        if core.index() < 64 {
-            self.sharers &= !(1u64 << core.index());
-        }
+        self.sharers.remove(core.index());
         if self.owner == Some(core) {
             self.owner = None;
             self.owner_state = MoesiState::Invalid;
@@ -123,7 +205,7 @@ impl DirectoryEntry {
 
     /// Returns `true` if the core currently holds a copy.
     pub fn is_sharer(&self, core: CoreId) -> bool {
-        core.index() < 64 && (self.sharers >> core.index()) & 1 == 1
+        self.sharers.contains(core.index())
     }
 
     /// The core owning a dirty/exclusive copy, if any.
@@ -147,14 +229,12 @@ impl DirectoryEntry {
 
     /// Number of private caches holding the line.
     pub fn sharer_count(&self) -> u32 {
-        self.sharers.count_ones()
+        self.sharers.count()
     }
 
     /// Iterates over the sharer cores.
     pub fn sharers(&self) -> impl Iterator<Item = CoreId> + '_ {
-        (0..64)
-            .filter(|i| (self.sharers >> i) & 1 == 1)
-            .map(CoreId::new)
+        self.sharers.iter().map(CoreId::new)
     }
 
     /// Iterates over the sharers other than `except`.
@@ -165,7 +245,7 @@ impl DirectoryEntry {
     /// Removes every sharer and the owner, returning how many there were.
     pub fn clear_sharers(&mut self) -> u32 {
         let n = self.sharer_count();
-        self.sharers = 0;
+        self.sharers = SharerSet::default();
         self.owner = None;
         self.owner_state = MoesiState::Invalid;
         n
@@ -173,7 +253,7 @@ impl DirectoryEntry {
 
     /// Returns `true` if no private cache holds the line.
     pub fn is_unshared(&self) -> bool {
-        self.sharers == 0
+        self.sharers.is_empty()
     }
 }
 
@@ -260,8 +340,27 @@ mod tests {
     }
 
     #[test]
-    #[should_panic]
-    fn sharer_out_of_range_panics() {
-        DirectoryEntry::new().add_sharer(CoreId::new(64), MoesiState::Shared);
+    fn wide_meshes_promote_the_sharer_vector() {
+        // A sharer past core 63 promotes the set to the multi-word bitmap
+        // without disturbing the narrow sharers already recorded.
+        let mut d = DirectoryEntry::new();
+        d.add_sharer(CoreId::new(3), MoesiState::Shared);
+        d.add_sharer(CoreId::new(64), MoesiState::Shared);
+        d.add_sharer(CoreId::new(1023), MoesiState::Modified);
+        assert_eq!(d.sharer_count(), 3);
+        assert!(d.is_sharer(CoreId::new(3)));
+        assert!(d.is_sharer(CoreId::new(64)));
+        assert!(d.is_sharer(CoreId::new(1023)));
+        assert!(!d.is_sharer(CoreId::new(512)));
+        assert_eq!(d.owner(), Some(CoreId::new(1023)));
+        let all: Vec<_> = d.sharers().collect();
+        assert_eq!(
+            all,
+            vec![CoreId::new(3), CoreId::new(64), CoreId::new(1023)]
+        );
+        d.remove_sharer(CoreId::new(64));
+        assert_eq!(d.sharer_count(), 2);
+        assert_eq!(d.clear_sharers(), 2);
+        assert!(d.is_unshared());
     }
 }

@@ -306,21 +306,25 @@ impl DesNoc {
     /// (which accumulates to end of run): the stat sampler and the
     /// contention ablation read it while the simulation is still moving to
     /// see *when* a filterDir home tile backs up, not just that it did.
-    pub fn home_queue_depths(&self, at: Cycle) -> Vec<u64> {
-        self.eject_free
-            .iter()
-            .map(|ports| {
-                ports
-                    .iter()
-                    .map(|&free| free.as_u64().saturating_sub(at.as_u64()))
-                    .sum()
-            })
-            .collect()
+    /// Allocation-free: fills the caller's `depths` scratch buffer (cleared
+    /// and resized to the node count) so the per-sample hot path of the
+    /// stat time-series reuses one buffer for the whole run.
+    pub fn home_queue_depths(&self, at: Cycle, depths: &mut Vec<u64>) {
+        depths.clear();
+        depths.extend(self.eject_free.iter().map(|ports| {
+            ports
+                .iter()
+                .map(|&free| free.as_u64().saturating_sub(at.as_u64()))
+                .sum::<u64>()
+        }));
     }
 
-    /// [`DesNoc::home_queue_depths`] at the engine's current cycle.
+    /// [`DesNoc::home_queue_depths`] at the engine's current cycle, as a
+    /// fresh vector (the cold-path convenience form).
     pub fn home_queue_depths_now(&self) -> Vec<u64> {
-        self.home_queue_depths(self.now)
+        let mut depths = Vec::new();
+        self.home_queue_depths(self.now, &mut depths);
+        depths
     }
 
     /// The node with the largest ejection-queue wait, with that wait.
@@ -549,9 +553,12 @@ mod tests {
                 assert_eq!(depth, 0, "node {node} saw no converging traffic");
             }
         }
-        // Far enough in the future the backlog has fully drained.
+        // Far enough in the future the backlog has fully drained.  The
+        // scratch form reuses (and clears) the caller's buffer.
         let later = noc.horizon() + Cycle::new(1);
-        assert!(noc.home_queue_depths(later).iter().all(|&d| d == 0));
+        let mut drained = depths;
+        noc.home_queue_depths(later, &mut drained);
+        assert!(drained.iter().all(|&d| d == 0));
     }
 
     #[test]

@@ -397,9 +397,50 @@ impl CycleBreakdown {
     /// Per-category machine-wide difference table between two runs
     /// (`other` minus `self`), categories with the largest absolute
     /// movement first.
+    ///
+    /// Runs with differing core counts are still comparable: the table
+    /// switches to per-core means (total / cores), so diffing a 16-core
+    /// interleaved run against a 256-core parallel run attributes the
+    /// engine gap per core instead of drowning it in the mesh-size factor.
     pub fn diff_table(&self, other: &CycleBreakdown) -> String {
         let before = self.totals();
         let after = other.totals();
+        if self.cores.len() != other.cores.len() {
+            let (n_before, n_after) = (self.cores.len().max(1), other.cores.len().max(1));
+            let mut rows: Vec<(CycleCategory, f64, f64)> = CycleCategory::ALL
+                .into_iter()
+                .map(|c| {
+                    (
+                        c,
+                        before.get(c) as f64 / n_before as f64,
+                        after.get(c) as f64 / n_after as f64,
+                    )
+                })
+                .collect();
+            rows.sort_by(|a, b| {
+                (b.2 - b.1)
+                    .abs()
+                    .total_cmp(&(a.2 - a.1).abs())
+                    .then(a.0.index().cmp(&b.0.index()))
+            });
+            let title = format!(
+                "Cycle breakdown diff (second run minus first; \
+                 {} vs {} cores, per-core means)",
+                self.cores.len(),
+                other.cores.len()
+            );
+            let mut t = TableBuilder::new(&title);
+            t.columns(&["Category", "First/core", "Second/core", "Delta/core"]);
+            for (category, mean_before, mean_after) in rows {
+                t.row_owned(vec![
+                    category.id().to_owned(),
+                    format!("{mean_before:.1}"),
+                    format!("{mean_after:.1}"),
+                    format!("{:+.1}", mean_after - mean_before),
+                ]);
+            }
+            return t.build();
+        }
         let mut rows: Vec<(CycleCategory, i128)> = CycleCategory::ALL
             .into_iter()
             .map(|c| (c, after.get(c) as i128 - before.get(c) as i128))
@@ -542,5 +583,27 @@ mod tests {
         let table = before.diff_table(&after);
         assert!(table.contains("+50"), "{table}");
         assert!(table.contains("park"), "{table}");
+    }
+
+    #[test]
+    fn diff_table_normalises_differing_core_counts() {
+        let small = breakdown();
+        let mut big = CycleBreakdown::default();
+        // Four cores charging 200 compute each against `small`'s per-core
+        // mean of 55 ((70 + 40) / 2): the table reports +145.0 per core.
+        for _ in 0..4 {
+            let mut account = CycleAccount::new();
+            account.charge(CycleCategory::Compute, 200);
+            big.cores.push(CoreBreakdown {
+                account,
+                elapsed: 200,
+            });
+        }
+        let table = small.diff_table(&big);
+        assert!(table.contains("2 vs 4 cores, per-core means"), "{table}");
+        assert!(table.contains("+145.0"), "{table}");
+        // The same-count path is untouched: raw totals, integer deltas.
+        let same = small.diff_table(&breakdown());
+        assert!(!same.contains("per-core means"), "{same}");
     }
 }

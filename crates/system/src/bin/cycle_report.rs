@@ -146,7 +146,11 @@ mod tests {
     use simkernel::attrib::{CoreBreakdown, CycleAccount};
 
     fn sample_breakdown(scale: u64) -> CycleBreakdown {
-        let cores = (0..2)
+        sized_breakdown(scale, 2)
+    }
+
+    fn sized_breakdown(scale: u64, cores: u64) -> CycleBreakdown {
+        let cores = (0..cores)
             .map(|id| {
                 let mut account = CycleAccount::new();
                 account.charge(CycleCategory::Compute, 100 * scale);
@@ -162,9 +166,13 @@ mod tests {
     }
 
     fn write_sample(name: &str, scale: u64) -> String {
+        write_sized_sample(name, scale, 2)
+    }
+
+    fn write_sized_sample(name: &str, scale: u64, cores: u64) -> String {
         let path = std::env::temp_dir().join(name);
         let path = path.to_str().unwrap().to_owned();
-        let mut doc = sample_breakdown(scale).to_json();
+        let mut doc = sized_breakdown(scale, cores).to_json();
         if let Json::Obj(fields) = &mut doc {
             fields.insert("benchmark".to_owned(), Json::str("CG"));
         }
@@ -195,6 +203,20 @@ mod tests {
         assert!(out.contains("diff"), "{out}");
         // Machine-wide compute moves from 200 (2 cores × 100) to 400.
         assert!(out.contains("+200"), "{out}");
+    }
+
+    #[test]
+    fn diff_tolerates_differing_core_counts() {
+        // A 2-core run against an 8-core run — the cross-scale engine-gap
+        // use case: the diff must succeed and fall back to per-core means
+        // rather than comparing raw totals across mesh sizes.
+        let small = write_sized_sample("cycle-report-test-e.json", 1, 2);
+        let big = write_sized_sample("cycle-report-test-f.json", 2, 8);
+        let out = run(&[small, "--diff".to_owned(), big]).unwrap();
+        assert!(out.contains("2 vs 8 cores, per-core means"), "{out}");
+        // Per-core compute: 100 vs 200 → +100.0 per core.
+        assert!(out.contains("+100.0"), "{out}");
+        assert!(out.contains("JSON round-trip OK"), "{out}");
     }
 
     #[test]

@@ -10,7 +10,13 @@
 //! --benchmarks LIST  comma-separated subset, e.g. CG,IS (default: all six)
 //! --json             also print the raw results as JSON
 //! --jobs N           parallel simulation workers (default: available
-//!                    parallelism; `--jobs 1` forces serial execution)
+//!                    parallelism; `--jobs 1` forces serial execution).
+//!                    One knob for both pools: when several points run
+//!                    (suite sweeps), N schedules whole simulations and
+//!                    each simulation runs its engine single-threaded;
+//!                    for a single `--engine parallel` run, N sets that
+//!                    engine's worker count instead.  Results never
+//!                    depend on N either way
 //! --cache            reuse simulation results from the default result
 //!                    cache, `target/campaign-cache`
 //! --cache-dir PATH   like `--cache`, with an explicit directory
@@ -18,9 +24,13 @@
 //!                    `discrete-event` (alias `des`) — see the README's
 //!                    "NoC models" section
 //! --engine NAME      execution engine: `legacy` (default, tile-serialized
-//!                    replay) or `interleaved` (cycle-interleaved min-clock
-//!                    scheduler) — see the README's "Execution engines"
-//!                    section
+//!                    replay), `interleaved` (cycle-interleaved min-clock
+//!                    scheduler) or `parallel` (epoch-based conservative
+//!                    multicore scheduler, bit-identical for any `--jobs`)
+//!                    — see the README's "Execution engines" section
+//! --epoch-cycles N   width of the parallel engine's conservative time
+//!                    window in cycles (default 1024; a model knob — it
+//!                    bounds cross-core skew, so it changes results)
 //! --debug-cores      print per-core clock/work/stall figures after every
 //!                    kernel (to stderr)
 //! --track-values     thread real data values through the memory system
@@ -134,6 +144,8 @@ pub struct CliOptions {
     pub sample_interval: Option<u64>,
     /// Where to write one accounted run's cycle breakdown (`-` for stdout).
     pub cycle_accounting: Option<String>,
+    /// Epoch width of the parallel engine; `None` keeps the default.
+    pub epoch_cycles: Option<u64>,
 }
 
 impl Default for CliOptions {
@@ -153,6 +165,7 @@ impl Default for CliOptions {
             trace_categories: simkernel::CategoryMask::all(),
             sample_interval: None,
             cycle_accounting: None,
+            epoch_cycles: None,
         }
     }
 }
@@ -242,6 +255,11 @@ impl CliOptions {
                         options.cycle_accounting = Some(path);
                     }
                 }
+                "--epoch-cycles" => {
+                    if let Some(v) = args.next().and_then(|v| v.parse().ok()) {
+                        options.epoch_cycles = Some(v);
+                    }
+                }
                 _ => {}
             }
         }
@@ -253,6 +271,16 @@ impl CliOptions {
         let mut config = SystemConfig::with_cores(self.cores);
         config.set_noc_model(self.noc_model);
         config.engine = self.engine;
+        // `--jobs` is one knob for both worker pools.  A single run hands
+        // it to the parallel engine here; suite sweeps go through
+        // `RunContext` instead, whose point-level executor takes precedence
+        // (each scheduled point forces `engine_jobs = 1` — see
+        // `sweep::run_points`).  Results never depend on the split: the
+        // parallel engine is bit-identical across worker counts.
+        config.engine_jobs = self.jobs;
+        if let Some(epoch) = self.epoch_cycles {
+            config.epoch_cycles = epoch;
+        }
         config.debug_cores = self.debug_cores;
         config.track_values = self.track_values;
         config.trace.enabled = self.trace.is_some();

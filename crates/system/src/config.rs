@@ -68,12 +68,12 @@ impl std::fmt::Display for MachineKind {
 
 /// How the machine drives its cores through a kernel.
 ///
-/// Both engines interpret the same per-core op streams through the same
+/// The engines interpret the same per-core op streams through the same
 /// hardware models; they differ only in the *order* cores' operations reach
-/// the shared state (L2, coherence protocol, NoC).  With a single core the
-/// two are bit-identical; with many cores the interleaved engine is the
+/// the shared state (L2, coherence protocol, NoC).  With a single core all
+/// of them are bit-identical; with many cores the interleaved engine is the
 /// faithful one, and the difference between them measures the ordering
-/// artifact of serialized replay.
+/// artifact of each scheduling discipline.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum ExecutionEngine {
     /// Tile-serialized replay: each core runs a whole trace segment to
@@ -87,11 +87,24 @@ pub enum ExecutionEngine {
     /// reaches the L2, the coherence protocol and the NoC in simulated-time
     /// order.
     Interleaved,
+    /// Epoch-based conservative parallel scheduling: cores run ahead
+    /// independently over core-local work (compute, SPM, L1 hits) inside a
+    /// bounded time window, and every cross-core interaction (misses into
+    /// the shared hierarchy, DMA transfers, protocol directory traffic,
+    /// NoC injections) is deferred to a deterministic commit executed in a
+    /// fixed merge order.  Results are bit-identical for any worker count
+    /// (`SystemConfig::engine_jobs`); see the README's "Execution engines"
+    /// section for the full determinism contract.
+    Parallel,
 }
 
 impl ExecutionEngine {
     /// All engines, legacy first.
-    pub const ALL: [ExecutionEngine; 2] = [ExecutionEngine::Legacy, ExecutionEngine::Interleaved];
+    pub const ALL: [ExecutionEngine; 3] = [
+        ExecutionEngine::Legacy,
+        ExecutionEngine::Interleaved,
+        ExecutionEngine::Parallel,
+    ];
 
     /// Stable identifier used by campaign descriptors and CLI flags
     /// (matches [`campaign::ENGINE_IDS`]).
@@ -99,6 +112,7 @@ impl ExecutionEngine {
         match self {
             ExecutionEngine::Legacy => "legacy",
             ExecutionEngine::Interleaved => "interleaved",
+            ExecutionEngine::Parallel => "parallel",
         }
     }
 
@@ -139,6 +153,21 @@ pub struct SystemConfig {
     pub trace_seed: u64,
     /// How cores are scheduled through each kernel.
     pub engine: ExecutionEngine,
+    /// Worker threads of the parallel engine's pool (`--jobs` on the report
+    /// binaries); `0` means the host's available parallelism.
+    ///
+    /// Presentation-only by construction: the parallel engine is
+    /// bit-identical for every worker count (pinned by the
+    /// `parallel_engine_is_bit_identical_across_worker_counts` proptest),
+    /// so the campaign cache key pins this to its default.
+    pub engine_jobs: usize,
+    /// Width of the parallel engine's conservative time window, in cycles.
+    ///
+    /// A *model* knob, not a presentation knob: it bounds how far cores may
+    /// drift apart between commits, so different widths produce different
+    /// (each deterministic) results.  It participates in the campaign cache
+    /// key like any other hardware parameter.
+    pub epoch_cycles: u64,
     /// Print per-core clock/work/stall figures after every kernel
     /// (`--debug-cores` on the report binaries).
     pub debug_cores: bool,
@@ -187,6 +216,8 @@ impl SystemConfig {
             frequency: Frequency::ghz(2.0),
             trace_seed: 0x15CA_2015,
             engine: ExecutionEngine::Legacy,
+            engine_jobs: 1,
+            epoch_cycles: 1024,
             debug_cores: false,
             track_values: false,
             trace: TraceSettings::default(),

@@ -402,6 +402,26 @@ impl Machine {
             None
         };
 
+        // The parallel engine's worker pool.  Observers force the
+        // single-threaded observed backend (which ignores the pool), and a
+        // single effective worker runs the lane backend inline, so neither
+        // spins up threads.  The schedule is worker-count-invariant (see
+        // `engine::run_kernel_parallel`), so workers are clamped to the
+        // host's parallelism: oversubscribed threads would only timeslice.
+        let avail = std::thread::available_parallelism().map_or(1, usize::from);
+        let engine_workers = match self.config.engine_jobs {
+            0 => avail,
+            n => n.min(avail),
+        };
+        let pool: Option<campaign::WorkerPool> = (self.config.engine == ExecutionEngine::Parallel
+            && engine_workers > 1
+            && values.is_none()
+            && tracer.is_none())
+        .then(|| campaign::WorkerPool::new(engine_workers));
+
+        // Sampler scratch, reused across every kernel of the run.
+        let mut depth_scratch: Vec<u64> = Vec::new();
+
         for program in &programs {
             let start: Vec<Cycle> = if audit.is_some() {
                 core_models.iter().map(|c| c.now()).collect()
@@ -427,6 +447,7 @@ impl Machine {
                 track_noc_clock,
                 values: values.as_mut(),
                 tracer: tracer.as_mut(),
+                depth_scratch: std::mem::take(&mut depth_scratch),
             };
             match self.config.engine {
                 ExecutionEngine::Legacy => {
@@ -435,7 +456,14 @@ impl Machine {
                 ExecutionEngine::Interleaved => {
                     engine::run_kernel_interleaved(&mut ctx, self.config.trace_seed)
                 }
+                ExecutionEngine::Parallel => engine::run_kernel_parallel(
+                    &mut ctx,
+                    self.config.trace_seed,
+                    pool.as_ref(),
+                    self.config.epoch_cycles,
+                ),
             }
+            depth_scratch = std::mem::take(&mut ctx.depth_scratch);
             // Per-core kernel report: one CoreReport event per core on the
             // shared tracer; `--debug-cores` pretty-prints the same events.
             if let Some(tr) = tracer.as_mut() {
@@ -475,7 +503,9 @@ impl Machine {
             // short runs still get at least one time-series point per kernel.
             if self.config.trace.enabled && self.config.trace.sample_interval != 0 {
                 if let Some(tr) = tracer.as_mut() {
-                    engine::sample_stats(tr, &memsys, &dmacs, &core_models, barrier);
+                    let mut scratch = std::mem::take(&mut depth_scratch);
+                    engine::sample_stats(tr, &memsys, &dmacs, &core_models, barrier, &mut scratch);
+                    depth_scratch = scratch;
                 }
             }
             if let Some(audit) = audit.as_deref_mut() {

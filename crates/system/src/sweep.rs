@@ -95,6 +95,10 @@ pub fn run_cache_key(kind: MachineKind, config: &SystemConfig, spec: &BenchmarkS
     config.debug_cores = false;
     config.trace = simkernel::trace::TraceSettings::default();
     config.cycle_accounting = false;
+    // The parallel engine is bit-identical across worker counts, so the
+    // pool size is presentation too.  `epoch_cycles` is NOT pinned: the
+    // epoch width bounds cross-core skew and changes results.
+    config.engine_jobs = 1;
     CacheKey::from_fields([
         ("format", CACHE_FORMAT.to_string()),
         ("kind", kind.id().to_owned()),
@@ -145,10 +149,23 @@ impl RunContext {
     /// Results come back in input order; the report carries the
     /// executed-vs-cached accounting.
     pub fn run_lowered(&self, runs: &[LoweredRun]) -> CampaignReport<RunResult> {
+        // Point fan-out takes precedence over engine fan-out: a scheduled
+        // point always runs its engine single-threaded, so `--jobs` workers
+        // never multiply into `jobs × engine_jobs` threads.  Harmless to
+        // results — the parallel engine is bit-identical across worker
+        // counts — and it keeps the cache key's `engine_jobs` pin honest.
+        let runs: Vec<LoweredRun> = runs
+            .iter()
+            .map(|(config, spec, kind)| {
+                let mut config = config.clone();
+                config.engine_jobs = 1;
+                (config, spec.clone(), *kind)
+            })
+            .collect();
         run_campaign(
             &self.executor,
             self.cache.as_ref(),
-            runs,
+            &runs,
             |(config, spec, kind)| run_cache_key(*kind, config, spec),
             &run_result_codec(),
             |(config, spec, kind)| Machine::new(*kind, config.clone()).run(spec),
@@ -329,6 +346,12 @@ mod tests {
         let mut accounted = config.clone();
         accounted.cycle_accounting = true;
         assert_eq!(base, run_cache_key(kind, &accounted, &spec));
+        let mut pooled = config.clone();
+        pooled.engine_jobs = 8;
+        assert_eq!(base, run_cache_key(kind, &pooled, &spec));
+        let mut widened = config.clone();
+        widened.epoch_cycles += 1;
+        assert_ne!(base, run_cache_key(kind, &widened, &spec));
         let mut rescaled = spec.clone();
         rescaled.kernels[0].outer_repeats += 1;
         assert_ne!(base, run_cache_key(kind, &config, &rescaled));

@@ -37,7 +37,7 @@ fn config(engine: ExecutionEngine, model: noc::NocModel, cores: usize) -> System
     cfg
 }
 
-fn engines() -> [ExecutionEngine; 2] {
+fn engines() -> [ExecutionEngine; 3] {
     ExecutionEngine::ALL
 }
 
