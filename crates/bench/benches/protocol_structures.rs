@@ -6,7 +6,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use mem::{Addr, AddressRange, MemorySystem, MemorySystemConfig};
 use simkernel::{ByteSize, CoreId};
 use spm::{Scratchpad, SpmConfig};
-use spm_coherence::{CoherenceSupport, ProtocolConfig, SpmCoherenceProtocol};
+use spm_coherence::{CoherenceBackend, ProtocolConfig, SpmCoherenceProtocol};
 
 fn bench_protocol(c: &mut Criterion) {
     let cores = 16;

@@ -172,11 +172,11 @@ pub fn summarize(records: &[PointRecord]) -> CampaignSummary {
 
 /// The CSV column order used by [`to_csv`].
 ///
-/// The nine `cycles_*` columns come strictly **after** every pre-existing
-/// column (consumers that slice the first fifteen keep working); they render
-/// empty unless the campaign ran accounted passes.  A test pins their names
-/// to [`CycleCategory::ALL`].
-pub const CSV_COLUMNS: [&str; 24] = [
+/// The nine `cycles_*` columns come strictly **after** every other column
+/// (consumers that slice the leading descriptor+metric columns keep
+/// working); they render empty unless the campaign ran accounted passes.  A
+/// test pins their names to [`CycleCategory::ALL`].
+pub const CSV_COLUMNS: [&str; 25] = [
     "benchmark",
     "machine",
     "cores",
@@ -186,6 +186,7 @@ pub const CSV_COLUMNS: [&str; 24] = [
     "filterdir_entries",
     "noc_model",
     "engine",
+    "protocol",
     "small_machine",
     "execution_cycles",
     "total_packets",
@@ -214,7 +215,7 @@ pub fn to_csv(records: &[PointRecord]) -> String {
         let d = &r.descriptor;
         let m = &r.metrics;
         out.push_str(&format!(
-            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
+            "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}",
             d.benchmark,
             d.machine,
             d.cores,
@@ -224,6 +225,7 @@ pub fn to_csv(records: &[PointRecord]) -> String {
             opt(&d.filterdir_entries),
             opt(&d.noc_model),
             opt(&d.engine),
+            opt(&d.protocol),
             d.small_machine,
             m.execution_cycles,
             m.total_packets,
@@ -282,6 +284,10 @@ pub fn to_json(records: &[PointRecord]) -> String {
                             d.noc_model.as_deref().map_or(Json::Null, Json::str),
                         ),
                         ("engine", d.engine.as_deref().map_or(Json::Null, Json::str)),
+                        (
+                            "protocol",
+                            d.protocol.as_deref().map_or(Json::Null, Json::str),
+                        ),
                         ("small_machine", Json::Bool(d.small_machine)),
                     ]),
                 ),
@@ -404,7 +410,7 @@ mod tests {
     fn csv_breakdown_columns_mirror_the_category_order() {
         // The appended column names are the category ids, in ALL order, so
         // the campaign CSV and the `cycle_report --csv` export agree.
-        for (column, category) in CSV_COLUMNS[15..].iter().zip(CycleCategory::ALL) {
+        for (column, category) in CSV_COLUMNS[16..].iter().zip(CycleCategory::ALL) {
             assert_eq!(*column, format!("cycles_{}", category.id()));
         }
         let mut records = three_machines();
@@ -412,7 +418,7 @@ mod tests {
         let csv = to_csv(&records);
         let accounted: Vec<&str> = csv.lines().nth(1).unwrap().split(',').collect();
         assert_eq!(
-            accounted[15..],
+            accounted[16..],
             ["100", "101", "102", "103", "104", "105", "106", "107", "108"]
         );
     }

@@ -14,7 +14,7 @@ use crate::hash::CacheKey;
 /// Callers fold this into their cache keys (see
 /// `system::sweep::run_cache_key`), so bumping it orphans — rather than
 /// misinterprets — every blob written by older code.
-pub const CACHE_FORMAT: u32 = 5;
+pub const CACHE_FORMAT: u32 = 6;
 
 /// Encoder/decoder pair turning results into cacheable byte strings.
 ///

@@ -29,6 +29,14 @@ pub const NOC_MODEL_IDS: [&str; 2] = ["analytic", "discrete-event"];
 /// them onto its `ExecutionEngine` enum.
 pub const ENGINE_IDS: [&str; 3] = ["legacy", "interleaved", "parallel"];
 
+/// Canonical coherence-protocol identifiers, the paper's protocol first.
+///
+/// These are the strings a descriptor's `protocol` field uses; `system` maps
+/// them onto its `CoherenceProtocol` enum.  The axis only matters on the
+/// `hybrid-proposed` machine — the other machines always run the ideal
+/// oracle.
+pub const PROTOCOL_IDS: [&str; 2] = ["filterdir", "directory"];
+
 /// One point of a campaign: everything needed to reproduce one simulation
 /// run, as plain data.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -52,6 +60,9 @@ pub struct RunDescriptor {
     pub noc_model: Option<String>,
     /// Execution-engine override (one of [`ENGINE_IDS`]; `None` = legacy).
     pub engine: Option<String>,
+    /// Coherence-protocol override (one of [`PROTOCOL_IDS`]; `None` = the
+    /// paper's filterDir protocol).
+    pub protocol: Option<String>,
     /// Use the scaled-down test machine (`SystemConfig::small`) instead of
     /// the Table 1 machine — for quick campaigns, tests and CI.
     pub small_machine: bool,
@@ -71,6 +82,7 @@ impl RunDescriptor {
             filterdir_entries: None,
             noc_model: None,
             engine: None,
+            protocol: None,
             small_machine: false,
         }
     }
@@ -95,6 +107,7 @@ impl RunDescriptor {
             ("filterdir_entries", opt(&self.filterdir_entries)),
             ("noc_model", opt(&self.noc_model)),
             ("engine", opt(&self.engine)),
+            ("protocol", opt(&self.protocol)),
             ("small_machine", self.small_machine.to_string()),
         ]
     }
@@ -103,17 +116,17 @@ impl RunDescriptor {
     ///
     /// Derived purely from the descriptor's content — never from the worker
     /// that happens to execute the point — so serial and parallel campaign
-    /// runs are bit-identical.  The machine, NoC-model and engine axes are
-    /// deliberately excluded: the machine kinds (NoC backends, execution
-    /// engines) of one sweep point must stream the *same* addresses for
-    /// their comparison (speedup, protocol overhead, analytic-vs-measured
-    /// contention, the replay-ordering artifact) to be apples-to-apples,
-    /// exactly as the paper runs one workload per machine.
+    /// runs are bit-identical.  The machine, NoC-model, engine and protocol
+    /// axes are deliberately excluded: the machine kinds (NoC backends,
+    /// execution engines, coherence backends) of one sweep point must stream
+    /// the *same* addresses for their comparison (speedup, protocol
+    /// overhead, analytic-vs-measured contention, the replay-ordering
+    /// artifact, filterDir-vs-directory) to be apples-to-apples, exactly as
+    /// the paper runs one workload per machine.
     pub fn seed(&self) -> u64 {
-        let fields = self
-            .fields()
-            .into_iter()
-            .filter(|(n, _)| *n != "machine" && *n != "noc_model" && *n != "engine");
+        let fields = self.fields().into_iter().filter(|(n, _)| {
+            *n != "machine" && *n != "noc_model" && *n != "engine" && *n != "protocol"
+        });
         CacheKey::from_fields(fields).as_u64()
     }
 
@@ -137,6 +150,9 @@ impl RunDescriptor {
         }
         if let Some(engine) = &self.engine {
             label.push_str(&format!("/{engine}"));
+        }
+        if let Some(protocol) = &self.protocol {
+            label.push_str(&format!("/{protocol}"));
         }
         label
     }
@@ -175,6 +191,9 @@ pub struct SweepSpec {
     pub noc_models: Vec<Option<String>>,
     /// Execution engines to sweep (one of [`ENGINE_IDS`]; `None` = legacy).
     pub engines: Vec<Option<String>>,
+    /// Coherence protocols to sweep (one of [`PROTOCOL_IDS`]; `None` = the
+    /// paper's filterDir protocol).
+    pub protocols: Vec<Option<String>>,
     /// Lower every point onto the scaled-down test machine.
     pub small_machine: bool,
 }
@@ -192,6 +211,7 @@ impl SweepSpec {
             filterdir_entries: vec![None],
             noc_models: vec![None],
             engines: vec![None],
+            protocols: vec![None],
             small_machine: false,
         }
     }
@@ -244,6 +264,13 @@ impl SweepSpec {
         self
     }
 
+    /// Replaces the coherence-protocol axis (identifiers from
+    /// [`PROTOCOL_IDS`]).
+    pub fn with_protocols(mut self, protocols: &[&str]) -> Self {
+        self.protocols = protocols.iter().map(|p| Some(p.to_string())).collect();
+        self
+    }
+
     /// Lowers every point onto the scaled-down test machine.
     pub fn small(mut self) -> Self {
         self.small_machine = true;
@@ -261,6 +288,7 @@ impl SweepSpec {
             * self.filterdir_entries.len()
             * self.noc_models.len()
             * self.engines.len()
+            * self.protocols.len()
     }
 
     /// Returns `true` when the cross-product is empty.
@@ -269,7 +297,7 @@ impl SweepSpec {
     }
 
     /// Enumerates the cross-product, in a deterministic nested order
-    /// (benchmark-major, engine-minor).
+    /// (benchmark-major, protocol-minor).
     pub fn points(&self) -> Vec<RunDescriptor> {
         let mut points = Vec::with_capacity(self.len());
         for benchmark in &self.benchmarks {
@@ -281,18 +309,21 @@ impl SweepSpec {
                                 for &filterdir in &self.filterdir_entries {
                                     for noc_model in &self.noc_models {
                                         for engine in &self.engines {
-                                            points.push(RunDescriptor {
-                                                benchmark: benchmark.clone(),
-                                                machine: machine.clone(),
-                                                cores,
-                                                scale_multiplier: scale,
-                                                spm_kib: spm,
-                                                filter_entries: filter,
-                                                filterdir_entries: filterdir,
-                                                noc_model: noc_model.clone(),
-                                                engine: engine.clone(),
-                                                small_machine: self.small_machine,
-                                            });
+                                            for protocol in &self.protocols {
+                                                points.push(RunDescriptor {
+                                                    benchmark: benchmark.clone(),
+                                                    machine: machine.clone(),
+                                                    cores,
+                                                    scale_multiplier: scale,
+                                                    spm_kib: spm,
+                                                    filter_entries: filter,
+                                                    filterdir_entries: filterdir,
+                                                    noc_model: noc_model.clone(),
+                                                    engine: engine.clone(),
+                                                    protocol: protocol.clone(),
+                                                    small_machine: self.small_machine,
+                                                });
+                                            }
                                         }
                                     }
                                 }
@@ -410,6 +441,35 @@ mod tests {
         assert_eq!(points[0].engine.as_deref(), Some("legacy"));
         assert_eq!(points[1].engine.as_deref(), Some("interleaved"));
         assert_eq!(points[2].engine.as_deref(), Some("parallel"));
+    }
+
+    #[test]
+    fn protocols_of_one_point_share_a_seed() {
+        // The filterDir-vs-directory comparison runs one workload per
+        // backend.
+        let base = RunDescriptor::new("CG", "hybrid-proposed", 16);
+        let mut directory = base.clone();
+        directory.protocol = Some("directory".into());
+        assert_eq!(base.seed(), directory.seed());
+        // ...but the descriptors remain distinct content.
+        assert_ne!(base.fields(), directory.fields());
+        assert!(
+            directory.label().contains("directory"),
+            "{}",
+            directory.label()
+        );
+    }
+
+    #[test]
+    fn protocol_axis_multiplies_the_cross_product() {
+        let spec = SweepSpec::new(&["CG"])
+            .with_cores(&[8])
+            .with_machines(&["hybrid-proposed"])
+            .with_protocols(&PROTOCOL_IDS);
+        assert_eq!(spec.len(), 2);
+        let points = spec.points();
+        assert_eq!(points[0].protocol.as_deref(), Some("filterdir"));
+        assert_eq!(points[1].protocol.as_deref(), Some("directory"));
     }
 
     #[test]

@@ -18,7 +18,7 @@ use spm::{Scratchpad, SpmAddressMap};
 
 use crate::masks::AddressMasks;
 use crate::outcome::{GuardedOutcome, GuardedTarget};
-use crate::protocol::{CoherenceSupport, ProtocolConfig};
+use crate::protocol::{CoherenceBackend, ProtocolConfig};
 use crate::stats::ProtocolStats;
 
 /// The zero-overhead oracle protocol.
@@ -26,7 +26,7 @@ use crate::stats::ProtocolStats;
 /// # Example
 ///
 /// ```
-/// use spm_coherence::{CoherenceSupport, IdealCoherence, ProtocolConfig};
+/// use spm_coherence::{CoherenceBackend, IdealCoherence, ProtocolConfig};
 /// use mem::{Addr, AddressRange, MemorySystem, MemorySystemConfig};
 /// use spm::{Scratchpad, SpmConfig};
 /// use simkernel::{ByteSize, CoreId};
@@ -78,7 +78,7 @@ impl IdealCoherence {
     }
 }
 
-impl CoherenceSupport for IdealCoherence {
+impl CoherenceBackend for IdealCoherence {
     fn configure_buffer_size(&mut self, buffer_size: ByteSize) {
         self.buffer_size = buffer_size;
         self.masks = AddressMasks::for_buffer_size(buffer_size);

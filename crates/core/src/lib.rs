@@ -25,15 +25,19 @@
 //!   derived from the runtime's buffer size;
 //! * [`IdealCoherence`] — the zero-cost oracle used by the paper's §5.3
 //!   overhead study as the comparison point;
+//! * [`DirectoryCoherence`] — the plain MOESI-directory baseline (no SPM
+//!   filters, every guarded access asks the L2-home mapping directory),
+//!   which turns the paper's "cheaper than a conventional directory" claim
+//!   into a measurable ablation;
 //! * [`AddressMasks`] — the Base/Offset mask configuration registers.
 //!
-//! Both protocol engines implement [`CoherenceSupport`], so the core timing
+//! Every protocol engine implements [`CoherenceBackend`], so the core timing
 //! model and the system driver are generic over them.
 //!
 //! # Example
 //!
 //! ```
-//! use spm_coherence::{CoherenceSupport, ProtocolConfig, SpmCoherenceProtocol};
+//! use spm_coherence::{CoherenceBackend, ProtocolConfig, SpmCoherenceProtocol};
 //! use mem::{Addr, AddressRange, MemorySystem, MemorySystemConfig};
 //! use spm::{Scratchpad, SpmConfig};
 //! use simkernel::{ByteSize, CoreId};
@@ -56,6 +60,7 @@
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
 
+pub mod directory;
 pub mod filter;
 pub mod filterdir;
 pub mod ideal;
@@ -65,13 +70,14 @@ pub mod protocol;
 pub mod spmdir;
 pub mod stats;
 
+pub use directory::DirectoryCoherence;
 pub use filter::Filter;
 pub use filterdir::FilterDir;
 pub use ideal::IdealCoherence;
 pub use masks::AddressMasks;
 pub use outcome::{GuardedOutcome, GuardedTarget};
 pub use protocol::{
-    CoherenceSupport, ProtocolConfig, ProtocolFault, ProtocolLane, SpmCoherenceProtocol,
+    CoherenceBackend, ProtocolConfig, ProtocolFault, ProtocolLane, SpmCoherenceProtocol,
 };
 pub use spmdir::SpmDir;
 pub use stats::ProtocolStats;

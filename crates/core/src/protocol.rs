@@ -21,12 +21,26 @@ use crate::stats::ProtocolStats;
 /// a fixed id keeps them from polluting the per-reference stride table.
 const GUARDED_REFERENCE_ID: u64 = u64::MAX;
 
-/// Common interface of the proposed protocol and the ideal-coherence oracle.
+/// Common interface of every coherence backend: the paper's
+/// filter/filterDir/spmDir protocol ([`SpmCoherenceProtocol`]), the plain
+/// MOESI-directory baseline ([`crate::DirectoryCoherence`]) and the
+/// ideal-coherence oracle ([`crate::IdealCoherence`]).
 ///
-/// The core timing model and the system driver are generic over this trait so
-/// the same workload can run under either engine — that comparison *is* the
-/// paper's §5.3 overhead study.
-pub trait CoherenceSupport {
+/// The core timing model and the system driver are generic over this trait,
+/// so the same workload runs under any backend — the proposed-vs-ideal
+/// comparison *is* the paper's §5.3 overhead study, and the
+/// proposed-vs-directory comparison turns the paper's "cheaper than a
+/// conventional directory" claim into a measurable ablation.
+///
+/// Besides the functional hooks, the trait owns the parallel engine's
+/// lane-safety contract: [`CoherenceBackend::is_guarded_lane_local`] decides,
+/// per backend, whether a guarded access can run during lane-local run-ahead
+/// (i.e. cannot emit coherence traffic or touch another core's structures).
+/// What is lane-safe differs per protocol — a filter hit is lane-local under
+/// the paper's protocol, while the directory baseline must defer *every*
+/// guarded access to the commit phase because each one is a home round trip.
+/// The defaults (`None` lane, never lane-local) are always correct.
+pub trait CoherenceBackend {
     /// Notifies the hardware of the SPM buffer size chosen by the runtime
     /// library for the upcoming loop (sets the Base/Offset mask registers).
     fn configure_buffer_size(&mut self, buffer_size: ByteSize);
@@ -141,10 +155,10 @@ pub trait CoherenceSupport {
 /// (case a).  Everything else — filterDir traffic, broadcasts, remote SPMs —
 /// returns `None` with nothing mutated, and the engine defers the access to
 /// the commit phase where it runs through
-/// [`CoherenceSupport::guarded_access`].
+/// [`CoherenceBackend::guarded_access`].
 ///
 /// The safety contract is stated on
-/// [`CoherenceSupport::new_core_lane`]; every dereference below relies on
+/// [`CoherenceBackend::new_core_lane`]; every dereference below relies on
 /// it.
 #[derive(Debug)]
 pub struct ProtocolLane {
@@ -161,7 +175,7 @@ pub struct ProtocolLane {
 
 // SAFETY: a lane is exclusively owned by one engine worker at a time, and
 // the structures its pointers target are touched by no one else while the
-// run-ahead phase is in flight (`CoherenceSupport::new_core_lane`'s
+// run-ahead phase is in flight (`CoherenceBackend::new_core_lane`'s
 // contract).
 unsafe impl Send for ProtocolLane {}
 
@@ -182,7 +196,7 @@ impl ProtocolLane {
         mem_lane: &mut CoreLane,
         spm: &mut Scratchpad,
     ) -> Option<GuardedOutcome> {
-        // SAFETY: exclusive access per `CoherenceSupport::new_core_lane`.
+        // SAFETY: exclusive access per `CoherenceBackend::new_core_lane`.
         let (spmdir, filter) = unsafe { (&mut *self.spmdir, &mut *self.filter) };
         let (base, offset) = self.masks.decompose(addr);
         let cam = self.cam_latency;
@@ -279,8 +293,17 @@ impl ProtocolLane {
 pub enum ProtocolFault {
     /// `on_map` skips the filterDir invalidation round of Figure 6a: cores
     /// that cached "not mapped anywhere" in their filter keep believing it
-    /// and serve guarded accesses from (now stale) global memory.
+    /// and serve guarded accesses from (now stale) global memory.  Targets
+    /// the paper's protocol; the directory baseline has no filters, so it is
+    /// immune.
     SkipFilterInvalidationOnMap,
+    /// `on_map` skips registering the mapping at the L2-home directory: the
+    /// home keeps answering "not mapped anywhere" and remote guarded
+    /// accesses are served from (now stale) global memory instead of the
+    /// owner's SPM.  Targets the directory baseline
+    /// ([`crate::DirectoryCoherence`]); the paper's protocol registers
+    /// mappings in the per-core SPMDir instead, so it is immune.
+    SkipDirectoryUpdateOnMap,
 }
 
 /// Sizing of the protocol's hardware structures (Table 1).
@@ -490,7 +513,7 @@ impl SpmCoherenceProtocol {
     }
 }
 
-impl CoherenceSupport for SpmCoherenceProtocol {
+impl CoherenceBackend for SpmCoherenceProtocol {
     fn configure_buffer_size(&mut self, buffer_size: ByteSize) {
         self.buffer_size = buffer_size;
         self.masks = AddressMasks::for_buffer_size(buffer_size);

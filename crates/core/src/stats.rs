@@ -42,6 +42,9 @@ pub struct ProtocolStats {
     pub filter_eviction_notifies: u64,
     /// filterDir capacity evictions (which invalidate sharer filters).
     pub filterdir_evictions: u64,
+    /// Requests sent to the L2-home mapping directory (the plain-directory
+    /// baseline backend; the paper's protocol sends none).
+    pub directory_requests: u64,
     /// L1/TLB lookups performed in parallel with the protocol structures
     /// (every guarded access performs one; energy proxy).
     pub parallel_l1_lookups: u64,
@@ -98,6 +101,7 @@ impl ProtocolStats {
         self.filter_entries_invalidated += other.filter_entries_invalidated;
         self.filter_eviction_notifies += other.filter_eviction_notifies;
         self.filterdir_evictions += other.filterdir_evictions;
+        self.directory_requests += other.directory_requests;
         self.parallel_l1_lookups += other.parallel_l1_lookups;
         self.lsq_recheck_notifications += other.lsq_recheck_notifications;
     }
@@ -129,6 +133,12 @@ impl ProtocolStats {
             self.filter_eviction_notifies,
         );
         stats.add_count("cohprot.filterdir.evictions", self.filterdir_evictions);
+        if self.directory_requests > 0 {
+            // Only the directory baseline ticks this; exporting it
+            // conditionally keeps the pre-existing golden images of the
+            // paper's protocol byte-identical.
+            stats.add_count("cohprot.directory.requests", self.directory_requests);
+        }
         stats.add_count("cohprot.parallel_l1_lookups", self.parallel_l1_lookups);
         stats.add_count(
             "cohprot.lsq_recheck_notifications",

@@ -26,6 +26,7 @@
 
 pub mod addr;
 pub mod cache;
+pub mod directory;
 pub mod dram;
 pub mod hierarchy;
 pub mod moesi;
@@ -36,6 +37,7 @@ pub mod values;
 
 pub use addr::{Addr, AddressRange, LineAddr, LINE_BYTES};
 pub use cache::{CacheArray, CacheConfig, EvictedLine};
+pub use directory::{MappingDirectory, MappingEntry};
 pub use dram::{DramConfig, DramModel};
 pub use hierarchy::{
     AccessKind, CoreLane, MemAccessResult, MemorySystem, MemorySystemConfig, ServedBy,

@@ -562,6 +562,27 @@ mod tests {
     }
 
     #[test]
+    fn convenience_snapshot_is_a_thin_wrapper_over_the_scratch_form() {
+        // `home_queue_depths_now` must never drift from the scratch-buffer
+        // path it wraps: both forms read the same `eject_free` books at the
+        // same cycle, so the depths are pinned identical — mid-burst (with
+        // real backlog) and after advancing the engine's clock.
+        let mut noc = des(16);
+        for src in [0usize, 1, 2, 3, 6, 9, 12, 15] {
+            let _ = noc.send(NodeId::new(src), NodeId::new(5), MessageClass::Read, 64);
+            let _ = noc.send(NodeId::new(src), NodeId::new(10), MessageClass::Write, 8);
+        }
+        let mut scratch = vec![0xdead_beef; 3];
+        noc.home_queue_depths(noc.now(), &mut scratch);
+        assert_eq!(noc.home_queue_depths_now(), scratch);
+        assert!(scratch.iter().any(|&d| d > 0), "the burst left a backlog");
+
+        noc.advance_to(noc.now() + Cycle::new(7));
+        noc.home_queue_depths(noc.now(), &mut scratch);
+        assert_eq!(noc.home_queue_depths_now(), scratch, "after advancing");
+    }
+
+    #[test]
     fn utilization_is_measured_not_assumed() {
         let mut noc = des(16);
         assert_eq!(noc.max_link_utilization(), 0.0);

@@ -7,7 +7,8 @@
 //! ```
 //!
 //! Every `--benchmarks × --machines × --cores × --scale × --spm-kib ×
-//! --filters × --filterdirs` combination becomes one simulation point.
+//! --filters × --filterdirs × --protocols` combination becomes one
+//! simulation point.
 //! Points execute on `--jobs` workers; results are cached under
 //! `--cache-dir` (default `target/campaign-cache`), so a repeated
 //! invocation executes only new or changed points.  The last line printed
@@ -30,6 +31,8 @@ options (LIST = comma-separated values):
   --filterdirs LIST   filterDir entry counts (default: Table 1)
   --noc-models LIST   NoC models: analytic, discrete-event (default analytic)
   --engines LIST      execution engines: legacy, interleaved (default legacy)
+  --protocols LIST    coherence protocols: filterdir, directory (default
+                      filterdir; only the proposed machine differs)
   --small             use the scaled-down test machine at each core count
   --jobs N            parallel workers (default: available parallelism)
   --cache-dir PATH    result-cache directory (default target/campaign-cache)
@@ -100,6 +103,10 @@ fn parse(args: impl IntoIterator<Item = String>) -> Result<Options, String> {
             "--engines" => {
                 let engines: Vec<String> = parse_list("--engines", &value("--engines")?)?;
                 options.spec.engines = engines.into_iter().map(Some).collect();
+            }
+            "--protocols" => {
+                let protocols: Vec<String> = parse_list("--protocols", &value("--protocols")?)?;
+                options.spec.protocols = protocols.into_iter().map(Some).collect();
             }
             "--small" => options.spec.small_machine = true,
             "--jobs" => {

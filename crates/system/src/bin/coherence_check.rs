@@ -1,12 +1,14 @@
 //! Differential coherence checking: litmus catalogue + seeded fuzz sweeps
-//! across machine kinds × NoC models × execution engines.
+//! across coherence protocols × machine kinds × NoC models × execution
+//! engines.
 //!
 //! ```text
 //! coherence_check [--cores N] [--seeds N] [--seed-base S]
 //!                 [--machines LIST] [--engines LIST] [--noc-models LIST]
+//!                 [--protocols LIST|all]
 //!                 [--litmus-only | --fuzz-only]
 //!                 [--fuzz-rounds N] [--fuzz-ops N] [--jobs N] [--quiet]
-//!                 [--fault skip-filter-invalidation]
+//!                 [--fault skip-filter-invalidation|skip-directory-update]
 //!                 [--write-golden DIR]
 //! ```
 //!
@@ -18,16 +20,23 @@
 //! core, address and the protocol state of the address, plus the exact
 //! command line that reproduces it.
 //!
-//! `--fault` inverts the game: it injects the named protocol defect and
-//! *requires* the oracle to catch it (exit 0 iff a divergence is found) —
-//! the proof that the harness can fail.
+//! `--fault` inverts the game: it injects the named protocol defect into
+//! the backend it applies to (`skip-filter-invalidation` → filterDir,
+//! `skip-directory-update` → the directory baseline) and *requires* the
+//! oracle to catch it (exit 0 iff a divergence is found) — the proof that
+//! the harness can fail, once per backend.
+//!
+//! `--protocols` multiplies the matrix by the coherence backend; the axis
+//! only applies to the proposed machine (the other kinds have no guarded
+//! protocol to swap), so `--protocols all` keeps cache-only/hybrid-ideal
+//! points single.
 
 use std::process::ExitCode;
 
 use campaign::Executor;
 use system::cli::parse_list;
 use system::verify::verification_config;
-use system::{Machine, MachineKind, SystemConfig};
+use system::{CoherenceProtocol, Machine, MachineKind, SystemConfig};
 use workloads::litmus::{catalogue, random_program, FuzzParams, LitmusCase};
 use workloads::{ExecMode, RawKernel};
 
@@ -42,6 +51,7 @@ struct Point {
     kind: MachineKind,
     engine: system::ExecutionEngine,
     noc: noc::NocModel,
+    protocol: CoherenceProtocol,
     program: Program,
 }
 
@@ -53,6 +63,7 @@ struct Options {
     machines: Vec<MachineKind>,
     engines: Vec<system::ExecutionEngine>,
     noc_models: Vec<noc::NocModel>,
+    protocols: Vec<CoherenceProtocol>,
     litmus: bool,
     fuzz: bool,
     fuzz_rounds: usize,
@@ -72,6 +83,7 @@ impl Default for Options {
             machines: MachineKind::ALL.to_vec(),
             engines: system::ExecutionEngine::ALL.to_vec(),
             noc_models: vec![noc::NocModel::Analytic, noc::NocModel::DiscreteEvent],
+            protocols: vec![CoherenceProtocol::FilterDir],
             litmus: true,
             fuzz: true,
             fuzz_rounds: 4,
@@ -117,6 +129,20 @@ fn parse_options() -> Result<Options, String> {
                     .map(|s| noc::NocModel::from_id(s).ok_or(format!("unknown NoC model '{s}'")))
                     .collect::<Result<_, _>>()?;
             }
+            "--protocols" => {
+                let list = value("--protocols")?;
+                o.protocols = if list == "all" {
+                    CoherenceProtocol::ALL.to_vec()
+                } else {
+                    parse_list::<String>("--protocols", &list)?
+                        .iter()
+                        .map(|s| {
+                            CoherenceProtocol::from_id(s)
+                                .ok_or(format!("unknown coherence protocol '{s}'"))
+                        })
+                        .collect::<Result<_, _>>()?
+                };
+            }
             "--litmus-only" => o.fuzz = false,
             "--fuzz-only" => o.litmus = false,
             "--fuzz-rounds" => {
@@ -132,6 +158,9 @@ fn parse_options() -> Result<Options, String> {
             "--fault" => match value("--fault")?.as_str() {
                 "skip-filter-invalidation" => {
                     o.fault = Some(spm_coherence::ProtocolFault::SkipFilterInvalidationOnMap)
+                }
+                "skip-directory-update" => {
+                    o.fault = Some(spm_coherence::ProtocolFault::SkipDirectoryUpdateOnMap)
                 }
                 other => return Err(format!("unknown fault '{other}'")),
             },
@@ -150,12 +179,24 @@ fn config_for(
     kind: MachineKind,
     engine: system::ExecutionEngine,
     model: noc::NocModel,
+    protocol: CoherenceProtocol,
 ) -> SystemConfig {
     let _ = kind;
     let mut cfg = verification_config(o.cores);
     cfg.engine = engine;
     cfg.set_noc_model(model);
+    cfg.coherence_protocol = protocol;
     cfg
+}
+
+/// The backend an injected fault applies to: the other backend is immune by
+/// construction, so demonstrating "the harness can fail" must run the
+/// defective one.
+fn fault_protocol(fault: spm_coherence::ProtocolFault) -> CoherenceProtocol {
+    match fault {
+        spm_coherence::ProtocolFault::SkipFilterInvalidationOnMap => CoherenceProtocol::FilterDir,
+        spm_coherence::ProtocolFault::SkipDirectoryUpdateOnMap => CoherenceProtocol::Directory,
+    }
 }
 
 fn build_program(
@@ -197,12 +238,13 @@ fn repro_hint(o: &Options, p: &Point) -> String {
     };
     format!(
         "cargo run --release -p system --bin coherence_check -- \
-         --cores {} --machines {} --engines {} --noc-models {} \
+         --cores {} --machines {} --engines {} --noc-models {} --protocols {} \
          --fuzz-rounds {} --fuzz-ops {} {program}",
         o.cores,
         p.kind.id(),
         p.engine.id(),
         p.noc.id(),
+        p.protocol.id(),
         o.fuzz_rounds,
         o.fuzz_ops,
     )
@@ -215,6 +257,7 @@ fn write_golden(o: &Options, dir: &std::path::Path) -> Result<(), String> {
         MachineKind::HybridProposed,
         system::ExecutionEngine::Legacy,
         noc::NocModel::Analytic,
+        CoherenceProtocol::FilterDir,
     );
     for case in catalogue() {
         let program = (case.build)(o.cores, cfg.spm.size / 2);
@@ -256,11 +299,12 @@ fn main() -> ExitCode {
     // The fault demo checks the negative property: the injected defect MUST
     // be caught by the oracle on its designated litmus victim.
     if let Some(fault) = o.fault {
+        let protocol = fault_protocol(fault);
         let mut caught = 0usize;
         let mut missed = Vec::new();
         for &engine in &o.engines {
             for &model in &o.noc_models {
-                let cfg = config_for(&o, MachineKind::HybridProposed, engine, model);
+                let cfg = config_for(&o, MachineKind::HybridProposed, engine, model, protocol);
                 let program = build_program(
                     &o,
                     MachineKind::HybridProposed,
@@ -276,8 +320,9 @@ fn main() -> ExitCode {
                     caught += 1;
                     if !o.quiet {
                         println!(
-                            "fault caught under {engine}/{}:\n{}",
+                            "fault caught under {engine}/{}/{}:\n{}",
                             model.id(),
+                            protocol.id(),
                             outcome.divergence_report()
                         );
                     }
@@ -285,7 +330,10 @@ fn main() -> ExitCode {
             }
         }
         return if missed.is_empty() && caught > 0 {
-            println!("fault injection: caught in {caught}/{caught} configurations — the harness can fail");
+            println!(
+                "fault injection ({}): caught in {caught}/{caught} configurations — the harness can fail",
+                protocol.id()
+            );
             ExitCode::SUCCESS
         } else {
             eprintln!("fault injection NOT caught under: {missed:?}");
@@ -293,29 +341,42 @@ fn main() -> ExitCode {
         };
     }
 
-    // The regular matrix: litmus catalogue + fuzz seeds.
+    // The regular matrix: litmus catalogue + fuzz seeds.  The protocol axis
+    // only multiplies proposed-machine points; on the other kinds the
+    // coherence backend is inert, so extra protocols would re-run the same
+    // simulation.
+    let default_protocols = [CoherenceProtocol::FilterDir];
     let mut points = Vec::new();
     for &kind in &o.machines {
-        for &engine in &o.engines {
-            for &model in &o.noc_models {
-                if o.litmus && kind.has_spms() {
-                    for case in catalogue() {
-                        points.push(Point {
-                            kind,
-                            engine,
-                            noc: model,
-                            program: Program::Litmus(case.name),
-                        });
+        let protocols: &[CoherenceProtocol] = if kind == MachineKind::HybridProposed {
+            &o.protocols
+        } else {
+            &default_protocols
+        };
+        for &protocol in protocols {
+            for &engine in &o.engines {
+                for &model in &o.noc_models {
+                    if o.litmus && kind.has_spms() {
+                        for case in catalogue() {
+                            points.push(Point {
+                                kind,
+                                engine,
+                                noc: model,
+                                protocol,
+                                program: Program::Litmus(case.name),
+                            });
+                        }
                     }
-                }
-                if o.fuzz {
-                    for s in 0..o.seeds {
-                        points.push(Point {
-                            kind,
-                            engine,
-                            noc: model,
-                            program: Program::Fuzz(o.seed_base + s),
-                        });
+                    if o.fuzz {
+                        for s in 0..o.seeds {
+                            points.push(Point {
+                                kind,
+                                engine,
+                                noc: model,
+                                protocol,
+                                program: Program::Fuzz(o.seed_base + s),
+                            });
+                        }
                     }
                 }
             }
@@ -324,7 +385,7 @@ fn main() -> ExitCode {
 
     let executor = Executor::new(o.jobs);
     let results = executor.run(&points, |_, p| {
-        let cfg = config_for(&o, p.kind, p.engine, p.noc);
+        let cfg = config_for(&o, p.kind, p.engine, p.noc, p.protocol);
         let program = build_program(&o, p.kind, &p.program, &cfg);
         let outcome = Machine::new(p.kind, cfg).verify_raw(&program);
         (p.clone(), program.name.clone(), outcome)
@@ -339,19 +400,21 @@ fn main() -> ExitCode {
         if !outcome.ok() {
             failures += 1;
             eprintln!(
-                "DIVERGENCE: {name} on {} / {} / {}\n{}\nreproduce: {}",
+                "DIVERGENCE: {name} on {} / {} / {} / {}\n{}\nreproduce: {}",
                 p.kind.id(),
                 p.engine.id(),
                 p.noc.id(),
+                p.protocol.id(),
                 outcome.divergence_report(),
                 repro_hint(&o, p),
             );
         } else if !o.quiet {
             println!(
-                "ok: {name:<28} {:<15} {:<11} {:<14} {}",
+                "ok: {name:<28} {:<15} {:<11} {:<14} {:<10} {}",
                 p.kind.id(),
                 p.engine.id(),
                 p.noc.id(),
+                p.protocol.id(),
                 outcome.report.summary()
             );
         }

@@ -111,6 +111,17 @@ fn run(args: &[String]) -> Result<String, String> {
     let mut out = summarise(&doc, &breakdown, top);
     if let Some(diff_path) = diff {
         let (_, other) = load(&diff_path)?;
+        // The diff normalizes by core count when the meshes differ; a
+        // zero-core document has no per-core mean, so reject it instead of
+        // printing rows of meaningless figures.
+        if breakdown.cores.is_empty() {
+            return Err(format!("{path}: cannot diff an empty breakdown (0 cores)"));
+        }
+        if other.cores.is_empty() {
+            return Err(format!(
+                "{diff_path}: cannot diff against an empty breakdown (0 cores)"
+            ));
+        }
         out.push('\n');
         out.push_str(&breakdown.diff_table(&other));
     }
@@ -217,6 +228,21 @@ mod tests {
         // Per-core compute: 100 vs 200 → +100.0 per core.
         assert!(out.contains("+100.0"), "{out}");
         assert!(out.contains("JSON round-trip OK"), "{out}");
+    }
+
+    #[test]
+    fn diff_rejects_empty_breakdowns() {
+        // Regression: a 0-core document used to reach the per-core-mean
+        // normalization and print nonsense rows; now either side being
+        // empty is a load-time-style error naming the offending file.
+        let ok = write_sized_sample("cycle-report-test-g.json", 1, 2);
+        let empty = write_sized_sample("cycle-report-test-h.json", 1, 0);
+        let err = run(&[empty.clone(), "--diff".to_owned(), ok.clone()]).unwrap_err();
+        assert!(err.contains("empty breakdown"), "{err}");
+        assert!(err.contains("cycle-report-test-h.json"), "{err}");
+        let err = run(&[ok, "--diff".to_owned(), empty]).unwrap_err();
+        assert!(err.contains("empty breakdown"), "{err}");
+        assert!(err.contains("cycle-report-test-h.json"), "{err}");
     }
 
     #[test]

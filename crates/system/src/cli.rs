@@ -22,12 +22,20 @@
 //! --cache-dir PATH   like `--cache`, with an explicit directory
 //! --noc-model NAME   network model: `analytic` (default) or
 //!                    `discrete-event` (alias `des`) — see the README's
-//!                    "NoC models" section
+//!                    "NoC models" section.  An unknown name fails with
+//!                    exit code 2, listing the valid names
 //! --engine NAME      execution engine: `legacy` (default, tile-serialized
 //!                    replay), `interleaved` (cycle-interleaved min-clock
 //!                    scheduler) or `parallel` (epoch-based conservative
 //!                    multicore scheduler, bit-identical for any `--jobs`)
-//!                    — see the README's "Execution engines" section
+//!                    — see the README's "Execution engines" section.
+//!                    An unknown name fails with exit code 2
+//! --protocol NAME    coherence protocol backing the proposed machine:
+//!                    `filterdir` (default, the paper's filter + SPMDir
+//!                    hybrid) or `directory` (plain home-directory
+//!                    baseline, no SPM filters) — see the README's
+//!                    "Coherence protocols" section.  An unknown name
+//!                    fails with exit code 2
 //! --epoch-cycles N   width of the parallel engine's conservative time
 //!                    window in cycles (default 1024; a model knob — it
 //!                    bounds cross-core skew, so it changes results)
@@ -67,7 +75,7 @@ use campaign::{Executor, ResultCache};
 use workloads::characterize;
 use workloads::nas::NasBenchmark;
 
-use crate::config::{ExecutionEngine, SystemConfig};
+use crate::config::{CoherenceProtocol, ExecutionEngine, SystemConfig};
 use crate::experiments::{ablations, ExperimentSuite};
 use crate::sweep::RunContext;
 
@@ -103,6 +111,23 @@ pub fn parse_trace_categories(list: &str) -> Result<simkernel::CategoryMask, Str
     })
 }
 
+/// Parses one ID-keyed axis value (`--noc-model`, `--engine`,
+/// `--protocol`), turning an unknown name into an error that lists the
+/// valid names — the same convention as [`parse_trace_categories`].
+pub fn parse_id_flag<T>(
+    flag: &str,
+    value: &str,
+    from_id: impl Fn(&str) -> Option<T>,
+    valid: &[&str],
+) -> Result<T, String> {
+    from_id(value).ok_or_else(|| {
+        format!(
+            "{flag}: unknown value '{value}' (valid values: {})",
+            valid.join(", ")
+        )
+    })
+}
+
 /// Writes an export to a file, or to stdout when `target` is `-`.
 pub fn write_export(target: &str, contents: &str) -> Result<(), String> {
     if target == "-" {
@@ -132,6 +157,8 @@ pub struct CliOptions {
     pub noc_model: noc::NocModel,
     /// Which execution engine drives the cores.
     pub engine: ExecutionEngine,
+    /// Which coherence protocol backs the proposed machine.
+    pub protocol: CoherenceProtocol,
     /// Print per-core clock/work/stall figures after every kernel.
     pub debug_cores: bool,
     /// Thread real data values through the memory system.
@@ -159,6 +186,7 @@ impl Default for CliOptions {
             cache_dir: None,
             noc_model: noc::NocModel::Analytic,
             engine: ExecutionEngine::Legacy,
+            protocol: CoherenceProtocol::FilterDir,
             debug_cores: false,
             track_values: false,
             trace: None,
@@ -215,13 +243,54 @@ impl CliOptions {
                     }
                 }
                 "--noc-model" => {
-                    if let Some(model) = args.next().and_then(|m| noc::NocModel::from_id(&m)) {
-                        options.noc_model = model;
+                    if let Some(value) = args.next() {
+                        // A silently ignored typo would run the analytic
+                        // default and look like a discrete-event result;
+                        // fail loudly instead (same for the two axes below).
+                        match parse_id_flag(
+                            "--noc-model",
+                            &value,
+                            noc::NocModel::from_id,
+                            &campaign::NOC_MODEL_IDS,
+                        ) {
+                            Ok(model) => options.noc_model = model,
+                            Err(error) => {
+                                eprintln!("{error}");
+                                std::process::exit(2);
+                            }
+                        }
                     }
                 }
                 "--engine" => {
-                    if let Some(engine) = args.next().and_then(|e| ExecutionEngine::from_id(&e)) {
-                        options.engine = engine;
+                    if let Some(value) = args.next() {
+                        match parse_id_flag(
+                            "--engine",
+                            &value,
+                            ExecutionEngine::from_id,
+                            &campaign::ENGINE_IDS,
+                        ) {
+                            Ok(engine) => options.engine = engine,
+                            Err(error) => {
+                                eprintln!("{error}");
+                                std::process::exit(2);
+                            }
+                        }
+                    }
+                }
+                "--protocol" => {
+                    if let Some(value) = args.next() {
+                        match parse_id_flag(
+                            "--protocol",
+                            &value,
+                            CoherenceProtocol::from_id,
+                            &campaign::PROTOCOL_IDS,
+                        ) {
+                            Ok(protocol) => options.protocol = protocol,
+                            Err(error) => {
+                                eprintln!("{error}");
+                                std::process::exit(2);
+                            }
+                        }
                     }
                 }
                 "--debug-cores" => options.debug_cores = true,
@@ -271,6 +340,7 @@ impl CliOptions {
         let mut config = SystemConfig::with_cores(self.cores);
         config.set_noc_model(self.noc_model);
         config.engine = self.engine;
+        config.coherence_protocol = self.protocol;
         // `--jobs` is one knob for both worker pools.  A single run hands
         // it to the parallel engine here; suite sweeps go through
         // `RunContext` instead, whose point-level executor takes precedence
@@ -513,6 +583,19 @@ fn run_ablations(options: &CliOptions) -> String {
     let contention_points =
         ablations::noc_contention_sweep(&meshes, &[0.02, 0.05, 0.1, 0.2], 10_000);
     out.push_str(&ablations::noc_contention_table(&contention_points));
+    out.push('\n');
+    let protocol_points = ablations::protocol_comparison_sweep(
+        &ctx,
+        &config,
+        &options.benchmarks,
+        options.scale * 0.5,
+    );
+    out.push_str(&ablations::protocol_comparison_table(&protocol_points));
+    if options.json {
+        out.push('\n');
+        out.push_str(&ablations::protocol_comparison_json(&protocol_points));
+        out.push('\n');
+    }
     out
 }
 
@@ -585,9 +668,8 @@ mod tests {
             assert_eq!(o.noc_model, noc::NocModel::DiscreteEvent, "{flag}");
             assert_eq!(o.config().noc_model(), noc::NocModel::DiscreteEvent);
         }
-        // Unknown model names are ignored, like every other malformed flag.
-        let o = CliOptions::parse(["--noc-model".to_string(), "warp".to_string()]);
-        assert_eq!(o.noc_model, noc::NocModel::Analytic);
+        // Unknown model names exit with code 2 (see
+        // strict_axis_flags_reject_unknown_values for the message shape).
     }
 
     #[test]
@@ -604,9 +686,70 @@ mod tests {
         assert!(o.debug_cores);
         assert_eq!(o.config().engine, ExecutionEngine::Interleaved);
         assert!(o.config().debug_cores);
-        // Unknown engine names are ignored, like every other malformed flag.
-        let o = CliOptions::parse(["--engine".to_string(), "warp".to_string()]);
-        assert_eq!(o.engine, ExecutionEngine::Legacy);
+    }
+
+    #[test]
+    fn protocol_flag_threads_into_the_configuration() {
+        let o = CliOptions::parse(Vec::<String>::new());
+        assert_eq!(o.protocol, CoherenceProtocol::FilterDir);
+        assert_eq!(o.config().coherence_protocol, CoherenceProtocol::FilterDir);
+        let o = CliOptions::parse(["--protocol".to_string(), "directory".to_string()]);
+        assert_eq!(o.protocol, CoherenceProtocol::Directory);
+        assert_eq!(o.config().coherence_protocol, CoherenceProtocol::Directory);
+    }
+
+    #[test]
+    fn strict_axis_flags_reject_unknown_values() {
+        // `--protocol`, `--engine` and `--noc-model` share the
+        // `--trace-categories` convention: an unknown value is an error
+        // naming the valid set (the binary then exits with code 2; the
+        // exit itself is covered by the CI smoke, not an in-process test).
+        let error = parse_id_flag(
+            "--protocol",
+            "moesi-2000",
+            CoherenceProtocol::from_id,
+            &campaign::PROTOCOL_IDS,
+        )
+        .unwrap_err();
+        assert!(error.contains("--protocol"), "{error}");
+        assert!(error.contains("moesi-2000"), "{error}");
+        for id in campaign::PROTOCOL_IDS {
+            assert!(error.contains(id), "{error}");
+        }
+        let error = parse_id_flag(
+            "--engine",
+            "warp",
+            ExecutionEngine::from_id,
+            &campaign::ENGINE_IDS,
+        )
+        .unwrap_err();
+        for id in campaign::ENGINE_IDS {
+            assert!(error.contains(id), "{error}");
+        }
+        let error = parse_id_flag(
+            "--noc-model",
+            "warp",
+            noc::NocModel::from_id,
+            &campaign::NOC_MODEL_IDS,
+        )
+        .unwrap_err();
+        for id in campaign::NOC_MODEL_IDS {
+            assert!(error.contains(id), "{error}");
+        }
+        // The fourth strict flag, `--trace-categories`, predates the other
+        // three and set the convention.
+        let error = parse_trace_categories("typo").unwrap_err();
+        assert!(error.contains("--trace-categories"), "{error}");
+        // The Ok paths still parse every canonical identifier.
+        for id in campaign::PROTOCOL_IDS {
+            parse_id_flag("--protocol", id, CoherenceProtocol::from_id, &[]).unwrap();
+        }
+        for id in campaign::ENGINE_IDS {
+            parse_id_flag("--engine", id, ExecutionEngine::from_id, &[]).unwrap();
+        }
+        for id in campaign::NOC_MODEL_IDS {
+            parse_id_flag("--noc-model", id, noc::NocModel::from_id, &[]).unwrap();
+        }
     }
 
     #[test]

@@ -66,6 +66,52 @@ impl std::fmt::Display for MachineKind {
     }
 }
 
+/// Which coherence backend keeps the SPMs and the cache hierarchy coherent
+/// on the hybrid-proposed machine.
+///
+/// The paper's machine uses the filter/filterDir/spmDir protocol
+/// ([`spm_coherence::SpmCoherenceProtocol`]); the directory baseline
+/// ([`spm_coherence::DirectoryCoherence`]) manages the same SPM mappings
+/// through plain L2-home directory slices with no filters, which makes the
+/// paper's "cheaper than a conventional directory" claim a runnable
+/// ablation.  The other machine kinds (cache-only, hybrid-ideal) ignore
+/// this knob — they always use the ideal-coherence oracle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CoherenceProtocol {
+    /// The paper's protocol: per-core filters + distributed filterDir +
+    /// per-core SPMDirs.
+    FilterDir,
+    /// The plain MOESI-style directory baseline: every guarded access asks
+    /// the address-interleaved L2-home mapping directory.
+    Directory,
+}
+
+impl CoherenceProtocol {
+    /// All protocols, the paper's first.
+    pub const ALL: [CoherenceProtocol; 2] =
+        [CoherenceProtocol::FilterDir, CoherenceProtocol::Directory];
+
+    /// Stable identifier used by campaign descriptors and CLI flags
+    /// (matches [`campaign::PROTOCOL_IDS`]).
+    pub fn id(self) -> &'static str {
+        match self {
+            CoherenceProtocol::FilterDir => "filterdir",
+            CoherenceProtocol::Directory => "directory",
+        }
+    }
+
+    /// Parses a protocol identifier (the inverse of [`CoherenceProtocol::id`]).
+    pub fn from_id(id: &str) -> Option<CoherenceProtocol> {
+        CoherenceProtocol::ALL.into_iter().find(|p| p.id() == id)
+    }
+}
+
+impl std::fmt::Display for CoherenceProtocol {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.id())
+    }
+}
+
 /// How the machine drives its cores through a kernel.
 ///
 /// The engines interpret the same per-core op streams through the same
@@ -143,6 +189,9 @@ pub struct SystemConfig {
     pub dmac: DmacConfig,
     /// The proposed protocol's structure sizes.
     pub protocol: ProtocolConfig,
+    /// Which coherence backend the hybrid-proposed machine runs
+    /// (`--protocol` on the report binaries).
+    pub coherence_protocol: CoherenceProtocol,
     /// Core pipeline parameters.
     pub core: CoreConfig,
     /// Energy-model parameters.
@@ -211,6 +260,7 @@ impl SystemConfig {
             spm: SpmConfig::isca2015(),
             dmac: DmacConfig::isca2015(),
             protocol: ProtocolConfig::isca2015(cores),
+            coherence_protocol: CoherenceProtocol::FilterDir,
             core: CoreConfig::isca2015(),
             energy: EnergyParams::isca2015_22nm().scaled_to_cores(cores),
             frequency: Frequency::ghz(2.0),
@@ -403,6 +453,19 @@ mod tests {
         let c = SystemConfig::isca2015();
         assert_eq!(c.engine, ExecutionEngine::Legacy);
         assert!(!c.debug_cores);
+        assert_eq!(c.coherence_protocol, CoherenceProtocol::FilterDir);
+    }
+
+    #[test]
+    fn protocol_ids_round_trip_and_match_campaign() {
+        for protocol in CoherenceProtocol::ALL {
+            assert_eq!(CoherenceProtocol::from_id(protocol.id()), Some(protocol));
+            assert_eq!(protocol.to_string(), protocol.id());
+        }
+        assert_eq!(CoherenceProtocol::from_id("moesi-2000"), None);
+        for (protocol, id) in CoherenceProtocol::ALL.iter().zip(campaign::PROTOCOL_IDS) {
+            assert_eq!(protocol.id(), id);
+        }
     }
 
     #[test]

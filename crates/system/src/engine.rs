@@ -44,7 +44,7 @@ use cpu::CoreTimingModel;
 use mem::{AccessKind, Addr, CoreLane, MemorySystem};
 use noc::MessageClass;
 use spm::{Dmac, Scratchpad};
-use spm_coherence::{CoherenceSupport, GuardedTarget, ProtocolLane};
+use spm_coherence::{CoherenceBackend, GuardedTarget, ProtocolLane};
 use workloads::{
     CompiledKernel, KernelExecution, MemRefClass, OpCursor, Phase, RawKernel, Segment, TraceOp,
 };
@@ -154,7 +154,7 @@ pub(crate) struct KernelCtx<'a> {
     /// The shared cache hierarchy + NoC.
     pub memsys: &'a mut MemorySystem,
     /// The coherence support (proposed protocol or ideal oracle).
-    pub protocol: &'a mut dyn CoherenceSupport,
+    pub protocol: &'a mut dyn CoherenceBackend,
     /// Per-core scratchpads.
     pub spms: &'a mut [Scratchpad],
     /// Per-core DMA controllers.

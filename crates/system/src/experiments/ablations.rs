@@ -16,7 +16,11 @@
 //!   that quantifies where the analytic contention formula diverges from
 //!   the measured discrete-event behaviour, and how much queueing the
 //!   filterDir home tiles actually see (the paper *claims* "contention in
-//!   the filterDir is very low"; this sweep measures it).
+//!   the filterDir is very low"; this sweep measures it);
+//! * [`protocol_comparison_sweep`] — the paper's cost claim, measured: the
+//!   same benchmarks on the proposed machine under the filter/filterDir
+//!   protocol vs the plain home-directory baseline, comparing cycles and
+//!   coherence traffic (what the filters actually save).
 
 use serde::{Deserialize, Serialize};
 use simkernel::json::Json;
@@ -26,7 +30,7 @@ use noc::{run_synthetic, Noc, NocConfig, NocModel, SyntheticTraffic};
 use workloads::nas::NasBenchmark;
 use workloads::{BenchmarkSpec, Phase};
 
-use crate::config::{MachineKind, SystemConfig};
+use crate::config::{CoherenceProtocol, MachineKind, SystemConfig};
 use crate::report::{fmt_percent, fmt_ratio, TableBuilder};
 use crate::sweep::{LoweredRun, RunContext};
 
@@ -407,6 +411,187 @@ pub fn noc_contention_json(points: &[NocContentionPoint]) -> String {
     Json::Arr(array).pretty()
 }
 
+/// One row of the protocol-comparison sweep: one benchmark, both coherence
+/// backends on the proposed machine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProtocolComparisonPoint {
+    /// Benchmark name.
+    pub benchmark: String,
+    /// Execution time under the paper's filter/filterDir protocol.
+    pub filterdir_cycles: u64,
+    /// Execution time under the plain home-directory baseline.
+    pub directory_cycles: u64,
+    /// Coherence-protocol packets injected under filterDir.
+    pub filterdir_cohprot_packets: u64,
+    /// Coherence-protocol packets injected under the directory baseline.
+    pub directory_cohprot_packets: u64,
+    /// Total NoC packets under filterDir.
+    pub filterdir_total_packets: u64,
+    /// Total NoC packets under the directory baseline.
+    pub directory_total_packets: u64,
+    /// Filter hit ratio of the filterDir run (the directory run has none).
+    pub filter_hit_ratio: Option<f64>,
+    /// Home-directory consultations of the directory run.
+    pub directory_requests: u64,
+}
+
+impl ProtocolComparisonPoint {
+    /// Directory time over filterDir time (> 1 means the filters pay off).
+    pub fn time_ratio(&self) -> f64 {
+        self.directory_cycles as f64 / (self.filterdir_cycles as f64).max(1.0)
+    }
+
+    /// Directory coherence traffic over filterDir coherence traffic.
+    pub fn cohprot_ratio(&self) -> f64 {
+        self.directory_cohprot_packets as f64 / (self.filterdir_cohprot_packets as f64).max(1.0)
+    }
+}
+
+/// Runs each benchmark on the proposed machine under both coherence
+/// backends and pairs the results — the measured form of the paper's claim
+/// that filtering guarded accesses is cheaper than consulting a home
+/// directory on every one.
+pub fn protocol_comparison_sweep(
+    ctx: &RunContext,
+    config: &SystemConfig,
+    benchmarks: &[NasBenchmark],
+    scale_multiplier: f64,
+) -> Vec<ProtocolComparisonPoint> {
+    let mut runs: Vec<LoweredRun> = Vec::with_capacity(benchmarks.len() * 2);
+    for &benchmark in benchmarks {
+        let spec = benchmark.spec_scaled(benchmark.recommended_scale() * scale_multiplier);
+        for protocol in CoherenceProtocol::ALL {
+            let mut cfg = config.clone();
+            cfg.coherence_protocol = protocol;
+            runs.push((cfg, spec.clone(), MachineKind::HybridProposed));
+        }
+    }
+    let results = ctx.run_lowered(&runs).results;
+    benchmarks
+        .iter()
+        .zip(results.chunks_exact(CoherenceProtocol::ALL.len()))
+        .map(|(&benchmark, pair)| {
+            let (filterdir, directory) = (&pair[0], &pair[1]);
+            ProtocolComparisonPoint {
+                benchmark: benchmark.name().to_owned(),
+                filterdir_cycles: filterdir.execution_time.as_u64(),
+                directory_cycles: directory.execution_time.as_u64(),
+                filterdir_cohprot_packets: filterdir.traffic.packets(noc::MessageClass::CohProt),
+                directory_cohprot_packets: directory.traffic.packets(noc::MessageClass::CohProt),
+                filterdir_total_packets: filterdir.total_packets(),
+                directory_total_packets: directory.total_packets(),
+                filter_hit_ratio: filterdir.filter_hit_ratio,
+                directory_requests: directory.protocol.directory_requests,
+            }
+        })
+        .collect()
+}
+
+/// Formats the protocol comparison as a text table.
+pub fn protocol_comparison_table(points: &[ProtocolComparisonPoint]) -> String {
+    let mut t = TableBuilder::new("Ablation: filterDir protocol vs plain directory baseline");
+    t.columns(&[
+        "Benchmark",
+        "filterDir cyc",
+        "directory cyc",
+        "Time ratio",
+        "CohProt pkts (f/d)",
+        "Traffic ratio",
+        "Filter hits",
+        "Dir requests",
+    ]);
+    for p in points {
+        t.row_owned(vec![
+            p.benchmark.clone(),
+            p.filterdir_cycles.to_string(),
+            p.directory_cycles.to_string(),
+            fmt_ratio(p.time_ratio()),
+            format!(
+                "{} / {}",
+                p.filterdir_cohprot_packets, p.directory_cohprot_packets
+            ),
+            fmt_ratio(p.cohprot_ratio()),
+            p.filter_hit_ratio
+                .map(fmt_percent)
+                .unwrap_or_else(|| "n/a".into()),
+            p.directory_requests.to_string(),
+        ]);
+    }
+    t.build()
+}
+
+/// The CSV column order used by [`protocol_comparison_csv`].
+pub const PROTOCOL_COMPARISON_CSV_COLUMNS: [&str; 9] = [
+    "benchmark",
+    "filterdir_cycles",
+    "directory_cycles",
+    "filterdir_cohprot_packets",
+    "directory_cohprot_packets",
+    "filterdir_total_packets",
+    "directory_total_packets",
+    "filter_hit_ratio",
+    "directory_requests",
+];
+
+/// Exports the protocol comparison as CSV, one row per benchmark.
+pub fn protocol_comparison_csv(points: &[ProtocolComparisonPoint]) -> String {
+    let mut out = PROTOCOL_COMPARISON_CSV_COLUMNS.join(",");
+    out.push('\n');
+    for p in points {
+        out.push_str(&format!(
+            "{},{},{},{},{},{},{},{},{}\n",
+            p.benchmark,
+            p.filterdir_cycles,
+            p.directory_cycles,
+            p.filterdir_cohprot_packets,
+            p.directory_cohprot_packets,
+            p.filterdir_total_packets,
+            p.directory_total_packets,
+            p.filter_hit_ratio
+                .map(|r| r.to_string())
+                .unwrap_or_default(),
+            p.directory_requests,
+        ));
+    }
+    out
+}
+
+/// Exports the protocol comparison as a JSON array of point objects.
+pub fn protocol_comparison_json(points: &[ProtocolComparisonPoint]) -> String {
+    let array: Vec<Json> = points
+        .iter()
+        .map(|p| {
+            Json::obj([
+                ("benchmark", Json::str(&p.benchmark)),
+                ("filterdir_cycles", Json::from(p.filterdir_cycles)),
+                ("directory_cycles", Json::from(p.directory_cycles)),
+                (
+                    "filterdir_cohprot_packets",
+                    Json::from(p.filterdir_cohprot_packets),
+                ),
+                (
+                    "directory_cohprot_packets",
+                    Json::from(p.directory_cohprot_packets),
+                ),
+                (
+                    "filterdir_total_packets",
+                    Json::from(p.filterdir_total_packets),
+                ),
+                (
+                    "directory_total_packets",
+                    Json::from(p.directory_total_packets),
+                ),
+                (
+                    "filter_hit_ratio",
+                    p.filter_hit_ratio.map_or(Json::Null, Json::from),
+                ),
+                ("directory_requests", Json::from(p.directory_requests)),
+            ])
+        })
+        .collect();
+    Json::Arr(array).pretty()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -491,6 +676,65 @@ mod tests {
             .unwrap();
         assert!(hot.home_queue_cycles > 0);
         assert!(hot.max_link_utilization > 0.0);
+    }
+
+    #[test]
+    fn protocol_comparison_measures_the_cost_claim() {
+        let points = protocol_comparison_sweep(
+            &RunContext::serial(),
+            &config(),
+            &[NasBenchmark::Cg, NasBenchmark::Is],
+            1.0 / 512.0,
+        );
+        assert_eq!(points.len(), 2);
+        for p in &points {
+            // The directory baseline consults its home on every guarded
+            // access; the filters exist to avoid exactly that traffic.
+            assert!(p.directory_requests > 0, "{}", p.benchmark);
+            assert!(
+                p.directory_cohprot_packets > p.filterdir_cohprot_packets,
+                "{}: {} vs {}",
+                p.benchmark,
+                p.directory_cohprot_packets,
+                p.filterdir_cohprot_packets
+            );
+            assert!(p.filter_hit_ratio.is_some(), "{}", p.benchmark);
+            assert!(p.time_ratio() >= 1.0, "{}: {}", p.benchmark, p.time_ratio());
+            assert!(p.cohprot_ratio() > 1.0, "{}", p.benchmark);
+        }
+        // Deterministic, and executor-invariant like every other sweep.
+        let again = protocol_comparison_sweep(
+            &RunContext::new(campaign::Executor::new(3), None),
+            &config(),
+            &[NasBenchmark::Cg, NasBenchmark::Is],
+            1.0 / 512.0,
+        );
+        assert_eq!(points, again);
+    }
+
+    #[test]
+    fn protocol_comparison_exports_render() {
+        let points = protocol_comparison_sweep(
+            &RunContext::serial(),
+            &config(),
+            &[NasBenchmark::Is],
+            1.0 / 512.0,
+        );
+        let table = protocol_comparison_table(&points);
+        assert!(table.contains("filterDir cyc"), "{table}");
+        assert!(table.contains("Dir requests"), "{table}");
+        let csv = protocol_comparison_csv(&points);
+        assert_eq!(csv.lines().count(), 1 + points.len());
+        assert_eq!(
+            csv.lines().next().unwrap(),
+            PROTOCOL_COMPARISON_CSV_COLUMNS.join(",")
+        );
+        let json = protocol_comparison_json(&points);
+        let parsed = Json::parse(&json).expect("valid JSON");
+        assert_eq!(parsed.as_array().unwrap().len(), points.len());
+        assert!(parsed.as_array().unwrap()[0]
+            .get("directory_requests")
+            .is_some());
     }
 
     #[test]

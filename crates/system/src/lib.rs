@@ -35,7 +35,7 @@ pub mod sweep;
 pub mod verify;
 
 pub use cli::{write_export, CliOptions, Report};
-pub use config::{ExecutionEngine, MachineKind, SystemConfig};
+pub use config::{CoherenceProtocol, ExecutionEngine, MachineKind, SystemConfig};
 pub use experiments::ExperimentSuite;
 pub use machine::{EngineAudit, KernelAudit, Machine, RunResult, TraceCapture};
 pub use report::TableBuilder;

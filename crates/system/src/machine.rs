@@ -14,11 +14,12 @@ use mem::{AccessKind, MemorySystem};
 use noc::{MessageClass, TrafficAccountant};
 use spm::{Dmac, Scratchpad};
 use spm_coherence::{
-    CoherenceSupport, IdealCoherence, ProtocolFault, ProtocolStats, SpmCoherenceProtocol,
+    CoherenceBackend, DirectoryCoherence, IdealCoherence, ProtocolFault, ProtocolStats,
+    SpmCoherenceProtocol,
 };
 use workloads::{compile, BenchmarkSpec, ExecMode, MachineParams, Phase, RawKernel};
 
-use crate::config::{ExecutionEngine, MachineKind, SystemConfig};
+use crate::config::{CoherenceProtocol, ExecutionEngine, MachineKind, SystemConfig};
 use crate::engine::{self, KernelCtx, ProgramRef};
 use crate::verify::{merge_image, ValueTracking, VerifyOutcome};
 
@@ -352,14 +353,20 @@ impl Machine {
             memsys.enable_value_tracking();
         }
         let mut values = track_values.then(|| ValueTracking::new(cores, with_oracle));
-        let mut protocol: Box<dyn CoherenceSupport> = match self.kind {
-            MachineKind::HybridProposed => {
-                let mut p = SpmCoherenceProtocol::new(self.config.protocol.clone());
-                p.inject_fault(self.fault);
-                Box::new(p)
-            }
-            _ => Box::new(IdealCoherence::new(self.config.protocol.clone())),
-        };
+        let mut protocol: Box<dyn CoherenceBackend> =
+            match (self.kind, self.config.coherence_protocol) {
+                (MachineKind::HybridProposed, CoherenceProtocol::FilterDir) => {
+                    let mut p = SpmCoherenceProtocol::new(self.config.protocol.clone());
+                    p.inject_fault(self.fault);
+                    Box::new(p)
+                }
+                (MachineKind::HybridProposed, CoherenceProtocol::Directory) => {
+                    let mut p = DirectoryCoherence::new(self.config.protocol.clone());
+                    p.inject_fault(self.fault);
+                    Box::new(p)
+                }
+                _ => Box::new(IdealCoherence::new(self.config.protocol.clone())),
+            };
         let mut spms: Vec<Scratchpad> = (0..cores)
             .map(|_| Scratchpad::new(self.config.spm))
             .collect();
@@ -574,7 +581,7 @@ impl Machine {
         &self,
         name: &str,
         memsys: MemorySystem,
-        protocol: Box<dyn CoherenceSupport>,
+        protocol: Box<dyn CoherenceBackend>,
         spms: Vec<Scratchpad>,
         dmacs: Vec<Dmac>,
         core_models: Vec<CoreTimingModel>,
@@ -720,6 +727,39 @@ mod tests {
         // The proposed protocol can only be slower (or equal), never faster,
         // than the ideal oracle.
         assert!(proposed.execution_time >= ideal.execution_time);
+    }
+
+    #[test]
+    fn directory_baseline_runs_with_requests_and_no_filters() {
+        let spec = small_spec();
+        let mut dir_cfg = config();
+        dir_cfg.coherence_protocol = CoherenceProtocol::Directory;
+        let dir = Machine::new(MachineKind::HybridProposed, dir_cfg).run(&spec);
+        let filterdir = Machine::new(MachineKind::HybridProposed, config()).run(&spec);
+        // Every guarded access pays a home request under the baseline...
+        assert!(dir.protocol.directory_requests >= dir.protocol.guarded_accesses());
+        assert!(dir.traffic.packets(MessageClass::CohProt) > 0);
+        // ...and there are no filters to hit.
+        assert_eq!(dir.protocol.filter_lookups, 0);
+        assert!(dir.filter_hit_ratio.is_none());
+        assert_eq!(dir.protocol.broadcasts, 0);
+        // The paper's protocol never talks to the mapping directory.
+        assert_eq!(filterdir.protocol.directory_requests, 0);
+        // Functional behaviour is protocol-independent.
+        assert_eq!(dir.instructions, filterdir.instructions);
+    }
+
+    #[test]
+    fn coherence_protocol_knob_only_affects_the_proposed_machine() {
+        let spec = small_spec();
+        for kind in [MachineKind::CacheOnly, MachineKind::HybridIdeal] {
+            let mut dir_cfg = config();
+            dir_cfg.coherence_protocol = CoherenceProtocol::Directory;
+            let dir = Machine::new(kind, dir_cfg).run(&spec);
+            let base = Machine::new(kind, config()).run(&spec);
+            assert_eq!(dir.execution_time, base.execution_time, "{kind}");
+            assert_eq!(dir.stats, base.stats, "{kind}");
+        }
     }
 
     #[test]

@@ -71,6 +71,10 @@ pub fn lower_descriptor(
         config.engine = crate::config::ExecutionEngine::from_id(engine)
             .ok_or_else(|| format!("unknown execution engine '{engine}'"))?;
     }
+    if let Some(protocol) = &d.protocol {
+        config.coherence_protocol = crate::config::CoherenceProtocol::from_id(protocol)
+            .ok_or_else(|| format!("unknown coherence protocol '{protocol}'"))?;
+    }
     config.trace_seed = d.seed();
     let spec = benchmark.spec_scaled(benchmark.recommended_scale() * d.scale_multiplier);
     Ok((config, spec, kind))
@@ -264,6 +268,7 @@ mod tests {
         d.filterdir_entries = Some(256);
         d.noc_model = Some("discrete-event".into());
         d.engine = Some("interleaved".into());
+        d.protocol = Some("directory".into());
         let (config, spec, kind) = lower_descriptor(&d).unwrap();
         assert_eq!(kind, MachineKind::HybridProposed);
         assert_eq!(config.cores, 4);
@@ -277,6 +282,10 @@ mod tests {
             noc::NocModel::DiscreteEvent
         );
         assert_eq!(config.engine, crate::config::ExecutionEngine::Interleaved);
+        assert_eq!(
+            config.coherence_protocol,
+            crate::config::CoherenceProtocol::Directory
+        );
         assert_eq!(config.trace_seed, d.seed());
         assert_eq!(spec.name, "CG");
         assert!(spec.input.contains("scale"));
@@ -300,6 +309,19 @@ mod tests {
         d.engine = Some("warp".into());
         let err = lower_descriptor(&d).unwrap_err();
         assert!(err.contains("warp"), "{err}");
+    }
+
+    #[test]
+    fn lowering_defaults_to_filterdir_and_rejects_unknown_protocols() {
+        let (config, _, _) = lower_descriptor(&quick_point()).unwrap();
+        assert_eq!(
+            config.coherence_protocol,
+            crate::config::CoherenceProtocol::FilterDir
+        );
+        let mut d = quick_point();
+        d.protocol = Some("moesi-2000".into());
+        let err = lower_descriptor(&d).unwrap_err();
+        assert!(err.contains("moesi-2000"), "{err}");
     }
 
     #[test]
@@ -336,6 +358,9 @@ mod tests {
         let mut interleaved = config.clone();
         interleaved.engine = crate::config::ExecutionEngine::Interleaved;
         assert_ne!(base, run_cache_key(kind, &interleaved, &spec));
+        let mut directory = config.clone();
+        directory.coherence_protocol = crate::config::CoherenceProtocol::Directory;
+        assert_ne!(base, run_cache_key(kind, &directory, &spec));
         let mut debug = config.clone();
         debug.debug_cores = true;
         assert_eq!(base, run_cache_key(kind, &debug, &spec));

@@ -23,7 +23,7 @@ use std::fmt;
 
 use mem::{Addr, AddressRange, ValueStore};
 use oracle::{CoherenceOracle, OracleReport};
-use spm_coherence::CoherenceSupport;
+use spm_coherence::CoherenceBackend;
 
 use crate::config::SystemConfig;
 use crate::machine::RunResult;
@@ -85,7 +85,7 @@ impl ValueTracking {
         core: usize,
         buffer: usize,
         chunk: AddressRange,
-        protocol: &dyn CoherenceSupport,
+        protocol: &dyn CoherenceBackend,
     ) {
         self.mapped[core].insert(buffer, chunk);
         if let Some(oracle) = &mut self.oracle {
@@ -131,7 +131,7 @@ impl ValueTracking {
         addr: Addr,
         observed: u64,
         access: &str,
-        protocol: &dyn CoherenceSupport,
+        protocol: &dyn CoherenceBackend,
     ) {
         if let Some(o) = &mut self.oracle {
             o.check_load(core, addr, observed, access, || {
@@ -173,7 +173,7 @@ impl ValueTracking {
         buffer: usize,
         addr: Addr,
         access: &str,
-        protocol: &dyn CoherenceSupport,
+        protocol: &dyn CoherenceBackend,
     ) -> Option<u64> {
         match self.mapping(owner, buffer) {
             Some(chunk) if chunk.contains(addr) => {
@@ -210,7 +210,7 @@ impl ValueTracking {
         core: usize,
         owner: usize,
         addr: Addr,
-        protocol: &dyn CoherenceSupport,
+        protocol: &dyn CoherenceBackend,
     ) -> Option<u64> {
         match self.owner_chunk(owner, addr) {
             Some(_) => {

@@ -7,7 +7,7 @@
 //! ```
 
 use simkernel::{ByteSize, CoreId};
-use spm_manycore::coherence::{CoherenceSupport, ProtocolConfig, SpmCoherenceProtocol};
+use spm_manycore::coherence::{CoherenceBackend, ProtocolConfig, SpmCoherenceProtocol};
 use spm_manycore::mem::{Addr, AddressRange, MemorySystem, MemorySystemConfig};
 use spm_manycore::noc::MessageClass;
 use spm_manycore::spm::{Scratchpad, SpmConfig};

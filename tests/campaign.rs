@@ -168,6 +168,62 @@ fn repeated_campaign_executes_zero_points() {
 }
 
 #[test]
+fn protocol_axis_campaign_round_trips_through_the_cache() {
+    let cache = ResultCache::new(scratch_dir("protocol-axis-cache"));
+    let _ = std::fs::remove_dir_all(cache.dir());
+    let ctx = RunContext::new(Executor::new(2), Some(cache.clone()));
+    let mut spec = SweepSpec::new(&["CG"])
+        .with_cores(&[4])
+        .with_scales(&[1.0 / 512.0])
+        .with_protocols(&["filterdir", "directory"])
+        .small();
+    spec.machines = vec!["hybrid-proposed".to_owned()];
+    let points = spec.points();
+    assert_eq!(points.len(), 2, "one point per coherence protocol");
+    assert_eq!(
+        points[0].seed(),
+        points[1].seed(),
+        "protocol is a comparison axis: both backends see identical addresses"
+    );
+
+    let first = run_points(&ctx, &points).unwrap();
+    assert_eq!(first.executed, 2);
+    let (filterdir, directory) = (&first.results[0], &first.results[1]);
+    assert_eq!(
+        filterdir.instructions, directory.instructions,
+        "the program is protocol-independent"
+    );
+    assert_ne!(
+        filterdir.execution_time, directory.execution_time,
+        "the backends genuinely differ in cost"
+    );
+
+    // Exports carry the protocol column for both rows.
+    let records = spm_manycore::system::sweep::records_of(&points, &first.results);
+    let csv = spm_manycore::campaign::aggregate::to_csv(&records);
+    assert!(csv.lines().next().unwrap().contains(",protocol,"), "{csv}");
+    assert!(csv.contains(",filterdir,"), "{csv}");
+    assert!(csv.contains(",directory,"), "{csv}");
+
+    // Cached replay: zero executions the second time around.
+    let second = run_points(&ctx, &points).unwrap();
+    assert_eq!(second.executed, 0, "{}", second.accounting());
+    assert_eq!(second.cache_hits, 2);
+
+    // An unset protocol lowers to the filterdir default — byte-identical
+    // lowered inputs, so it must hit the same cache entry.
+    let mut default_point = points[0].clone();
+    default_point.protocol = None;
+    let third = run_points(&ctx, std::slice::from_ref(&default_point)).unwrap();
+    assert_eq!(
+        third.executed, 0,
+        "the default protocol must hit the explicit-filterdir cache entry"
+    );
+
+    let _ = std::fs::remove_dir_all(cache.dir());
+}
+
+#[test]
 fn cached_blobs_are_valid_run_result_json() {
     let cache = ResultCache::new(scratch_dir("blob-format-cache"));
     let _ = std::fs::remove_dir_all(cache.dir());

@@ -18,12 +18,18 @@
 //!    `interleaved` engines and `analytic` vs `discrete-event` NoC models
 //!    (cores = 1 and cores = 4), because the generator honours the paper's
 //!    software contract and a single-writer-per-address discipline.
+//! 5. **Protocol equivalence** — the directory baseline backend passes the
+//!    same litmus matrix, renders the *same* golden images (final memory
+//!    state is protocol-independent), has its own catchable injected fault,
+//!    and any fuzz seed's value image is bit-identical across backends.
 
 use proptest::prelude::*;
 
 use spm_manycore::coherence::ProtocolFault;
 use spm_manycore::system::verify::verification_config;
-use spm_manycore::system::{ExecutionEngine, Machine, MachineKind, MemoryImage, SystemConfig};
+use spm_manycore::system::{
+    CoherenceProtocol, ExecutionEngine, Machine, MachineKind, MemoryImage, SystemConfig,
+};
 use spm_manycore::workloads::litmus::{catalogue, random_program, FuzzParams};
 use spm_manycore::workloads::nas::NasBenchmark;
 use spm_manycore::workloads::{ExecMode, RawKernel};
@@ -34,6 +40,12 @@ fn config(engine: ExecutionEngine, model: noc::NocModel, cores: usize) -> System
     let mut cfg = verification_config(cores);
     cfg.engine = engine;
     cfg.set_noc_model(model);
+    cfg
+}
+
+fn directory_config(engine: ExecutionEngine, model: noc::NocModel, cores: usize) -> SystemConfig {
+    let mut cfg = config(engine, model, cores);
+    cfg.coherence_protocol = CoherenceProtocol::Directory;
     cfg
 }
 
@@ -191,6 +203,115 @@ fn litmus_final_images_match_the_golden_snapshots() {
 }
 
 #[test]
+fn directory_backend_is_coherent_across_the_whole_matrix() {
+    // The same litmus catalogue, on the directory baseline backend: every
+    // engine × NoC model must hold the oracle's invariants with no SPM
+    // filters in the machine at all.
+    for case in catalogue() {
+        for engine in engines() {
+            for model in noc_models() {
+                let cfg = directory_config(engine, model, CORES);
+                let program = (case.build)(CORES, cfg.spm.size / 2);
+                let outcome = Machine::new(MachineKind::HybridProposed, cfg).verify_raw(&program);
+                assert!(
+                    outcome.ok(),
+                    "{} on directory/{engine}/{model:?}:\n{}",
+                    case.name,
+                    outcome.divergence_report()
+                );
+                assert!(outcome.report.loads_checked > 0, "{}", case.name);
+            }
+        }
+    }
+}
+
+#[test]
+fn directory_litmus_images_match_the_filterdir_goldens() {
+    // Final memory state is protocol-independent: the directory baseline
+    // renders byte-for-byte the *same* golden images as the paper's
+    // protocol — only timing and traffic may differ between backends.
+    let cfg = directory_config(ExecutionEngine::Legacy, noc::NocModel::Analytic, CORES);
+    for case in catalogue() {
+        let program = (case.build)(CORES, cfg.spm.size / 2);
+        let outcome = Machine::new(MachineKind::HybridProposed, cfg.clone()).verify_raw(&program);
+        assert!(
+            outcome.ok(),
+            "{}: {}",
+            case.name,
+            outcome.divergence_report()
+        );
+        assert_eq!(
+            outcome.image.render(),
+            golden(case.name),
+            "{}: the directory backend's final image drifted from the shared \
+             golden tests/golden/litmus/{}.txt",
+            case.name,
+            case.name
+        );
+    }
+}
+
+#[test]
+fn injected_directory_fault_is_caught_by_the_oracle() {
+    // The directory backend's own defect knob: skipping the home-directory
+    // update on map leaves guarded accesses going to (stale) global memory,
+    // and the oracle must notice under every engine.
+    let case = catalogue()
+        .into_iter()
+        .find(|c| c.name == "stale_filter_after_map")
+        .expect("victim case exists");
+    for engine in engines() {
+        let cfg = directory_config(engine, noc::NocModel::Analytic, CORES);
+        let program = (case.build)(CORES, cfg.spm.size / 2);
+
+        // Sanity: clean without the fault.
+        let clean = Machine::new(MachineKind::HybridProposed, cfg.clone()).verify_raw(&program);
+        assert!(clean.ok(), "{engine}: {}", clean.divergence_report());
+
+        let broken = Machine::new(MachineKind::HybridProposed, cfg)
+            .with_fault(ProtocolFault::SkipDirectoryUpdateOnMap)
+            .verify_raw(&program);
+        assert!(
+            !broken.ok(),
+            "{engine}: the injected directory defect must fail the oracle"
+        );
+    }
+}
+
+#[test]
+fn each_fault_is_inert_on_the_other_backend() {
+    // Faults name the backend they sabotage; the other backend has no such
+    // structure and must run clean with the knob set.
+    let case = catalogue()
+        .into_iter()
+        .find(|c| c.name == "stale_filter_after_map")
+        .unwrap();
+    let pairs = [
+        (
+            CoherenceProtocol::FilterDir,
+            ProtocolFault::SkipDirectoryUpdateOnMap,
+        ),
+        (
+            CoherenceProtocol::Directory,
+            ProtocolFault::SkipFilterInvalidationOnMap,
+        ),
+    ];
+    for (protocol, fault) in pairs {
+        let mut cfg = config(ExecutionEngine::Legacy, noc::NocModel::Analytic, CORES);
+        cfg.coherence_protocol = protocol;
+        let program = (case.build)(CORES, cfg.spm.size / 2);
+        let outcome = Machine::new(MachineKind::HybridProposed, cfg)
+            .with_fault(fault)
+            .verify_raw(&program);
+        assert!(
+            outcome.ok(),
+            "{protocol:?} with {fault:?}: {}",
+            outcome.divergence_report()
+        );
+    }
+}
+
+#[test]
 fn images_are_identical_across_engines_and_noc_models() {
     for cores in [1, 4] {
         for seed in [5u64, 6] {
@@ -247,6 +368,36 @@ proptest! {
             prop_assert!(legacy.ok(), "{}", legacy.divergence_report());
             prop_assert!(interleaved.ok(), "{}", interleaved.divergence_report());
             prop_assert_eq!(&legacy.image, &interleaved.image, "seed {} cores {}", seed, cores);
+        }
+    }
+
+    /// Cross-protocol equivalence: the same program's final value image is
+    /// bit-identical whether the paper's filter protocol or the directory
+    /// baseline keeps the scratchpads coherent — the backends may only
+    /// disagree on cost, never on values.
+    #[test]
+    fn prop_any_seed_matches_across_protocols(seed in 0u64..10_000) {
+        for cores in [1usize, 4] {
+            let program = fuzz(seed, cores, ExecMode::Hybrid);
+            let filterdir = Machine::new(
+                MachineKind::HybridProposed,
+                config(ExecutionEngine::Legacy, noc::NocModel::Analytic, cores),
+            )
+            .verify_raw(&program);
+            let directory = Machine::new(
+                MachineKind::HybridProposed,
+                directory_config(ExecutionEngine::Parallel, noc::NocModel::DiscreteEvent, cores),
+            )
+            .verify_raw(&program);
+            prop_assert!(filterdir.ok(), "{}", filterdir.divergence_report());
+            prop_assert!(directory.ok(), "{}", directory.divergence_report());
+            prop_assert_eq!(
+                &filterdir.image,
+                &directory.image,
+                "seed {} cores {}: protocols disagree on final values",
+                seed,
+                cores
+            );
         }
     }
 }

@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full machine, the experiment suite and
 //! the paper's qualitative claims on small configurations.
 
-use spm_manycore::coherence::{CoherenceSupport, ProtocolConfig, SpmCoherenceProtocol};
+use spm_manycore::coherence::{CoherenceBackend, ProtocolConfig, SpmCoherenceProtocol};
 use spm_manycore::mem::{Addr, AddressRange, MemorySystem, MemorySystemConfig};
 use spm_manycore::noc::MessageClass;
 use spm_manycore::simkernel::{ByteSize, CoreId, Cycle};

@@ -5,7 +5,7 @@ use proptest::collection::vec;
 use proptest::prelude::*;
 
 use spm_manycore::coherence::{
-    AddressMasks, CoherenceSupport, Filter, FilterDir, ProtocolConfig, SpmCoherenceProtocol, SpmDir,
+    AddressMasks, CoherenceBackend, Filter, FilterDir, ProtocolConfig, SpmCoherenceProtocol, SpmDir,
 };
 use spm_manycore::mem::mshr::{MshrFile, MshrOutcome};
 use spm_manycore::mem::plru::TreePlru;
